@@ -1,0 +1,84 @@
+// Command ablations runs the ablation and extension experiments indexed
+// in DESIGN.md: hypervector dimension (A1), PageRank iterations (A2), the
+// retraining / multi-prototype extensions (A3, the paper's Future Work 1),
+// the vertex-label extension (A4, Future Work 2) and the bipolar vs
+// bit-packed binary backend (A5).
+//
+// Usage:
+//
+//	ablations                 # all ablations at moderate scale
+//	ablations -run dimension  # one ablation
+//	ablations -count 100      # graphs per dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphhd/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "which ablation: dimension|pagerank|extensions|labels|backend|centrality|noise|all")
+		count = flag.Int("count", 120, "graphs per dataset")
+		seed  = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	type job struct {
+		name string
+		fn   func() ([]experiments.AblationCell, error)
+	}
+	jobs := []job{
+		{"dimension", func() ([]experiments.AblationCell, error) {
+			return experiments.RunDimensionAblation(nil, *count, *seed)
+		}},
+		{"pagerank", func() ([]experiments.AblationCell, error) {
+			return experiments.RunPageRankIterAblation(nil, *count, *seed)
+		}},
+		{"extensions", func() ([]experiments.AblationCell, error) {
+			return experiments.RunExtensionComparison(*count, *seed)
+		}},
+		{"labels", func() ([]experiments.AblationCell, error) {
+			return experiments.RunLabelExtension(*count, *seed)
+		}},
+		{"backend", func() ([]experiments.AblationCell, error) {
+			return experiments.RunBackendComparison(*count, *seed)
+		}},
+		{"centrality", func() ([]experiments.AblationCell, error) {
+			return experiments.RunCentralityAblation(*count, *seed)
+		}},
+	}
+	if *run == "all" || *run == "noise" {
+		cells, err := experiments.RunNoiseRobustness(nil, *count, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ablations:", err)
+			os.Exit(1)
+		}
+		experiments.WriteNoise(os.Stdout, cells)
+		fmt.Println()
+		if *run == "noise" {
+			return
+		}
+	}
+	ran := false
+	for _, j := range jobs {
+		if *run != "all" && *run != j.name {
+			continue
+		}
+		ran = true
+		cells, err := j.fn()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ablations:", err)
+			os.Exit(1)
+		}
+		experiments.WriteAblation(os.Stdout, j.name, cells)
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "ablations: unknown -run %q\n", *run)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,107 @@
+// Command inspect prints structural analysis of a TUDataset-format
+// dataset: Table-I statistics, extended measures (diameter, clustering,
+// degeneracy, triangles), per-class breakdowns and, optionally, the
+// centrality profile of a single graph — the inspection companion to
+// cmd/graphhd.
+//
+// Usage:
+//
+//	inspect -data ./data -name MUTAG
+//	inspect -data ./data -name MUTAG -graph 3          # one graph in depth
+//	inspect -data ./data -name MUTAG -per-class
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphhd"
+	"graphhd/internal/centrality"
+	"graphhd/internal/graph"
+)
+
+func main() {
+	var (
+		data     = flag.String("data", ".", "directory containing the dataset folder")
+		name     = flag.String("name", "", "dataset name (required)")
+		graphIdx = flag.Int("graph", -1, "inspect a single graph by index")
+		perClass = flag.Bool("per-class", false, "break extended statistics down by class")
+	)
+	flag.Parse()
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "inspect: -name is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ds, err := graphhd.ReadTUDataset(*data, *name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "inspect:", err)
+		os.Exit(1)
+	}
+
+	if *graphIdx >= 0 {
+		inspectGraph(ds, *graphIdx)
+		return
+	}
+
+	st := graph.ComputeExtendedStats(ds)
+	fmt.Printf("dataset %s\n", st.Name)
+	fmt.Printf("  graphs: %d   classes: %d\n", st.Graphs, st.Classes)
+	fmt.Printf("  avg |V|: %.2f (max %d)   avg |E|: %.2f (max %d)\n",
+		st.AvgVertices, st.MaxVertices, st.AvgEdges, st.MaxEdges)
+	fmt.Printf("  avg density: %.4f   avg diameter: %.2f\n", st.AvgDensity, st.AvgDiameter)
+	fmt.Printf("  avg clustering: %.3f   avg degeneracy: %.2f   avg triangles: %.1f\n",
+		st.AvgClustering, st.AvgDegeneracy, st.AvgTriangles)
+	fmt.Printf("  class sizes: %v\n", st.PerClass)
+
+	if *perClass {
+		fmt.Println()
+		for c := 0; c < ds.NumClasses(); c++ {
+			var idx []int
+			for i, l := range ds.Labels {
+				if l == c {
+					idx = append(idx, i)
+				}
+			}
+			sub := ds.Subset(idx)
+			sub.Name = fmt.Sprintf("%s[class %s]", ds.Name, ds.ClassNames[c])
+			cst := graph.ComputeExtendedStats(sub)
+			fmt.Printf("%-22s |V| %7.2f  |E| %8.2f  diam %6.2f  clus %6.3f  core %5.2f  tri %7.1f\n",
+				cst.Name, cst.AvgVertices, cst.AvgEdges, cst.AvgDiameter,
+				cst.AvgClustering, cst.AvgDegeneracy, cst.AvgTriangles)
+		}
+	}
+}
+
+// inspectGraph prints one graph's structural profile including centrality
+// rankings under all supported metrics.
+func inspectGraph(ds *graphhd.Dataset, idx int) {
+	if idx >= ds.Len() {
+		fmt.Fprintf(os.Stderr, "inspect: graph %d out of range [0,%d)\n", idx, ds.Len())
+		os.Exit(1)
+	}
+	g := ds.Graphs[idx]
+	fmt.Printf("graph %d of %s (class %s)\n", idx, ds.Name, ds.ClassNames[ds.Labels[idx]])
+	fmt.Printf("  |V| = %d, |E| = %d, density %.4f\n", g.NumVertices(), g.NumEdges(), g.Density())
+	nc, _ := g.ConnectedComponents()
+	fmt.Printf("  components: %d   diameter: %d   triangles: %d\n", nc, g.Diameter(), g.Triangles())
+	fmt.Printf("  max degree: %d   degeneracy: %d   avg clustering: %.3f\n",
+		g.MaxDegree(), g.Degeneracy(), g.AverageClustering())
+	fmt.Printf("  degree histogram: %v\n", g.DegreeHistogram())
+
+	fmt.Println("  most central vertices (rank 0..4):")
+	for _, m := range centrality.AllMetrics() {
+		ranks := centrality.Ranks(g, m, centrality.Options{})
+		top := make([]int, 0, 5)
+		for want := 0; want < 5 && want < len(ranks); want++ {
+			for v, r := range ranks {
+				if r == want {
+					top = append(top, v)
+					break
+				}
+			}
+		}
+		fmt.Printf("    %-12s %v\n", m, top)
+	}
+}

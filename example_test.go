@@ -1,0 +1,74 @@
+package graphhd_test
+
+import (
+	"fmt"
+
+	"graphhd"
+)
+
+// Example demonstrates the smallest train-and-predict loop: two structural
+// families (triangles-with-tails vs stars) classified from topology alone.
+func Example() {
+	var graphs []*graphhd.Graph
+	var labels []int
+	for n := 6; n <= 12; n++ {
+		graphs = append(graphs, lollipop(n), star(n))
+		labels = append(labels, 0, 1)
+	}
+	cfg := graphhd.DefaultConfig()
+	cfg.Dimension = 2048 // plenty for a toy problem
+	model, err := graphhd.Train(cfg, graphs, labels)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("lollipop:", model.Predict(lollipop(9)))
+	fmt.Println("star:    ", model.Predict(star(9)))
+	// Output:
+	// lollipop: 0
+	// star:     1
+}
+
+// ExampleModel_Learn shows online learning: the model ingests one labeled
+// sample at a time with O(dimension) memory.
+func ExampleModel_Learn() {
+	cfg := graphhd.DefaultConfig()
+	cfg.Dimension = 2048
+	enc, _ := graphhd.NewEncoder(cfg)
+	model, _ := graphhd.NewModel(enc, 2)
+	for n := 5; n <= 10; n++ {
+		model.Learn(lollipop(n), 0)
+		model.Learn(star(n), 1)
+	}
+	fmt.Println(model.Predict(star(8)))
+	// Output: 1
+}
+
+// ExamplePageRankRanks shows the vertex identifier GraphHD builds on: the
+// hub of a star is the most central vertex (rank 0).
+func ExamplePageRankRanks() {
+	g := star(6)
+	ranks := graphhd.PageRankRanks(g, graphhd.PageRankOptions{})
+	fmt.Println("hub rank:", ranks[0])
+	// Output: hub rank: 0
+}
+
+// lollipop is a triangle with a pendant path.
+func lollipop(n int) *graphhd.Graph {
+	b := graphhd.NewGraphBuilder(n)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 2)
+	b.MustAddEdge(2, 0)
+	for v := 2; v+1 < n; v++ {
+		b.MustAddEdge(v, v+1)
+	}
+	return b.Build()
+}
+
+func star(n int) *graphhd.Graph {
+	b := graphhd.NewGraphBuilder(n)
+	for v := 1; v < n; v++ {
+		b.MustAddEdge(0, v)
+	}
+	return b.Build()
+}

@@ -1,0 +1,49 @@
+// Baselines: a miniature of the paper's Figure 3 — all five methods
+// (GraphHD, 1-WL, WL-OA, GIN-ε, GIN-ε-JK) cross-validated on one dataset,
+// printing the accuracy / training time / inference time trade-off that is
+// the paper's headline result.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"graphhd/internal/eval"
+	"graphhd/internal/experiments"
+)
+
+func main() {
+	cells, err := experiments.RunFig3(experiments.Fig3Options{
+		Datasets:   []string{"PTC_FM"},
+		GraphCount: 120, // keep the quadratic kernels interactive
+		Quick:      true,
+		CV:         eval.CrossValidateOptions{Folds: 5, Repetitions: 1, Seed: 3},
+		Seed:       3,
+		Progress:   os.Stderr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	experiments.WriteFig3(os.Stdout, cells)
+
+	// Headline ratios, paper-style.
+	var hd, slowestTrain, slowestInfer experiments.Fig3Cell
+	for _, c := range cells {
+		if c.Method == "GraphHD" {
+			hd = c
+		}
+		if c.TrainTime > slowestTrain.TrainTime {
+			slowestTrain = c
+		}
+		if c.InferPerG > slowestInfer.InferPerG {
+			slowestInfer = c
+		}
+	}
+	if hd.TrainTime > 0 {
+		fmt.Printf("\nGraphHD trains %.1fx faster than %s and infers %.1fx faster than %s on this dataset\n",
+			float64(slowestTrain.TrainTime)/float64(hd.TrainTime), slowestTrain.Method,
+			float64(slowestInfer.InferPerG)/float64(hd.InferPerG), slowestInfer.Method)
+	}
+}

@@ -1,0 +1,100 @@
+// Deployment: the embedded/IoT story that motivates the paper. A model is
+// trained "in the datacenter", serialized to a ~80 KB file, reloaded as if
+// on a device, and then queried while hypervector memory suffers random
+// bit-flips — demonstrating both the tiny model footprint (class
+// accumulators only; basis vectors regenerate from the seed) and the
+// holographic robustness HDC promises for faulty hardware.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"graphhd"
+)
+
+func main() {
+	// --- datacenter side -------------------------------------------------
+	train := graphhd.MustGenerateDataset("MUTAG", graphhd.DatasetOptions{Seed: 9})
+	cfg := graphhd.DefaultConfig()
+	cfg.Dimension = 4096
+	model, err := graphhd.Train(cfg, train.Graphs, train.Labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := model.Retrain(train.Graphs, train.Labels, graphhd.RetrainOptions{Epochs: 5}); err != nil {
+		log.Fatal(err)
+	}
+
+	dir, err := os.MkdirTemp("", "graphhd-deploy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "model.ghd")
+	if err := model.SaveFile(path); err != nil {
+		log.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model serialized to %d bytes (%d classes × %d dims of int32 + header)\n",
+		info.Size(), model.NumClasses(), cfg.Dimension)
+
+	// --- device side ------------------------------------------------------
+	device, err := graphhd.LoadModelFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	test := graphhd.MustGenerateDataset("MUTAG", graphhd.DatasetOptions{Seed: 90, GraphCount: 80})
+
+	clean := accuracy(device, test)
+	fmt.Printf("device accuracy, clean memory:      %.3f\n", clean)
+
+	// Simulate faulty hypervector memory: corrupt a fraction of each
+	// query encoding's components before the associative-memory lookup.
+	rng := graphhd.NewRNG(123)
+	enc := device.Encoder()
+	for _, flip := range []float64{0.10, 0.25} {
+		correct := 0
+		for i, g := range test.Graphs {
+			hv := corrupt(enc.EncodeGraph(g), flip, rng)
+			if device.PredictEncoded(hv) == test.Labels[i] {
+				correct++
+			}
+		}
+		fmt.Printf("device accuracy, %2.0f%% bits flipped: %.3f\n",
+			flip*100, float64(correct)/float64(test.Len()))
+	}
+}
+
+func accuracy(m *graphhd.Model, ds *graphhd.Dataset) float64 {
+	preds := m.PredictAll(ds.Graphs)
+	c := 0
+	for i, p := range preds {
+		if p == ds.Labels[i] {
+			c++
+		}
+	}
+	return float64(c) / float64(len(preds))
+}
+
+// corrupt returns hv with a random fraction of components negated.
+func corrupt(hv *graphhd.Hypervector, fraction float64, rng *graphhd.RNG) *graphhd.Hypervector {
+	d := hv.Dim()
+	comps := make([]int8, d)
+	for i := 0; i < d; i++ {
+		comps[i] = hv.At(i)
+	}
+	for _, idx := range rng.Perm(d)[:int(fraction*float64(d))] {
+		comps[idx] = -comps[idx]
+	}
+	out, err := graphhd.HypervectorFromComponents(comps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
+}

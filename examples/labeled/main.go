@@ -1,0 +1,72 @@
+// Labeled: the paper's Future Work direction 2 — incorporating vertex
+// labels into the encoding. Two datasets share identical topology
+// statistics; in one the class signal lives only in the vertex labels.
+// The baseline encoder is blind to it, the labeled extension is not.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphhd"
+)
+
+func main() {
+	ds := buildLabeledDataset(300, 21)
+
+	run := func(name string, useLabels bool) {
+		cfg := graphhd.DefaultConfig()
+		cfg.Dimension = 4096
+		cfg.UseVertexLabels = useLabels
+		res, err := graphhd.CrossValidate(name, ds, func(fold int, seed uint64) graphhd.Classifier {
+			c := cfg
+			c.Seed = seed
+			return graphhd.NewGraphHDClassifier(c)
+		}, graphhd.CVOptions{Folds: 5, Repetitions: 1, Seed: 21})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s accuracy %.3f ± %.3f\n", name, res.MeanAccuracy(), res.StdAccuracy())
+	}
+
+	fmt.Println("class signal: vertex labels only (topology is i.i.d. across classes)")
+	run("GraphHD (baseline)", false)
+	run("GraphHD (labeled ext)", true)
+}
+
+// buildLabeledDataset: every graph is ER(24, 0.15); class c vertices carry
+// label c with probability 0.8.
+func buildLabeledDataset(count int, seed uint64) *graphhd.Dataset {
+	rng := newRNG(seed)
+	ds := &graphhd.Dataset{Name: "LBL", ClassNames: []string{"0", "1"}}
+	for i := 0; i < count; i++ {
+		c := i % 2
+		const n = 24
+		b := graphhd.NewGraphBuilder(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.15 {
+					b.MustAddEdge(u, v)
+				}
+			}
+		}
+		labels := make([]int, n)
+		for v := range labels {
+			if rng.Float64() < 0.8 {
+				labels[v] = c
+			} else {
+				labels[v] = 1 - c
+			}
+		}
+		if err := b.SetVertexLabels(labels); err != nil {
+			log.Fatal(err)
+		}
+		ds.Graphs = append(ds.Graphs, b.Build())
+		ds.Labels = append(ds.Labels, c)
+	}
+	return ds
+}
+
+func newRNG(seed uint64) *graphhd.RNG {
+	return graphhd.NewRNG(seed)
+}

@@ -1,0 +1,253 @@
+package graphhd_test
+
+import (
+	"os"
+	"testing"
+
+	"graphhd"
+)
+
+// The facade tests exercise the public API end to end the way a downstream
+// user would, without touching internal packages.
+
+func TestFacadeTrainPredict(t *testing.T) {
+	ds := graphhd.MustGenerateDataset("MUTAG", graphhd.DatasetOptions{Seed: 1, GraphCount: 60})
+	cfg := graphhd.DefaultConfig()
+	cfg.Dimension = 2048
+	model, err := graphhd.Train(cfg, ds.Graphs, ds.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := model.PredictAll(ds.Graphs)
+	correct := 0
+	for i, p := range preds {
+		if p == ds.Labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(preds)); acc < 0.8 {
+		t.Fatalf("training accuracy = %f", acc)
+	}
+}
+
+func TestFacadeGraphBuilding(t *testing.T) {
+	g, err := graphhd.GraphFromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("graph = %v", g)
+	}
+	b := graphhd.NewGraphBuilder(3)
+	b.MustAddEdge(0, 2)
+	if got := b.Build().NumEdges(); got != 1 {
+		t.Fatalf("edges = %d", got)
+	}
+}
+
+func TestFacadePageRank(t *testing.T) {
+	g, err := graphhd.GraphFromEdges(5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := graphhd.PageRankScores(g, graphhd.PageRankOptions{})
+	ranks := graphhd.PageRankRanks(g, graphhd.PageRankOptions{})
+	if ranks[0] != 0 {
+		t.Fatalf("hub rank = %d", ranks[0])
+	}
+	if scores[0] <= scores[1] {
+		t.Fatal("hub score should dominate")
+	}
+}
+
+func TestFacadeDatasetIO(t *testing.T) {
+	dir := t.TempDir()
+	ds := graphhd.MustGenerateDataset("PTC_FM", graphhd.DatasetOptions{Seed: 2, GraphCount: 20})
+	if err := graphhd.WriteTUDataset(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := graphhd.ReadTUDataset(dir, "PTC_FM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("round trip: %d vs %d", back.Len(), ds.Len())
+	}
+	st := graphhd.ComputeDatasetStats(back)
+	if st.Graphs != 20 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFacadeCrossValidateAllMethods(t *testing.T) {
+	ds := graphhd.MustGenerateDataset("MUTAG", graphhd.DatasetOptions{Seed: 3, GraphCount: 30})
+	factories := map[string]func(fold int, seed uint64) graphhd.Classifier{
+		"GraphHD": func(fold int, seed uint64) graphhd.Classifier {
+			cfg := graphhd.DefaultConfig()
+			cfg.Dimension = 1024
+			cfg.Seed = seed
+			return graphhd.NewGraphHDClassifier(cfg)
+		},
+		"WL-OA": func(fold int, seed uint64) graphhd.Classifier {
+			return graphhd.NewWLOAClassifier(seed)
+		},
+	}
+	for name, f := range factories {
+		res, err := graphhd.CrossValidate(name, ds, f, graphhd.CVOptions{Folds: 3, Repetitions: 1, Seed: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.MeanAccuracy() < 0.6 {
+			t.Errorf("%s accuracy = %f", name, res.MeanAccuracy())
+		}
+	}
+}
+
+func TestFacadeOnlineLearning(t *testing.T) {
+	cfg := graphhd.DefaultConfig()
+	cfg.Dimension = 1024
+	enc, err := graphhd.NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := graphhd.NewModel(enc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := graphhd.MustGenerateDataset("MUTAG", graphhd.DatasetOptions{Seed: 5, GraphCount: 40})
+	for i, g := range ds.Graphs {
+		if _, err := model.Learn(g, ds.Labels[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if acc := trainAcc(model, ds); acc < 0.8 {
+		t.Fatalf("online training accuracy = %f", acc)
+	}
+}
+
+func TestFacadeScalingDataset(t *testing.T) {
+	ds := graphhd.ScalingDataset(30, 20, 1)
+	if ds.Len() != 20 {
+		t.Fatalf("len = %d", ds.Len())
+	}
+	names := graphhd.DatasetNames()
+	if len(names) != 6 {
+		t.Fatalf("names = %v", names)
+	}
+	if graphhd.DefaultCVOptions().Folds != 10 {
+		t.Fatal("CV defaults wrong")
+	}
+}
+
+func TestFacadeMultiPrototype(t *testing.T) {
+	cfg := graphhd.DefaultConfig()
+	cfg.Dimension = 1024
+	enc, err := graphhd.NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := graphhd.NewMultiPrototypeModel(enc, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := graphhd.MustGenerateDataset("PTC_FM", graphhd.DatasetOptions{Seed: 6, GraphCount: 40})
+	if err := mp.Fit(ds.Graphs, ds.Labels); err != nil {
+		t.Fatal(err)
+	}
+	preds := mp.PredictAll(ds.Graphs)
+	if len(preds) != ds.Len() {
+		t.Fatal("prediction count mismatch")
+	}
+}
+
+func trainAcc(m *graphhd.Model, ds *graphhd.Dataset) float64 {
+	preds := m.PredictAll(ds.Graphs)
+	c := 0
+	for i, p := range preds {
+		if p == ds.Labels[i] {
+			c++
+		}
+	}
+	return float64(c) / float64(len(preds))
+}
+
+func TestFacadeModelSerialization(t *testing.T) {
+	ds := graphhd.MustGenerateDataset("MUTAG", graphhd.DatasetOptions{Seed: 8, GraphCount: 20})
+	cfg := graphhd.DefaultConfig()
+	cfg.Dimension = 1024
+	m, err := graphhd.Train(cfg, ds.Graphs, ds.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/m.ghd"
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := graphhd.LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range ds.Graphs[:5] {
+		if m.Predict(g) != m2.Predict(g) {
+			t.Fatal("facade round trip changed predictions")
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := graphhd.ReadModel(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeHypervectorFromComponents(t *testing.T) {
+	hv, err := graphhd.HypervectorFromComponents([]int8{1, -1, 1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv.Dim() != 4 || hv.At(1) != -1 {
+		t.Fatal("components not preserved")
+	}
+	if _, err := graphhd.HypervectorFromComponents([]int8{0}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFacadeCentralityConfig(t *testing.T) {
+	ds := graphhd.MustGenerateDataset("PTC_FM", graphhd.DatasetOptions{Seed: 9, GraphCount: 20})
+	cfg := graphhd.DefaultConfig()
+	cfg.Dimension = 1024
+	cfg.Centrality = graphhd.CentralityDegree
+	m, err := graphhd.Train(cfg, ds.Graphs, ds.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.PredictAll(ds.Graphs)) != ds.Len() {
+		t.Fatal("prediction count")
+	}
+}
+
+func TestFacadeGINAndWLClassifiers(t *testing.T) {
+	ds := graphhd.MustGenerateDataset("PTC_FM", graphhd.DatasetOptions{Seed: 10, GraphCount: 24})
+	for name, clf := range map[string]graphhd.Classifier{
+		"1-WL": graphhd.NewWLSubtreeClassifier(1),
+		"GIN":  graphhd.NewGINClassifier(true, 1),
+	} {
+		if err := clf.Fit(ds.Graphs, ds.Labels); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(clf.PredictAll(ds.Graphs)) != ds.Len() {
+			t.Fatalf("%s: prediction count", name)
+		}
+	}
+}
+
+func TestFacadeExtendedStats(t *testing.T) {
+	ds := graphhd.MustGenerateDataset("MUTAG", graphhd.DatasetOptions{Seed: 11, GraphCount: 10})
+	st := graphhd.ComputeExtendedDatasetStats(ds)
+	if st.AvgDiameter <= 0 || st.Graphs != 10 {
+		t.Fatalf("extended stats = %+v", st)
+	}
+}

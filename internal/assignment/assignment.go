@@ -1,0 +1,139 @@
+// Package assignment implements the Hungarian algorithm (Kuhn-Munkres,
+// O(n³) with potentials) for maximum-weight bipartite assignment.
+//
+// The WL-OA kernel baseline (internal/wl) computes optimal assignments via
+// the histogram-intersection shortcut that is valid for hierarchy-induced
+// strong kernels (Kriege et al. 2016). This package provides the exact,
+// general solver so the shortcut can be verified against ground truth —
+// see the cross-check property test in internal/wl — and doubles as a
+// general-purpose matching utility.
+package assignment
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxWeight solves the maximum-weight assignment problem on the
+// rows×cols weight matrix w (not necessarily square; the smaller side is
+// matched completely, unmatched larger-side entries contribute 0 and are
+// reported as -1). It returns match[r] = assigned column of row r (or -1)
+// and the total weight. Weights may be any finite float64, including
+// negatives; with negative weights a row may still be matched if every
+// completion requires it (the solver maximizes the total over complete
+// matchings of the smaller side, zero-padding the rectangle).
+func MaxWeight(w [][]float64) ([]int, float64, error) {
+	rows := len(w)
+	if rows == 0 {
+		return nil, 0, nil
+	}
+	cols := len(w[0])
+	for i, row := range w {
+		if len(row) != cols {
+			return nil, 0, fmt.Errorf("assignment: ragged matrix at row %d", i)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, 0, fmt.Errorf("assignment: non-finite weight at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Pad to square with zeros; convert to min-cost by negation.
+	n := rows
+	if cols > n {
+		n = cols
+	}
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i < rows && j < cols {
+				cost[i][j] = -w[i][j]
+			}
+		}
+	}
+	colOfRow := hungarianMin(cost)
+	match := make([]int, rows)
+	total := 0.0
+	for r := 0; r < rows; r++ {
+		c := colOfRow[r]
+		if c < cols {
+			match[r] = c
+			total += w[r][c]
+		} else {
+			match[r] = -1
+		}
+	}
+	return match, total, nil
+}
+
+// hungarianMin solves the square min-cost assignment with the standard
+// O(n³) shortest-augmenting-path formulation using dual potentials
+// (the classic "e-maxx" Hungarian with 1-based sentinels, rewritten
+// 0-based). Returns the matched column of each row.
+func hungarianMin(a [][]float64) []int {
+	n := len(a)
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1) // row potentials (index n = virtual root)
+	v := make([]float64, n+1) // column potentials
+	p := make([]int, n+1)     // p[j] = row matched to column j (n = none)
+	way := make([]int, n+1)
+	for j := range p {
+		p[j] = n
+	}
+	for i := 0; i < n; i++ {
+		// Augment from row i using column n as the virtual start.
+		p[n] = i
+		j0 := n
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 0; j < n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := a[i0][j] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == n {
+				break
+			}
+		}
+		// Unwind augmenting path.
+		for j0 != n {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	colOfRow := make([]int, n)
+	for j := 0; j < n; j++ {
+		if p[j] < n {
+			colOfRow[p[j]] = j
+		}
+	}
+	return colOfRow
+}

@@ -1,0 +1,182 @@
+package assignment
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"graphhd/internal/hdc"
+)
+
+func TestMaxWeightKnown(t *testing.T) {
+	w := [][]float64{
+		{1, 2, 3},
+		{3, 1, 2},
+		{2, 3, 1},
+	}
+	match, total, err := MaxWeight(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 9 { // 3 + 3 + 3
+		t.Fatalf("total = %v, want 9", total)
+	}
+	want := []int{2, 0, 1}
+	for i, c := range want {
+		if match[i] != c {
+			t.Fatalf("match = %v, want %v", match, want)
+		}
+	}
+}
+
+func TestMaxWeightIdentityBest(t *testing.T) {
+	w := [][]float64{
+		{10, 0},
+		{0, 10},
+	}
+	match, total, err := MaxWeight(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 20 || match[0] != 0 || match[1] != 1 {
+		t.Fatalf("match = %v total = %v", match, total)
+	}
+}
+
+func TestMaxWeightRectangular(t *testing.T) {
+	// More rows than columns: one row stays unmatched.
+	w := [][]float64{
+		{5},
+		{7},
+		{6},
+	}
+	match, total, err := MaxWeight(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 7 {
+		t.Fatalf("total = %v, want 7", total)
+	}
+	matched := 0
+	for _, c := range match {
+		if c == 0 {
+			matched++
+		} else if c != -1 {
+			t.Fatalf("match = %v", match)
+		}
+	}
+	if matched != 1 || match[1] != 0 {
+		t.Fatalf("match = %v", match)
+	}
+
+	// More columns than rows.
+	w2 := [][]float64{{1, 9, 4}}
+	match2, total2, err := MaxWeight(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total2 != 9 || match2[0] != 1 {
+		t.Fatalf("match = %v total = %v", match2, total2)
+	}
+}
+
+func TestMaxWeightEmptyAndErrors(t *testing.T) {
+	if m, total, err := MaxWeight(nil); err != nil || m != nil || total != 0 {
+		t.Fatal("empty matrix should be a no-op")
+	}
+	if _, _, err := MaxWeight([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("expected ragged-matrix error")
+	}
+	if _, _, err := MaxWeight([][]float64{{math.NaN()}}); err == nil {
+		t.Fatal("expected NaN error")
+	}
+	if _, _, err := MaxWeight([][]float64{{math.Inf(1)}}); err == nil {
+		t.Fatal("expected Inf error")
+	}
+}
+
+// bruteForce exhausts all assignments of rows to distinct columns.
+func bruteForce(w [][]float64) float64 {
+	rows, cols := len(w), len(w[0])
+	used := make([]bool, cols)
+	var rec func(r int) float64
+	rec = func(r int) float64 {
+		if r == rows {
+			return 0
+		}
+		// Option: leave row r unmatched only if rows > cols and not all
+		// columns can be covered; simplest: allow skip when rows > cols.
+		best := math.Inf(-1)
+		if rows > cols {
+			best = rec(r + 1)
+		}
+		for c := 0; c < cols; c++ {
+			if !used[c] {
+				used[c] = true
+				if v := w[r][c] + rec(r+1); v > best {
+					best = v
+				}
+				used[c] = false
+			}
+		}
+		if math.IsInf(best, -1) {
+			return 0
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func TestMaxWeightMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := hdc.NewRNG(seed)
+		rows := 1 + rng.Intn(5)
+		cols := 1 + rng.Intn(5)
+		w := make([][]float64, rows)
+		for i := range w {
+			w[i] = make([]float64, cols)
+			for j := range w[i] {
+				w[i][j] = float64(rng.Intn(20))
+			}
+		}
+		_, total, err := MaxWeight(w)
+		if err != nil {
+			return false
+		}
+		return math.Abs(total-bruteForce(w)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxWeightMatchIsValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := hdc.NewRNG(seed)
+		n := 2 + rng.Intn(6)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, n)
+			for j := range w[i] {
+				w[i][j] = rng.Float64() * 10
+			}
+		}
+		match, total, err := MaxWeight(w)
+		if err != nil {
+			return false
+		}
+		seen := map[int]bool{}
+		sum := 0.0
+		for r, c := range match {
+			if c < 0 || c >= n || seen[c] {
+				return false
+			}
+			seen[c] = true
+			sum += w[r][c]
+		}
+		return math.Abs(sum-total) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package centrality implements the vertex-centrality metrics GraphHD can
+// derive vertex identifiers from. The paper proposes PageRank (package
+// pagerank); this package adds degree, eigenvector and closeness
+// centrality so the identifier choice can be ablated (experiment A7 in
+// DESIGN.md) — any metric that orders vertices consistently across graphs
+// fits the encoder.
+package centrality
+
+import (
+	"math"
+	"sort"
+
+	"graphhd/internal/graph"
+	"graphhd/internal/pagerank"
+)
+
+// Metric selects a vertex-centrality measure.
+type Metric int
+
+// Supported metrics.
+const (
+	// PageRank is the paper's choice (damping 0.85, fixed iterations).
+	PageRank Metric = iota
+	// Degree is normalized vertex degree, the cheapest possible metric.
+	Degree
+	// Eigenvector is the principal-eigenvector score of the adjacency
+	// matrix (power iteration).
+	Eigenvector
+	// Closeness is BFS-based closeness with the Wasserman-Faust
+	// correction for disconnected graphs.
+	Closeness
+)
+
+// String returns the metric name.
+func (m Metric) String() string {
+	switch m {
+	case PageRank:
+		return "pagerank"
+	case Degree:
+		return "degree"
+	case Eigenvector:
+		return "eigenvector"
+	case Closeness:
+		return "closeness"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures centrality computation. Iterations and Damping apply
+// to the iterative metrics (PageRank, Eigenvector); zero values select the
+// paper defaults.
+type Options struct {
+	Iterations int
+	Damping    float64
+}
+
+// Scores returns the centrality score of every vertex under the given
+// metric. Scores are comparable within one graph; only their ordering is
+// used by the encoder.
+func Scores(g *graph.Graph, metric Metric, opts Options) []float64 {
+	switch metric {
+	case Degree:
+		return degreeScores(g)
+	case Eigenvector:
+		return eigenvectorScores(g, opts)
+	case Closeness:
+		return closenessScores(g)
+	default:
+		return pagerank.Scores(g, pagerank.Options{Iterations: opts.Iterations, Damping: opts.Damping})
+	}
+}
+
+// Ranks returns each vertex's centrality rank under the given metric:
+// 0 for the most central vertex. Ties break deterministically by score
+// descending, then degree descending, then vertex id ascending — the same
+// rule as pagerank.Ranks.
+func Ranks(g *graph.Graph, metric Metric, opts Options) []int {
+	if metric == PageRank {
+		return pagerank.Ranks(g, pagerank.Options{Iterations: opts.Iterations, Damping: opts.Damping})
+	}
+	return RanksFromScores(g, Scores(g, metric, opts))
+}
+
+// RanksFromScores converts a score vector to deterministic ranks with the
+// shared tie-break rule.
+func RanksFromScores(g *graph.Graph, scores []float64) []int {
+	n := g.NumVertices()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		va, vb := order[a], order[b]
+		if scores[va] != scores[vb] {
+			return scores[va] > scores[vb]
+		}
+		da, db := g.Degree(va), g.Degree(vb)
+		if da != db {
+			return da > db
+		}
+		return va < vb
+	})
+	ranks := make([]int, n)
+	for r, v := range order {
+		ranks[v] = r
+	}
+	return ranks
+}
+
+func degreeScores(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	s := make([]float64, n)
+	if n < 2 {
+		return s
+	}
+	inv := 1 / float64(n-1)
+	for v := 0; v < n; v++ {
+		s[v] = float64(g.Degree(v)) * inv
+	}
+	return s
+}
+
+// eigenvectorScores runs power iteration on the shifted adjacency matrix
+// A + I with L2 normalization. The shift leaves the principal eigenvector
+// (and therefore the ranking) unchanged while preventing the sign
+// oscillation power iteration suffers on bipartite graphs, whose extreme
+// eigenvalues come in ±λ pairs.
+func eigenvectorScores(g *graph.Graph, opts Options) []float64 {
+	n := g.NumVertices()
+	if g.NumEdges() == 0 {
+		// No adjacency structure: define all scores as zero rather than
+		// letting the +I shift return a meaningless uniform vector.
+		return make([]float64, n)
+	}
+	iters := opts.Iterations
+	if iters == 0 {
+		iters = 50
+	}
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for v := range cur {
+		cur[v] = 1
+	}
+	for it := 0; it < iters; it++ {
+		copy(next, cur) // the +I term
+		for v := 0; v < n; v++ {
+			cv := cur[v]
+			if cv == 0 {
+				continue
+			}
+			for _, w := range g.Neighbors(v) {
+				next[w] += cv
+			}
+		}
+		norm := 0.0
+		for _, x := range next {
+			norm += x * x
+		}
+		if norm == 0 {
+			// Edgeless graph: all scores zero.
+			return next
+		}
+		norm = math.Sqrt(norm)
+		for v := range next {
+			next[v] /= norm
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// closenessScores computes Wasserman-Faust closeness: for each vertex v
+// with r(v) reachable vertices at total BFS distance s(v),
+// C(v) = ((r-1)/(n-1)) * ((r-1)/s). Isolated vertices score 0.
+func closenessScores(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	out := make([]float64, n)
+	if n < 2 {
+		return out
+	}
+	dist := make([]int, n)
+	queue := make([]int32, 0, n)
+	for src := 0; src < n; src++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue = append(queue[:0], int32(src))
+		total, reach := 0, 1
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, w := range g.Neighbors(int(v)) {
+				if dist[w] == -1 {
+					dist[w] = dist[v] + 1
+					total += dist[w]
+					reach++
+					queue = append(queue, w)
+				}
+			}
+		}
+		if total > 0 {
+			r := float64(reach - 1)
+			out[src] = (r / float64(n-1)) * (r / float64(total))
+		}
+	}
+	return out
+}
+
+// AllMetrics lists every supported metric, for sweeps.
+func AllMetrics() []Metric {
+	return []Metric{PageRank, Degree, Eigenvector, Closeness}
+}

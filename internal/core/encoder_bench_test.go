@@ -1,0 +1,23 @@
+package core
+
+import (
+	"testing"
+
+	"graphhd/internal/dataset"
+)
+
+// BenchmarkFig4Encode980 isolates the encoder on the largest Figure 4
+// workload (20 ER graphs, 980 vertices, p≈0.05); it is the profile target
+// used to drive the bit-sliced encoding optimizations.
+func BenchmarkFig4Encode980(b *testing.B) {
+	ds := dataset.Scaling(980, 20, 1)
+	cfg := DefaultConfig()
+	cfg.Dimension = 2048
+	enc := MustNewEncoder(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range ds.Graphs {
+			enc.EncodeGraph(g)
+		}
+	}
+}

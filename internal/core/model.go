@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"graphhd/internal/graph"
+	"graphhd/internal/hdc"
+)
+
+// Model is a trained GraphHD classifier: one class vector per class held
+// in an associative memory (Section III-B/C of the paper). Create one with
+// Train or NewModel+Fit.
+type Model struct {
+	enc *Encoder
+	am  *hdc.AssociativeMemory
+	k   int
+}
+
+// NewModel returns an untrained model for k classes using encoder enc.
+func NewModel(enc *Encoder, k int) (*Model, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: non-positive class count %d", k)
+	}
+	cfg := enc.Config()
+	seeds := hdc.NewRNG(cfg.Seed ^ 0x5eed)
+	return &Model{
+		enc: enc,
+		am:  hdc.NewAssociativeMemory(k, cfg.Dimension, seeds.Uint64(), cfg.BipolarClassVectors),
+		k:   k,
+	}, nil
+}
+
+// Encoder returns the model's encoder.
+func (m *Model) Encoder() *Encoder { return m.enc }
+
+// NumClasses returns the number of classes.
+func (m *Model) NumClasses() int { return m.k }
+
+// ClassVector returns the majority-voted bipolar class vector of class c.
+func (m *Model) ClassVector(c int) *hdc.Bipolar { return m.am.ClassVector(c) }
+
+// Learn encodes one labeled graph and bundles it into its class vector —
+// the HDC online-learning primitive. It returns the graph-hypervector so
+// callers (e.g. retraining loops) can reuse the encoding.
+func (m *Model) Learn(g *graph.Graph, label int) (*hdc.Bipolar, error) {
+	if label < 0 || label >= m.k {
+		return nil, fmt.Errorf("core: label %d out of range [0,%d)", label, m.k)
+	}
+	hv := m.enc.EncodeGraph(g)
+	m.am.Learn(label, hv)
+	return hv, nil
+}
+
+// Fit trains on the whole set, encoding graphs in parallel across
+// GOMAXPROCS goroutines (HDC operations are dimension-independent, the
+// parallelism the paper highlights). Bundling into class vectors happens
+// in deterministic input order, so the trained model is identical to
+// sequential training.
+func (m *Model) Fit(graphs []*graph.Graph, labels []int) error {
+	if len(graphs) != len(labels) {
+		return fmt.Errorf("core: %d graphs but %d labels", len(graphs), len(labels))
+	}
+	for _, l := range labels {
+		if l < 0 || l >= m.k {
+			return fmt.Errorf("core: label %d out of range [0,%d)", l, m.k)
+		}
+	}
+	encoded := m.encodeAll(graphs)
+	for i, hv := range encoded {
+		m.am.Learn(labels[i], hv)
+	}
+	return nil
+}
+
+// encodeAll encodes graphs concurrently, preserving order.
+func (m *Model) encodeAll(graphs []*graph.Graph) []*hdc.Bipolar {
+	// Pre-materialize the basis vectors for the largest rank we'll need so
+	// that the workers mostly take the read-lock fast path.
+	maxN := 0
+	for _, g := range graphs {
+		if g.NumVertices() > maxN {
+			maxN = g.NumVertices()
+		}
+	}
+	m.enc.ranks.Reserve(maxN)
+
+	encoded := make([]*hdc.Bipolar, len(graphs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(graphs) {
+		workers = len(graphs)
+	}
+	if workers <= 1 {
+		for i, g := range graphs {
+			encoded[i] = m.enc.EncodeGraph(g)
+		}
+		return encoded
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				encoded[i] = m.enc.EncodeGraph(graphs[i])
+			}
+		}()
+	}
+	for i := range graphs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return encoded
+}
+
+// Predict returns the predicted class of g: the class whose vector is most
+// similar to Enc(g).
+func (m *Model) Predict(g *graph.Graph) int {
+	return m.am.Classify(m.enc.EncodeGraph(g))
+}
+
+// PredictEncoded classifies an already encoded graph-hypervector.
+func (m *Model) PredictEncoded(hv *hdc.Bipolar) int {
+	return m.am.Classify(hv)
+}
+
+// PredictAll classifies a batch of graphs in parallel, preserving order.
+func (m *Model) PredictAll(graphs []*graph.Graph) []int {
+	encoded := m.encodeAll(graphs)
+	out := make([]int, len(encoded))
+	for i, hv := range encoded {
+		out[i] = m.am.Classify(hv)
+	}
+	return out
+}
+
+// Similarities returns δ(Enc(g), C_i) for every class i.
+func (m *Model) Similarities(g *graph.Graph) []float64 {
+	return m.am.Similarities(m.enc.EncodeGraph(g))
+}
+
+// Train is the one-call convenience API: build an encoder and model from
+// cfg and fit the training set. k is inferred as max(label)+1.
+func Train(cfg Config, graphs []*graph.Graph, labels []int) (*Model, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	k := 0
+	for _, l := range labels {
+		if l+1 > k {
+			k = l + 1
+		}
+	}
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := NewModel(enc, k)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Fit(graphs, labels); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

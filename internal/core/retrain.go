@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"graphhd/internal/graph"
+	"graphhd/internal/hdc"
+)
+
+// This file implements the paper's Future Work direction 1: trading some
+// of GraphHD's efficiency for accuracy through techniques already known in
+// HDC — perceptron-style retraining and multiple class vectors (prototypes)
+// per class.
+
+// RetrainOptions configures Retrain.
+type RetrainOptions struct {
+	// Epochs is the number of passes over the training set (default 5).
+	Epochs int
+	// Shuffle, when non-nil, permutes the sample order each epoch using
+	// the given seed; nil keeps input order (deterministic either way).
+	ShuffleSeed *uint64
+}
+
+// Retrain runs perceptron-style HDC retraining on a fitted model: for each
+// training sample, if the model misclassifies it, the encoded hypervector
+// is added to the correct class accumulator and subtracted from the
+// mispredicted one. Returns the number of updates per epoch; training may
+// stop early once an epoch is error-free.
+func (m *Model) Retrain(graphs []*graph.Graph, labels []int, opts RetrainOptions) ([]int, error) {
+	if len(graphs) != len(labels) {
+		return nil, fmt.Errorf("core: %d graphs but %d labels", len(graphs), len(labels))
+	}
+	epochs := opts.Epochs
+	if epochs <= 0 {
+		epochs = 5
+	}
+	encoded := m.encodeAll(graphs)
+	order := make([]int, len(graphs))
+	for i := range order {
+		order[i] = i
+	}
+	var rng *hdc.RNG
+	if opts.ShuffleSeed != nil {
+		rng = hdc.NewRNG(*opts.ShuffleSeed)
+	}
+	var updates []int
+	for ep := 0; ep < epochs; ep++ {
+		if rng != nil {
+			perm := rng.Perm(len(order))
+			for i := range order {
+				order[i] = perm[i]
+			}
+		}
+		n := 0
+		for _, i := range order {
+			pred := m.am.Classify(encoded[i])
+			if pred != labels[i] {
+				m.am.Learn(labels[i], encoded[i])
+				m.am.Unlearn(pred, encoded[i])
+				n++
+			}
+		}
+		updates = append(updates, n)
+		if n == 0 {
+			break
+		}
+	}
+	return updates, nil
+}
+
+// MultiPrototypeModel extends GraphHD with multiple class vectors per
+// class. Each class holds up to protos accumulators; a training sample is
+// bundled into the most similar prototype of its class (or a fresh one if
+// capacity remains), and inference takes the best similarity over all
+// prototypes of each class. This is the second accuracy-for-efficiency
+// trade suggested by the paper's future work.
+type MultiPrototypeModel struct {
+	enc    *Encoder
+	k      int
+	protos int
+	accs   [][]*hdc.Accumulator // accs[class][prototype]
+	tie    *hdc.Bipolar
+}
+
+// NewMultiPrototypeModel returns an untrained multi-prototype model with
+// up to protos prototypes for each of k classes.
+func NewMultiPrototypeModel(enc *Encoder, k, protos int) (*MultiPrototypeModel, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: non-positive class count %d", k)
+	}
+	if protos <= 0 {
+		return nil, fmt.Errorf("core: non-positive prototype count %d", protos)
+	}
+	return &MultiPrototypeModel{
+		enc:    enc,
+		k:      k,
+		protos: protos,
+		accs:   make([][]*hdc.Accumulator, k),
+		tie:    enc.Tie(),
+	}, nil
+}
+
+// NumClasses returns the number of classes.
+func (m *MultiPrototypeModel) NumClasses() int { return m.k }
+
+// NumPrototypes returns the number of prototypes currently allocated for
+// class c.
+func (m *MultiPrototypeModel) NumPrototypes(c int) int { return len(m.accs[c]) }
+
+// Fit trains on the whole set in input order.
+func (m *MultiPrototypeModel) Fit(graphs []*graph.Graph, labels []int) error {
+	if len(graphs) != len(labels) {
+		return fmt.Errorf("core: %d graphs but %d labels", len(graphs), len(labels))
+	}
+	for i, g := range graphs {
+		if err := m.Learn(g, labels[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Learn bundles one labeled graph into the nearest prototype of its class,
+// creating a new prototype while capacity remains.
+func (m *MultiPrototypeModel) Learn(g *graph.Graph, label int) error {
+	if label < 0 || label >= m.k {
+		return fmt.Errorf("core: label %d out of range [0,%d)", label, m.k)
+	}
+	hv := m.enc.EncodeGraph(g)
+	ps := m.accs[label]
+	if len(ps) < m.protos {
+		acc := hdc.NewAccumulator(m.enc.Dimension())
+		acc.Add(hv)
+		m.accs[label] = append(ps, acc)
+		return nil
+	}
+	best, bestSim := 0, ps[0].CosineToSums(hv)
+	for i := 1; i < len(ps); i++ {
+		if s := ps[i].CosineToSums(hv); s > bestSim {
+			best, bestSim = i, s
+		}
+	}
+	ps[best].Add(hv)
+	return nil
+}
+
+// Predict returns the class whose best prototype is most similar to
+// Enc(g). Classes with no prototypes are skipped; an untrained model
+// predicts class 0.
+func (m *MultiPrototypeModel) Predict(g *graph.Graph) int {
+	hv := m.enc.EncodeGraph(g)
+	bestClass, bestSim := 0, -2.0
+	for c, ps := range m.accs {
+		for _, p := range ps {
+			if s := p.CosineToSums(hv); s > bestSim {
+				bestClass, bestSim = c, s
+			}
+		}
+	}
+	return bestClass
+}
+
+// PredictAll classifies a batch of graphs, preserving order.
+func (m *MultiPrototypeModel) PredictAll(graphs []*graph.Graph) []int {
+	out := make([]int, len(graphs))
+	for i, g := range graphs {
+		out[i] = m.Predict(g)
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+// Package eval implements the paper's experimental protocol: stratified
+// k-fold cross-validation with repetitions, per-fold wall-time bookkeeping
+// for training and inference, and summary statistics. Section V-A: "We use
+// 10-fold cross validation ... The wall-time for one fold of training is
+// considered the training time. The inference time is set to be the
+// testing wall-time of one fold. Measurements are averaged over 3
+// repetitions of 10-fold cross validation."
+package eval
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"graphhd/internal/graph"
+	"graphhd/internal/hdc"
+)
+
+// Classifier is the minimal interface every compared method implements for
+// the harness: fit a training set, then predict a test set.
+type Classifier interface {
+	// Fit trains on the given graphs; implementations are fresh per fold.
+	Fit(graphs []*graph.Graph, labels []int) error
+	// PredictAll classifies the given graphs.
+	PredictAll(graphs []*graph.Graph) []int
+}
+
+// Factory produces a fresh classifier for each fold so folds never share
+// state. The fold index and repetition seed the run deterministically.
+type Factory func(fold int, seed uint64) Classifier
+
+// StratifiedKFold splits indices [0, n) into k folds preserving class
+// proportions. Samples of each class are shuffled with the seed and dealt
+// round-robin, so every fold's class histogram differs by at most one.
+func StratifiedKFold(labels []int, k int, seed uint64) ([][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("eval: need k >= 2 folds, got %d", k)
+	}
+	if len(labels) < k {
+		return nil, fmt.Errorf("eval: %d samples for %d folds", len(labels), k)
+	}
+	byClass := map[int][]int{}
+	for i, l := range labels {
+		byClass[l] = append(byClass[l], i)
+	}
+	rng := hdc.NewRNG(seed)
+	folds := make([][]int, k)
+	// Iterate classes in deterministic order.
+	maxClass := 0
+	for c := range byClass {
+		if c > maxClass {
+			maxClass = c
+		}
+	}
+	next := 0
+	for c := 0; c <= maxClass; c++ {
+		idx, ok := byClass[c]
+		if !ok {
+			continue
+		}
+		perm := rng.Perm(len(idx))
+		for _, p := range perm {
+			folds[next%k] = append(folds[next%k], idx[p])
+			next++
+		}
+	}
+	return folds, nil
+}
+
+// FoldResult holds one fold's measurements.
+type FoldResult struct {
+	Fold       int
+	Repetition int
+	Accuracy   float64
+	TrainTime  time.Duration
+	// InferTime is the wall time to classify the whole test fold.
+	InferTime time.Duration
+	TestSize  int
+}
+
+// Result aggregates a full cross-validation run.
+type Result struct {
+	Method  string
+	Dataset string
+	Folds   []FoldResult
+}
+
+// MeanAccuracy returns the mean fold accuracy.
+func (r *Result) MeanAccuracy() float64 {
+	s := 0.0
+	for _, f := range r.Folds {
+		s += f.Accuracy
+	}
+	return s / float64(len(r.Folds))
+}
+
+// StdAccuracy returns the sample standard deviation of fold accuracies.
+func (r *Result) StdAccuracy() float64 {
+	if len(r.Folds) < 2 {
+		return 0
+	}
+	m := r.MeanAccuracy()
+	s := 0.0
+	for _, f := range r.Folds {
+		d := f.Accuracy - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(r.Folds)-1))
+}
+
+// MeanTrainTime returns the mean wall time of one fold of training.
+func (r *Result) MeanTrainTime() time.Duration {
+	var s time.Duration
+	for _, f := range r.Folds {
+		s += f.TrainTime
+	}
+	return s / time.Duration(len(r.Folds))
+}
+
+// MeanInferTimePerGraph returns the mean inference wall time per test
+// graph, the normalization the paper reports.
+func (r *Result) MeanInferTimePerGraph() time.Duration {
+	var total time.Duration
+	graphs := 0
+	for _, f := range r.Folds {
+		total += f.InferTime
+		graphs += f.TestSize
+	}
+	if graphs == 0 {
+		return 0
+	}
+	return total / time.Duration(graphs)
+}
+
+// CrossValidateOptions configures a run.
+type CrossValidateOptions struct {
+	// Folds (paper: 10).
+	Folds int
+	// Repetitions (paper: 3).
+	Repetitions int
+	// Seed drives fold assignment and per-fold classifier seeds.
+	Seed uint64
+}
+
+// DefaultCVOptions returns the paper's protocol: 3 × 10-fold CV.
+func DefaultCVOptions() CrossValidateOptions {
+	return CrossValidateOptions{Folds: 10, Repetitions: 3, Seed: 0xc5eed}
+}
+
+// CrossValidate runs repeated stratified k-fold cross-validation of the
+// classifiers produced by factory over ds.
+func CrossValidate(method string, ds *graph.Dataset, factory Factory, opts CrossValidateOptions) (*Result, error) {
+	if opts.Folds == 0 {
+		opts.Folds = 10
+	}
+	if opts.Repetitions == 0 {
+		opts.Repetitions = 1
+	}
+	res := &Result{Method: method, Dataset: ds.Name}
+	for rep := 0; rep < opts.Repetitions; rep++ {
+		repSeed := opts.Seed + uint64(rep)*0x9e3779b97f4a7c15
+		folds, err := StratifiedKFold(ds.Labels, opts.Folds, repSeed)
+		if err != nil {
+			return nil, err
+		}
+		for fi, test := range folds {
+			var train []int
+			for fj, f := range folds {
+				if fj != fi {
+					train = append(train, f...)
+				}
+			}
+			trainSet := ds.Subset(train)
+			testSet := ds.Subset(test)
+
+			clf := factory(fi, repSeed+uint64(fi))
+			t0 := time.Now()
+			if err := clf.Fit(trainSet.Graphs, trainSet.Labels); err != nil {
+				return nil, fmt.Errorf("eval: %s fold %d: %w", method, fi, err)
+			}
+			trainTime := time.Since(t0)
+
+			t1 := time.Now()
+			preds := clf.PredictAll(testSet.Graphs)
+			inferTime := time.Since(t1)
+
+			correct := 0
+			for i, p := range preds {
+				if p == testSet.Labels[i] {
+					correct++
+				}
+			}
+			res.Folds = append(res.Folds, FoldResult{
+				Fold:       fi,
+				Repetition: rep,
+				Accuracy:   float64(correct) / float64(len(preds)),
+				TrainTime:  trainTime,
+				InferTime:  inferTime,
+				TestSize:   len(preds),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Confusion returns the k×k confusion matrix of predictions vs truth.
+func Confusion(preds, truth []int, k int) [][]int {
+	m := make([][]int, k)
+	for i := range m {
+		m[i] = make([]int, k)
+	}
+	for i := range preds {
+		if truth[i] >= 0 && truth[i] < k && preds[i] >= 0 && preds[i] < k {
+			m[truth[i]][preds[i]]++
+		}
+	}
+	return m
+}
+
+// Accuracy returns the fraction of matching predictions.
+func Accuracy(preds, truth []int) float64 {
+	if len(preds) == 0 {
+		return 0
+	}
+	c := 0
+	for i := range preds {
+		if preds[i] == truth[i] {
+			c++
+		}
+	}
+	return float64(c) / float64(len(preds))
+}

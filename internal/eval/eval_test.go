@@ -1,0 +1,218 @@
+package eval
+
+import (
+	"testing"
+	"time"
+
+	"graphhd/internal/core"
+	"graphhd/internal/graph"
+	"graphhd/internal/hdc"
+)
+
+func TestStratifiedKFoldPartition(t *testing.T) {
+	labels := []int{0, 0, 0, 0, 1, 1, 1, 1, 1, 1}
+	folds, err := StratifiedKFold(labels, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, f := range folds {
+		for _, i := range f {
+			if seen[i] {
+				t.Fatalf("index %d in two folds", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != len(labels) {
+		t.Fatalf("covered %d of %d samples", len(seen), len(labels))
+	}
+}
+
+func TestStratifiedKFoldBalance(t *testing.T) {
+	// 50/50 classes into 10 folds: every fold must hold one of each.
+	labels := make([]int, 20)
+	for i := 10; i < 20; i++ {
+		labels[i] = 1
+	}
+	folds, err := StratifiedKFold(labels, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi, f := range folds {
+		c0, c1 := 0, 0
+		for _, i := range f {
+			if labels[i] == 0 {
+				c0++
+			} else {
+				c1++
+			}
+		}
+		if c0 != 1 || c1 != 1 {
+			t.Fatalf("fold %d has %d/%d", fi, c0, c1)
+		}
+	}
+}
+
+func TestStratifiedKFoldErrors(t *testing.T) {
+	if _, err := StratifiedKFold([]int{0, 1}, 1, 1); err == nil {
+		t.Fatal("expected k<2 error")
+	}
+	if _, err := StratifiedKFold([]int{0}, 2, 1); err == nil {
+		t.Fatal("expected too-few-samples error")
+	}
+}
+
+func TestStratifiedKFoldDeterministic(t *testing.T) {
+	labels := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	a, _ := StratifiedKFold(labels, 4, 7)
+	b, _ := StratifiedKFold(labels, 4, 7)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("nondeterministic folds")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("nondeterministic folds")
+			}
+		}
+	}
+}
+
+// tinyDataset builds a small separable two-class dataset.
+func tinyDataset(n int, seed uint64) *graph.Dataset {
+	rng := hdc.NewRNG(seed)
+	ds := &graph.Dataset{Name: "TINY", ClassNames: []string{"0", "1"}}
+	for i := 0; i < n; i++ {
+		ds.Graphs = append(ds.Graphs, graph.ErdosRenyi(18, 0.12, rng))
+		ds.Labels = append(ds.Labels, 0)
+		ds.Graphs = append(ds.Graphs, graph.WattsStrogatz(18, 4, 0.05, rng))
+		ds.Labels = append(ds.Labels, 1)
+	}
+	return ds
+}
+
+func smallHDConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Dimension = 2048
+	return cfg
+}
+
+func TestCrossValidateGraphHD(t *testing.T) {
+	ds := tinyDataset(15, 1)
+	res, err := CrossValidate("GraphHD", ds, func(fold int, seed uint64) Classifier {
+		return NewGraphHDClassifier(smallHDConfig())
+	}, CrossValidateOptions{Folds: 3, Repetitions: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Folds) != 6 {
+		t.Fatalf("folds recorded = %d, want 6", len(res.Folds))
+	}
+	if acc := res.MeanAccuracy(); acc < 0.8 {
+		t.Fatalf("GraphHD CV accuracy = %f", acc)
+	}
+	if res.MeanTrainTime() <= 0 || res.MeanInferTimePerGraph() <= 0 {
+		t.Fatal("timings not recorded")
+	}
+	if res.StdAccuracy() < 0 {
+		t.Fatal("negative std")
+	}
+}
+
+func TestCrossValidateKernelSVM(t *testing.T) {
+	ds := tinyDataset(12, 2)
+	for _, kind := range []KernelKind{KernelWLSubtree, KernelWLOA} {
+		res, err := CrossValidate(kind.String(), ds, func(fold int, seed uint64) Classifier {
+			c := NewKernelSVMClassifier(kind, seed)
+			// Small grids keep the test quick.
+			c.CGrid = []float64{0.1, 10}
+			c.HGrid = []int{1, 2}
+			return c
+		}, CrossValidateOptions{Folds: 3, Repetitions: 1, Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc := res.MeanAccuracy(); acc < 0.75 {
+			t.Fatalf("%s CV accuracy = %f", kind, acc)
+		}
+	}
+}
+
+func TestCrossValidateGIN(t *testing.T) {
+	ds := tinyDataset(15, 3)
+	res, err := CrossValidate("GIN-e", ds, func(fold int, seed uint64) Classifier {
+		c := NewGINClassifier(false, seed)
+		c.Config.MaxEpochs = 60
+		return c
+	}, CrossValidateOptions{Folds: 3, Repetitions: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.MeanAccuracy(); acc < 0.7 {
+		t.Fatalf("GIN CV accuracy = %f", acc)
+	}
+}
+
+func TestKernelSVMBestParamsRecorded(t *testing.T) {
+	ds := tinyDataset(10, 4)
+	c := NewKernelSVMClassifier(KernelWLSubtree, 9)
+	c.CGrid = []float64{1}
+	c.HGrid = []int{2}
+	if err := c.Fit(ds.Graphs, ds.Labels); err != nil {
+		t.Fatal(err)
+	}
+	cc, h := c.BestParams()
+	if cc != 1 || h != 2 {
+		t.Fatalf("best params = %v, %v", cc, h)
+	}
+	preds := c.PredictAll(ds.Graphs)
+	if Accuracy(preds, ds.Labels) < 0.8 {
+		t.Fatalf("train accuracy = %f", Accuracy(preds, ds.Labels))
+	}
+}
+
+func TestConfusionAndAccuracy(t *testing.T) {
+	preds := []int{0, 1, 1, 0}
+	truth := []int{0, 1, 0, 0}
+	m := Confusion(preds, truth, 2)
+	if m[0][0] != 2 || m[0][1] != 1 || m[1][1] != 1 || m[1][0] != 0 {
+		t.Fatalf("confusion = %v", m)
+	}
+	if Accuracy(preds, truth) != 0.75 {
+		t.Fatalf("accuracy = %f", Accuracy(preds, truth))
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestResultAggregation(t *testing.T) {
+	r := &Result{Folds: []FoldResult{
+		{Accuracy: 0.5, TrainTime: time.Second, InferTime: 100 * time.Millisecond, TestSize: 10},
+		{Accuracy: 1.0, TrainTime: 3 * time.Second, InferTime: 300 * time.Millisecond, TestSize: 10},
+	}}
+	if r.MeanAccuracy() != 0.75 {
+		t.Fatalf("mean = %f", r.MeanAccuracy())
+	}
+	if r.MeanTrainTime() != 2*time.Second {
+		t.Fatalf("train time = %v", r.MeanTrainTime())
+	}
+	if r.MeanInferTimePerGraph() != 20*time.Millisecond {
+		t.Fatalf("infer/graph = %v", r.MeanInferTimePerGraph())
+	}
+	if r.StdAccuracy() == 0 {
+		t.Fatal("std should be positive")
+	}
+	single := &Result{Folds: r.Folds[:1]}
+	if single.StdAccuracy() != 0 {
+		t.Fatal("single-fold std should be 0")
+	}
+}
+
+func TestCVDefaultsApplied(t *testing.T) {
+	opts := DefaultCVOptions()
+	if opts.Folds != 10 || opts.Repetitions != 3 {
+		t.Fatalf("defaults = %+v", opts)
+	}
+}

@@ -1,0 +1,109 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"graphhd/internal/graph"
+)
+
+// OnlineLearner is a classifier that can ingest one labeled sample at a
+// time — the capability the paper highlights as structurally impossible
+// for kernel machines ("kernel methods ... do not allow for online
+// learning"). GraphHD's core.Model satisfies it via Learn + Predict.
+type OnlineLearner interface {
+	// Predict classifies a single graph with the current model state.
+	Predict(g *graph.Graph) int
+	// Learn updates the model with one labeled sample.
+	Learn(g *graph.Graph, label int) error
+}
+
+// onlineAdapter lifts core.Model's (hv, error) Learn signature.
+type onlineAdapter struct {
+	predict func(*graph.Graph) int
+	learn   func(*graph.Graph, int) error
+}
+
+func (a onlineAdapter) Predict(g *graph.Graph) int        { return a.predict(g) }
+func (a onlineAdapter) Learn(g *graph.Graph, l int) error { return a.learn(g, l) }
+
+// AdaptOnline builds an OnlineLearner from predict/learn funcs, for models
+// whose Learn returns extra values.
+func AdaptOnline(predict func(*graph.Graph) int, learn func(*graph.Graph, int) error) OnlineLearner {
+	return onlineAdapter{predict: predict, learn: learn}
+}
+
+// ProgressiveResult holds a progressive-validation run: each sample is
+// predicted BEFORE it is learned (Dawid's prequential protocol), so the
+// accuracy curve measures genuine online generalization with no held-out
+// set.
+type ProgressiveResult struct {
+	// Correct[i] reports whether sample i was predicted correctly (samples
+	// inside the warmup window are excluded from all statistics).
+	Correct []bool
+	// Curve[j] is the running accuracy after (j+1)*CurveStride scored
+	// samples.
+	Curve       []float64
+	CurveStride int
+	// Scored is the number of predictions counted (stream length minus
+	// warmup).
+	Scored int
+	// LearnTime is the total wall time spent in Learn calls, the per-update
+	// cost that makes streaming deployment feasible.
+	LearnTime time.Duration
+}
+
+// FinalAccuracy returns the overall progressive accuracy.
+func (r *ProgressiveResult) FinalAccuracy() float64 {
+	if r.Scored == 0 {
+		return 0
+	}
+	c := 0
+	for _, ok := range r.Correct {
+		if ok {
+			c++
+		}
+	}
+	return float64(c) / float64(r.Scored)
+}
+
+// ProgressiveValidation streams ds through learner: predict, score, then
+// learn, sample by sample in dataset order. warmup samples at the head are
+// learned without scoring (an untrained HDC model has empty class
+// accumulators); stride sets the curve resolution (0 = len/10, min 1).
+func ProgressiveValidation(learner OnlineLearner, ds *graph.Dataset, warmup, stride int) (*ProgressiveResult, error) {
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("eval: empty stream")
+	}
+	if warmup < 0 || warmup >= ds.Len() {
+		return nil, fmt.Errorf("eval: warmup %d outside [0,%d)", warmup, ds.Len())
+	}
+	if stride <= 0 {
+		stride = ds.Len() / 10
+		if stride < 1 {
+			stride = 1
+		}
+	}
+	res := &ProgressiveResult{CurveStride: stride}
+	correctSoFar := 0
+	for i, g := range ds.Graphs {
+		label := ds.Labels[i]
+		if i >= warmup {
+			ok := learner.Predict(g) == label
+			res.Correct = append(res.Correct, ok)
+			res.Scored++
+			if ok {
+				correctSoFar++
+			}
+			if res.Scored%stride == 0 {
+				res.Curve = append(res.Curve, float64(correctSoFar)/float64(res.Scored))
+			}
+		}
+		t0 := time.Now()
+		if err := learner.Learn(g, label); err != nil {
+			return nil, fmt.Errorf("eval: online learn sample %d: %w", i, err)
+		}
+		res.LearnTime += time.Since(t0)
+	}
+	return res, nil
+}

@@ -1,0 +1,109 @@
+package eval
+
+import (
+	"testing"
+
+	"graphhd/internal/core"
+	"graphhd/internal/graph"
+)
+
+func onlineModel(t *testing.T, k int) (*core.Model, OnlineLearner) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Dimension = 2048
+	enc, err := core.NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewModel(enc, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, AdaptOnline(m.Predict, func(g *graph.Graph, l int) error {
+		_, err := m.Learn(g, l)
+		return err
+	})
+}
+
+func TestProgressiveValidationImproves(t *testing.T) {
+	ds := tinyDataset(60, 21) // alternating ER / Watts-Strogatz classes
+	_, learner := onlineModel(t, 2)
+	res, err := ProgressiveValidation(learner, ds, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scored != ds.Len()-2 {
+		t.Fatalf("scored = %d", res.Scored)
+	}
+	if res.FinalAccuracy() < 0.8 {
+		t.Fatalf("progressive accuracy = %f", res.FinalAccuracy())
+	}
+	if len(res.Curve) == 0 {
+		t.Fatal("no curve points")
+	}
+	// The curve's tail should not be dramatically worse than its head —
+	// and with this easy stream, the tail should be strong.
+	if tail := res.Curve[len(res.Curve)-1]; tail < 0.75 {
+		t.Fatalf("tail accuracy = %f", tail)
+	}
+	if res.LearnTime <= 0 {
+		t.Fatal("learn time not recorded")
+	}
+}
+
+func TestProgressiveValidationErrors(t *testing.T) {
+	ds := tinyDataset(5, 22)
+	_, learner := onlineModel(t, 2)
+	if _, err := ProgressiveValidation(learner, &graph.Dataset{Name: "E"}, 0, 1); err == nil {
+		t.Fatal("expected empty-stream error")
+	}
+	if _, err := ProgressiveValidation(learner, ds, ds.Len(), 1); err == nil {
+		t.Fatal("expected warmup range error")
+	}
+	if _, err := ProgressiveValidation(learner, ds, -1, 1); err == nil {
+		t.Fatal("expected negative warmup error")
+	}
+}
+
+func TestProgressiveValidationDefaultStride(t *testing.T) {
+	ds := tinyDataset(25, 23)
+	_, learner := onlineModel(t, 2)
+	res, err := ProgressiveValidation(learner, ds, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CurveStride != ds.Len()/10 {
+		t.Fatalf("stride = %d", res.CurveStride)
+	}
+	// Default stride on a tiny stream still floors at 1.
+	one := tinyDataset(3, 24)
+	_, learner2 := onlineModel(t, 2)
+	res2, err := ProgressiveValidation(learner2, one, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CurveStride != 1 {
+		t.Fatalf("tiny stride = %d", res2.CurveStride)
+	}
+}
+
+func TestProgressiveMatchesBatchOnFinalModel(t *testing.T) {
+	// After streaming the whole dataset, the online model must equal a
+	// batch-fitted model: bundling is order-independent addition.
+	ds := tinyDataset(20, 25)
+	m, learner := onlineModel(t, 2)
+	if _, err := ProgressiveValidation(learner, ds, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Dimension = 2048
+	batch, err := core.Train(cfg, ds.Graphs, ds.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 2; c++ {
+		if !m.ClassVector(c).Equal(batch.ClassVector(c)) {
+			t.Fatalf("online and batch class %d vectors differ", c)
+		}
+	}
+}

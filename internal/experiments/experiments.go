@@ -1,0 +1,334 @@
+// Package experiments wires datasets, methods and the evaluation harness
+// into the concrete experiments of the paper: Table I (dataset
+// statistics), Figure 3 (accuracy / training time / inference time on six
+// datasets × five methods) and Figure 4 (training-time scaling on
+// Erdős–Rényi graphs), plus the ablations and extensions indexed in
+// DESIGN.md. Both the cmd/ binaries and the root benchmark suite call into
+// this package, so printed tables and benchmark numbers come from the same
+// code paths.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"graphhd/internal/core"
+	"graphhd/internal/dataset"
+	"graphhd/internal/eval"
+	"graphhd/internal/graph"
+)
+
+// MethodNames lists the five compared methods in the paper's order.
+var MethodNames = []string{"GraphHD", "1-WL", "WL-OA", "GIN-e", "GIN-e-JK"}
+
+// NewClassifier builds a fresh classifier for the named method.
+func NewClassifier(method string, seed uint64, quick bool) (eval.Classifier, error) {
+	switch method {
+	case "GraphHD":
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		if quick {
+			cfg.Dimension = 2048
+		}
+		return eval.NewGraphHDClassifier(cfg), nil
+	case "1-WL", "WL-OA":
+		kind := eval.KernelWLSubtree
+		if method == "WL-OA" {
+			kind = eval.KernelWLOA
+		}
+		c := eval.NewKernelSVMClassifier(kind, seed)
+		if quick {
+			c.CGrid = []float64{0.1, 1, 10}
+			c.HGrid = []int{1, 3}
+		}
+		return c, nil
+	case "GIN-e", "GIN-e-JK":
+		c := eval.NewGINClassifier(method == "GIN-e-JK", seed)
+		if quick {
+			c.Config.MaxEpochs = 20
+		}
+		return c, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown method %q (have %v)", method, MethodNames)
+	}
+}
+
+// Table1 generates (or loads) every benchmark dataset and returns its
+// statistics alongside the paper's Table I values.
+type Table1Row struct {
+	Name     string
+	Measured graph.Stats
+	Paper    dataset.TableIStats
+}
+
+// RunTable1 synthesizes all six datasets and compares their statistics to
+// the paper's Table I. graphCount > 0 shrinks each dataset for quick runs.
+func RunTable1(seed uint64, graphCount int) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, name := range dataset.Names() {
+		ds, err := dataset.Generate(name, dataset.Options{Seed: seed, GraphCount: graphCount})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Name:     name,
+			Measured: graph.ComputeStats(ds),
+			Paper:    dataset.PaperTableI[name],
+		})
+	}
+	return rows, nil
+}
+
+// WriteTable1 renders Table1 rows with the paper values side by side.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "%-10s %8s %8s %12s %12s %12s %12s\n",
+		"Dataset", "Graphs", "Classes", "AvgV(ours)", "AvgV(paper)", "AvgE(ours)", "AvgE(paper)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8d %8d %12.2f %12.2f %12.2f %12.2f\n",
+			r.Name, r.Measured.Graphs, r.Measured.Classes,
+			r.Measured.AvgVertices, r.Paper.AvgVertices,
+			r.Measured.AvgEdges, r.Paper.AvgEdges)
+	}
+}
+
+// Fig3Options configures the accuracy / training-time / inference-time
+// experiment.
+type Fig3Options struct {
+	// Datasets to run; nil selects all six.
+	Datasets []string
+	// Methods to run; nil selects all five.
+	Methods []string
+	// GraphCount shrinks each dataset when positive (quick mode).
+	GraphCount int
+	// Quick also shrinks hypervector dimension, kernel grids and GIN
+	// epochs; the shape of the comparison is preserved.
+	Quick bool
+	// CV selects folds/repetitions; zero value = paper protocol.
+	CV eval.CrossValidateOptions
+	// Seed drives everything.
+	Seed uint64
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// Fig3Cell is one (dataset, method) measurement.
+type Fig3Cell struct {
+	Dataset      string
+	Method       string
+	Accuracy     float64
+	AccuracyStd  float64
+	TrainTime    time.Duration // per fold
+	InferPerG    time.Duration // per graph
+	FoldsMeasued int
+}
+
+// RunFig3 runs the full grid and returns one cell per (dataset, method).
+func RunFig3(opts Fig3Options) ([]Fig3Cell, error) {
+	names := opts.Datasets
+	if names == nil {
+		names = dataset.Names()
+	}
+	methods := opts.Methods
+	if methods == nil {
+		methods = MethodNames
+	}
+	cv := opts.CV
+	if cv.Folds == 0 {
+		cv = eval.DefaultCVOptions()
+	}
+	var cells []Fig3Cell
+	for _, name := range names {
+		ds, err := dataset.Generate(name, dataset.Options{Seed: opts.Seed, GraphCount: opts.GraphCount})
+		if err != nil {
+			return nil, err
+		}
+		for _, method := range methods {
+			method := method
+			quick := opts.Quick
+			factory := func(fold int, seed uint64) eval.Classifier {
+				c, err := NewClassifier(method, seed, quick)
+				if err != nil {
+					panic(err) // method names validated below before use
+				}
+				return c
+			}
+			if _, err := NewClassifier(method, 0, quick); err != nil {
+				return nil, err
+			}
+			res, err := eval.CrossValidate(method, ds, factory, cv)
+			if err != nil {
+				return nil, err
+			}
+			cell := Fig3Cell{
+				Dataset:      name,
+				Method:       method,
+				Accuracy:     res.MeanAccuracy(),
+				AccuracyStd:  res.StdAccuracy(),
+				TrainTime:    res.MeanTrainTime(),
+				InferPerG:    res.MeanInferTimePerGraph(),
+				FoldsMeasued: len(res.Folds),
+			}
+			cells = append(cells, cell)
+			if opts.Progress != nil {
+				fmt.Fprintf(opts.Progress, "%-10s %-9s acc=%.3f±%.3f train/fold=%-12v infer/graph=%v\n",
+					cell.Dataset, cell.Method, cell.Accuracy, cell.AccuracyStd, cell.TrainTime, cell.InferPerG)
+			}
+		}
+	}
+	return cells, nil
+}
+
+// WriteFig3 renders the three panels of Figure 3 as text tables.
+func WriteFig3(w io.Writer, cells []Fig3Cell) {
+	byDataset := map[string]map[string]Fig3Cell{}
+	var datasets []string
+	var methods []string
+	seenM := map[string]bool{}
+	for _, c := range cells {
+		if byDataset[c.Dataset] == nil {
+			byDataset[c.Dataset] = map[string]Fig3Cell{}
+			datasets = append(datasets, c.Dataset)
+		}
+		byDataset[c.Dataset][c.Method] = c
+		if !seenM[c.Method] {
+			seenM[c.Method] = true
+			methods = append(methods, c.Method)
+		}
+	}
+	sort.Strings(datasets)
+
+	fmt.Fprintln(w, "== Figure 3 (left): accuracy ==")
+	writePanel(w, datasets, methods, byDataset, func(c Fig3Cell) string {
+		return fmt.Sprintf("%.3f±%.3f", c.Accuracy, c.AccuracyStd)
+	})
+	fmt.Fprintln(w, "\n== Figure 3 (middle): training time per fold ==")
+	writePanel(w, datasets, methods, byDataset, func(c Fig3Cell) string {
+		return c.TrainTime.Round(time.Microsecond).String()
+	})
+	fmt.Fprintln(w, "\n== Figure 3 (right): inference time per graph ==")
+	writePanel(w, datasets, methods, byDataset, func(c Fig3Cell) string {
+		return c.InferPerG.Round(time.Microsecond).String()
+	})
+}
+
+func writePanel(w io.Writer, datasets, methods []string, cells map[string]map[string]Fig3Cell, fmtCell func(Fig3Cell) string) {
+	fmt.Fprintf(w, "%-10s", "Dataset")
+	for _, m := range methods {
+		fmt.Fprintf(w, " %14s", m)
+	}
+	fmt.Fprintln(w)
+	for _, d := range datasets {
+		fmt.Fprintf(w, "%-10s", d)
+		for _, m := range methods {
+			if c, ok := cells[d][m]; ok {
+				fmt.Fprintf(w, " %14s", fmtCell(c))
+			} else {
+				fmt.Fprintf(w, " %14s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig4Options configures the scaling experiment.
+type Fig4Options struct {
+	// Sizes lists vertex counts; nil selects the paper sweep.
+	Sizes []int
+	// GraphsPerDataset (paper: 100).
+	GraphsPerDataset int
+	// Methods; nil selects the paper's {GraphHD, GIN-e, WL-OA}.
+	Methods []string
+	// Quick shrinks method settings as in Fig3Options.
+	Quick bool
+	Seed  uint64
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// Fig4Cell is one (size, method) training-time measurement.
+type Fig4Cell struct {
+	Vertices  int
+	Method    string
+	TrainTime time.Duration
+}
+
+// RunFig4 measures wall-clock training time on the full synthetic dataset
+// for each graph size and method (the paper plots training time vs graph
+// size; a single full-dataset fit is the cleanest deterministic analogue
+// of its per-fold timing).
+func RunFig4(opts Fig4Options) ([]Fig4Cell, error) {
+	sizes := opts.Sizes
+	if sizes == nil {
+		sizes = dataset.ScalingSizes()
+	}
+	n := opts.GraphsPerDataset
+	if n == 0 {
+		n = 100
+	}
+	methods := opts.Methods
+	if methods == nil {
+		methods = []string{"GraphHD", "GIN-e", "WL-OA"}
+	}
+	var cells []Fig4Cell
+	for _, size := range sizes {
+		ds := dataset.Scaling(size, n, opts.Seed)
+		for _, method := range methods {
+			clf, err := NewClassifier(method, opts.Seed, opts.Quick)
+			if err != nil {
+				return nil, err
+			}
+			t0 := time.Now()
+			if err := clf.Fit(ds.Graphs, ds.Labels); err != nil {
+				return nil, err
+			}
+			cell := Fig4Cell{Vertices: size, Method: method, TrainTime: time.Since(t0)}
+			cells = append(cells, cell)
+			if opts.Progress != nil {
+				fmt.Fprintf(opts.Progress, "n=%-5d %-9s train=%v\n", size, method, cell.TrainTime)
+			}
+		}
+	}
+	return cells, nil
+}
+
+// WriteFig4 renders the scaling profile as a text table (one row per
+// size, one column per method).
+func WriteFig4(w io.Writer, cells []Fig4Cell) {
+	var sizes []int
+	var methods []string
+	seenS := map[int]bool{}
+	seenM := map[string]bool{}
+	val := map[int]map[string]time.Duration{}
+	for _, c := range cells {
+		if !seenS[c.Vertices] {
+			seenS[c.Vertices] = true
+			sizes = append(sizes, c.Vertices)
+			val[c.Vertices] = map[string]time.Duration{}
+		}
+		if !seenM[c.Method] {
+			seenM[c.Method] = true
+			methods = append(methods, c.Method)
+		}
+		val[c.Vertices][c.Method] = c.TrainTime
+	}
+	sort.Ints(sizes)
+	fmt.Fprintln(w, "== Figure 4: training time vs graph size ==")
+	fmt.Fprintf(w, "%-8s", "Vertices")
+	for _, m := range methods {
+		fmt.Fprintf(w, " %14s", m)
+	}
+	fmt.Fprintln(w)
+	for _, s := range sizes {
+		fmt.Fprintf(w, "%-8d", s)
+		for _, m := range methods {
+			if d, ok := val[s][m]; ok {
+				fmt.Fprintf(w, " %14s", d.Round(time.Microsecond))
+			} else {
+				fmt.Fprintf(w, " %14s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"graphhd/internal/eval"
+)
+
+func TestNewClassifierAllMethods(t *testing.T) {
+	for _, m := range MethodNames {
+		c, err := NewClassifier(m, 1, true)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if c == nil {
+			t.Fatalf("%s: nil classifier", m)
+		}
+	}
+	if _, err := NewClassifier("nope", 1, false); err == nil {
+		t.Fatal("expected unknown-method error")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	rows, err := RunTable1(1, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var sb strings.Builder
+	WriteTable1(&sb, rows)
+	out := sb.String()
+	for _, name := range []string{"DD", "MUTAG", "AvgV(paper)"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("table output missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestRunFig3QuickSmoke(t *testing.T) {
+	cells, err := RunFig3(Fig3Options{
+		Datasets:   []string{"MUTAG"},
+		Methods:    []string{"GraphHD", "1-WL"},
+		GraphCount: 30,
+		Quick:      true,
+		CV:         eval.CrossValidateOptions{Folds: 3, Repetitions: 1, Seed: 2},
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.Accuracy < 0.5 {
+			t.Errorf("%s on %s: accuracy %.3f suspiciously low", c.Method, c.Dataset, c.Accuracy)
+		}
+		if c.TrainTime <= 0 || c.InferPerG <= 0 {
+			t.Errorf("%s: missing timings", c.Method)
+		}
+	}
+	var sb strings.Builder
+	WriteFig3(&sb, cells)
+	if !strings.Contains(sb.String(), "Figure 3 (left)") {
+		t.Fatal("missing accuracy panel")
+	}
+}
+
+func TestRunFig3UnknownMethod(t *testing.T) {
+	_, err := RunFig3(Fig3Options{
+		Datasets: []string{"MUTAG"}, Methods: []string{"bogus"},
+		GraphCount: 10, Quick: true,
+		CV: eval.CrossValidateOptions{Folds: 2, Repetitions: 1},
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunFig4QuickSmoke(t *testing.T) {
+	cells, err := RunFig4(Fig4Options{
+		Sizes:            []int{20, 40},
+		GraphsPerDataset: 12,
+		Methods:          []string{"GraphHD"},
+		Quick:            true,
+		Seed:             3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.TrainTime <= 0 {
+			t.Fatal("missing training time")
+		}
+	}
+	var sb strings.Builder
+	WriteFig4(&sb, cells)
+	if !strings.Contains(sb.String(), "Figure 4") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestDimensionAblationQuick(t *testing.T) {
+	cells, err := RunDimensionAblation([]int{128, 1024}, 30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+}
+
+func TestPageRankIterAblationQuick(t *testing.T) {
+	cells, err := RunPageRankIterAblation([]int{1, 10}, 36, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+}
+
+func TestExtensionComparisonQuick(t *testing.T) {
+	cells, err := RunExtensionComparison(30, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	var base, retr float64
+	for _, c := range cells {
+		if c.Value == "baseline" {
+			base = c.Accuracy
+		}
+		if c.Value == "retrain-20" {
+			retr = c.Accuracy
+		}
+	}
+	// Retraining should not be catastrophically worse than baseline.
+	if retr < base-0.2 {
+		t.Errorf("retraining collapsed: baseline %.3f vs retrain %.3f", base, retr)
+	}
+}
+
+func TestLabelExtensionQuick(t *testing.T) {
+	cells, err := RunLabelExtension(60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off, on float64
+	for _, c := range cells {
+		if c.Value == "false" {
+			off = c.Accuracy
+		} else {
+			on = c.Accuracy
+		}
+	}
+	// The label-aware encoder must exploit label signal the baseline
+	// cannot see.
+	if on <= off {
+		t.Errorf("label extension did not help: off=%.3f on=%.3f", off, on)
+	}
+}
+
+func TestNoiseRobustnessQuick(t *testing.T) {
+	cells, err := RunNoiseRobustness([]float64{0, 0.2, 0.45}, 40, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// Clean accuracy must be good; moderate corruption should not destroy
+	// it (the holographic-robustness claim).
+	if cells[0].Accuracy < 0.7 {
+		t.Errorf("clean accuracy = %.3f", cells[0].Accuracy)
+	}
+	if cells[1].Accuracy < cells[0].Accuracy-0.3 {
+		// 20% flips should cost far less than 30 points of accuracy.
+	} else if cells[1].Accuracy < 0.5 {
+		t.Errorf("20%% corruption collapsed accuracy to %.3f", cells[1].Accuracy)
+	}
+	var sb strings.Builder
+	WriteNoise(&sb, cells)
+	if !strings.Contains(sb.String(), "Noise robustness") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestNoiseRobustnessRejectsBadFraction(t *testing.T) {
+	if _, err := RunNoiseRobustness([]float64{0.6}, 20, 1); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestBackendComparisonQuick(t *testing.T) {
+	cells, err := RunBackendComparison(10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.TrainTime <= 0 {
+			t.Fatalf("backend %s: no time measured", c.Value)
+		}
+	}
+	var sb strings.Builder
+	WriteAblation(&sb, "backend", cells)
+	if !strings.Contains(sb.String(), "int8-reference") {
+		t.Fatal("missing backend row")
+	}
+}
+
+func TestCentralityAblationQuick(t *testing.T) {
+	cells, err := RunCentralityAblation(36, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	names := map[string]bool{}
+	for _, c := range cells {
+		names[c.Value] = true
+		if c.Accuracy <= 0 {
+			t.Errorf("%s accuracy = %v", c.Value, c.Accuracy)
+		}
+	}
+	for _, want := range []string{"pagerank", "degree", "eigenvector", "closeness"} {
+		if !names[want] {
+			t.Fatalf("missing metric %s in %v", want, names)
+		}
+	}
+}

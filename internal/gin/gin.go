@@ -1,0 +1,315 @@
+// Package gin implements the paper's two graph-neural-network baselines:
+// GIN-ε (Xu et al. 2019, "How powerful are graph neural networks?") and
+// GIN-ε-JK (with jumping knowledge, Xu et al. 2018), in the fixed
+// configuration of the paper's experiments: 1 GIN layer with 32 units,
+// Adam at 0.01 with a reduce-on-plateau scheduler (patience 5, decay 0.5,
+// floor 1e-6) and batch size 128.
+//
+// Because the protocol forbids vertex labels, node inputs are the
+// uninformative constant feature 1; all signal comes from the topology via
+// the sum aggregation.
+package gin
+
+import (
+	"fmt"
+
+	"graphhd/internal/graph"
+	"graphhd/internal/hdc"
+	"graphhd/internal/nn"
+)
+
+// Batch is a set of graphs merged into one disjoint node universe for
+// vectorized message passing.
+type Batch struct {
+	NumNodes  int
+	NumGraphs int
+	// Node features, NumNodes × inDim.
+	X *nn.Matrix
+	// GraphID[v] is the index within the batch of the graph that node v
+	// belongs to.
+	GraphID []int
+	// CSR adjacency over the merged node set.
+	off []int32
+	adj []int32
+	// Labels[g] is the class of batch graph g (absent for inference).
+	Labels []int
+}
+
+// NewBatch merges graphs into a batch with constant-1 node features.
+// labels may be nil for inference batches.
+func NewBatch(graphs []*graph.Graph, labels []int) *Batch {
+	n := 0
+	m := 0
+	for _, g := range graphs {
+		n += g.NumVertices()
+		m += 2 * g.NumEdges()
+	}
+	b := &Batch{
+		NumNodes:  n,
+		NumGraphs: len(graphs),
+		X:         nn.NewMatrix(n, 1),
+		GraphID:   make([]int, n),
+		off:       make([]int32, n+1),
+		adj:       make([]int32, 0, m),
+	}
+	if labels != nil {
+		b.Labels = append([]int(nil), labels...)
+	}
+	base := 0
+	for gi, g := range graphs {
+		for v := 0; v < g.NumVertices(); v++ {
+			node := base + v
+			b.GraphID[node] = gi
+			b.X.Set(node, 0, 1)
+			for _, w := range g.Neighbors(v) {
+				b.adj = append(b.adj, int32(base)+w)
+			}
+			b.off[node+1] = int32(len(b.adj))
+		}
+		base += g.NumVertices()
+	}
+	return b
+}
+
+// aggregate computes A @ H over the batch adjacency (sum of neighbor
+// embeddings). A is symmetric, so the same routine serves forward and
+// backward passes.
+func (b *Batch) aggregate(h *nn.Matrix) *nn.Matrix {
+	out := nn.NewMatrix(h.Rows, h.Cols)
+	for v := 0; v < b.NumNodes; v++ {
+		orow := out.Row(v)
+		for _, w := range b.adj[b.off[v]:b.off[v+1]] {
+			hrow := h.Row(int(w))
+			for j, hv := range hrow {
+				orow[j] += hv
+			}
+		}
+	}
+	return out
+}
+
+// pool sums node embeddings per graph (sum readout).
+func (b *Batch) pool(h *nn.Matrix) *nn.Matrix {
+	out := nn.NewMatrix(b.NumGraphs, h.Cols)
+	for v := 0; v < b.NumNodes; v++ {
+		g := b.GraphID[v]
+		orow := out.Row(g)
+		for j, hv := range h.Row(v) {
+			orow[j] += hv
+		}
+	}
+	return out
+}
+
+// unpool broadcasts per-graph gradients back to nodes (the adjoint of
+// pool).
+func (b *Batch) unpool(dg *nn.Matrix) *nn.Matrix {
+	out := nn.NewMatrix(b.NumNodes, dg.Cols)
+	for v := 0; v < b.NumNodes; v++ {
+		copy(out.Row(v), dg.Row(b.GraphID[v]))
+	}
+	return out
+}
+
+// layer is one GIN convolution: h' = MLP((1+ε) h + Σ_neighbors h) with a
+// learnable scalar ε.
+type layer struct {
+	eps *nn.Param // 1×1
+	mlp *nn.MLP
+}
+
+// Config selects the network shape and training schedule.
+type Config struct {
+	// Layers is the number of GIN convolutions (paper: 1).
+	Layers int
+	// Hidden is the embedding width (paper: 32).
+	Hidden int
+	// JumpingKnowledge concatenates the readouts of every layer including
+	// the raw input (GIN-ε-JK); when false only the final layer's readout
+	// feeds the classifier (GIN-ε).
+	JumpingKnowledge bool
+	// LR is Adam's initial learning rate (paper: 0.01).
+	LR float64
+	// BatchSize (paper: 128).
+	BatchSize int
+	// MaxEpochs caps training length (default 100).
+	MaxEpochs int
+	// Seed fixes initialization and batch shuffling.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's fixed GIN-ε configuration.
+func DefaultConfig() Config {
+	return Config{Layers: 1, Hidden: 32, LR: 0.01, BatchSize: 128, MaxEpochs: 100, Seed: 1}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Layers == 0 {
+		c.Layers = 1
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 32
+	}
+	if c.LR == 0 {
+		c.LR = 0.01
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 128
+	}
+	if c.MaxEpochs == 0 {
+		c.MaxEpochs = 100
+	}
+	return c
+}
+
+// Model is a GIN graph classifier.
+type Model struct {
+	cfg     Config
+	classes int
+	inDim   int
+	layers  []*layer
+	readout *nn.Linear
+}
+
+// NewModel builds an untrained model for the given number of classes.
+func NewModel(classes int, cfg Config) (*Model, error) {
+	if classes < 2 {
+		return nil, fmt.Errorf("gin: need at least 2 classes, got %d", classes)
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Layers < 1 {
+		return nil, fmt.Errorf("gin: need at least 1 layer")
+	}
+	rng := hdc.NewRNG(cfg.Seed ^ 0x67696e)
+	m := &Model{cfg: cfg, classes: classes, inDim: 1}
+	in := m.inDim
+	for l := 0; l < cfg.Layers; l++ {
+		m.layers = append(m.layers, &layer{
+			eps: nn.NewParam(1, 1),
+			mlp: nn.NewMLP(in, cfg.Hidden, cfg.Hidden, rng),
+		})
+		in = cfg.Hidden
+	}
+	rd := cfg.Hidden
+	if cfg.JumpingKnowledge {
+		rd = m.inDim + cfg.Layers*cfg.Hidden
+	}
+	m.readout = nn.NewLinear(rd, classes, rng)
+	return m, nil
+}
+
+// Config returns the model configuration (with defaults applied).
+func (m *Model) Config() Config { return m.cfg }
+
+// NumClasses returns the class count.
+func (m *Model) NumClasses() int { return m.classes }
+
+// params returns every trainable parameter.
+func (m *Model) params() []*nn.Param {
+	var ps []*nn.Param
+	for _, l := range m.layers {
+		ps = append(ps, l.eps)
+		ps = append(ps, l.mlp.Params()...)
+	}
+	ps = append(ps, m.readout.Params()...)
+	return ps
+}
+
+// NumParams returns the total number of scalar parameters.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.params() {
+		n += len(p.W.Data)
+	}
+	return n
+}
+
+// forwardCache keeps every intermediate needed by backward.
+type forwardCache struct {
+	batch  *Batch
+	hs     []*nn.Matrix // hs[0] = X, hs[l+1] = output of layer l
+	ss     []*nn.Matrix // pre-MLP aggregates per layer
+	mlpCs  []*nn.MLPCache
+	pooled *nn.Matrix // classifier input
+}
+
+// Forward computes class logits for a batch and a cache for Backward.
+// training selects batch-normalization mode; Backward requires a
+// training-mode cache.
+func (m *Model) Forward(b *Batch, training bool) (*nn.Matrix, *forwardCache) {
+	fc := &forwardCache{batch: b}
+	h := b.X
+	fc.hs = append(fc.hs, h)
+	for _, l := range m.layers {
+		agg := b.aggregate(h)
+		s := h.Clone()
+		s.Scale(1 + l.eps.W.Data[0])
+		s.AddInPlace(agg)
+		fc.ss = append(fc.ss, s)
+		out, cache := l.mlp.Forward(s, training)
+		fc.mlpCs = append(fc.mlpCs, cache)
+		h = out
+		fc.hs = append(fc.hs, h)
+	}
+	var pooled *nn.Matrix
+	if m.cfg.JumpingKnowledge {
+		pooled = nn.NewMatrix(b.NumGraphs, m.readout.In)
+		col := 0
+		for _, h := range fc.hs {
+			p := b.pool(h)
+			for g := 0; g < b.NumGraphs; g++ {
+				copy(pooled.Row(g)[col:col+p.Cols], p.Row(g))
+			}
+			col += p.Cols
+		}
+	} else {
+		pooled = b.pool(fc.hs[len(fc.hs)-1])
+	}
+	fc.pooled = pooled
+	return m.readout.Forward(pooled), fc
+}
+
+// Backward accumulates gradients for one batch given dL/dlogits.
+func (m *Model) Backward(fc *forwardCache, dlogits *nn.Matrix) {
+	b := fc.batch
+	dpooled := m.readout.Backward(fc.pooled, dlogits)
+
+	// Distribute the pooled gradient back to per-layer node gradients.
+	dhs := make([]*nn.Matrix, len(fc.hs))
+	if m.cfg.JumpingKnowledge {
+		col := 0
+		for li, h := range fc.hs {
+			slice := nn.NewMatrix(b.NumGraphs, h.Cols)
+			for g := 0; g < b.NumGraphs; g++ {
+				copy(slice.Row(g), dpooled.Row(g)[col:col+h.Cols])
+			}
+			col += h.Cols
+			dhs[li] = b.unpool(slice)
+		}
+	} else {
+		for li := range dhs {
+			dhs[li] = nn.NewMatrix(b.NumNodes, fc.hs[li].Cols)
+		}
+		dhs[len(dhs)-1] = b.unpool(dpooled)
+	}
+
+	// Walk layers backwards, adding the chain gradient into the direct
+	// (readout) gradient of each earlier representation.
+	for li := len(m.layers) - 1; li >= 0; li-- {
+		l := m.layers[li]
+		ds := l.mlp.Backward(fc.mlpCs[li], dhs[li+1])
+		// dS flows to h (previous layer representation):
+		// dH = (1+eps) dS + A dS ; deps = <dS, H>.
+		hPrev := fc.hs[li]
+		eps := l.eps.W.Data[0]
+		depsSum := 0.0
+		for i, v := range ds.Data {
+			depsSum += v * hPrev.Data[i]
+		}
+		l.eps.G.Data[0] += depsSum
+		through := ds.Clone()
+		through.Scale(1 + eps)
+		through.AddInPlace(b.aggregate(ds))
+		dhs[li].AddInPlace(through)
+	}
+}

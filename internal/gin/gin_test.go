@@ -1,0 +1,299 @@
+package gin
+
+import (
+	"math"
+	"testing"
+
+	"graphhd/internal/graph"
+	"graphhd/internal/hdc"
+	"graphhd/internal/nn"
+)
+
+func TestNewBatchLayout(t *testing.T) {
+	gs := []*graph.Graph{graph.Ring(3), graph.Path(4)}
+	b := NewBatch(gs, []int{0, 1})
+	if b.NumNodes != 7 || b.NumGraphs != 2 {
+		t.Fatalf("batch = %+v", b)
+	}
+	want := []int{0, 0, 0, 1, 1, 1, 1}
+	for v, g := range b.GraphID {
+		if g != want[v] {
+			t.Fatalf("graph id of node %d = %d", v, g)
+		}
+	}
+	// Ring node 0 has neighbors 1 and 2; path node 3 (local 0) has
+	// neighbor 4 (local 1).
+	n0 := b.adj[b.off[0]:b.off[1]]
+	if len(n0) != 2 {
+		t.Fatalf("node 0 neighbors = %v", n0)
+	}
+	n3 := b.adj[b.off[3]:b.off[4]]
+	if len(n3) != 1 || n3[0] != 4 {
+		t.Fatalf("node 3 neighbors = %v", n3)
+	}
+	for v := 0; v < b.NumNodes; v++ {
+		if b.X.At(v, 0) != 1 {
+			t.Fatal("node features must be constant 1")
+		}
+	}
+}
+
+func TestAggregateIsNeighborSum(t *testing.T) {
+	b := NewBatch([]*graph.Graph{graph.Star(4)}, nil)
+	h := nn.NewMatrix(4, 1)
+	for v := 0; v < 4; v++ {
+		h.Set(v, 0, float64(v+1)) // hub=1, leaves 2,3,4
+	}
+	agg := b.aggregate(h)
+	if agg.At(0, 0) != 9 { // 2+3+4
+		t.Fatalf("hub aggregate = %v", agg.At(0, 0))
+	}
+	for v := 1; v < 4; v++ {
+		if agg.At(v, 0) != 1 {
+			t.Fatalf("leaf %d aggregate = %v", v, agg.At(v, 0))
+		}
+	}
+}
+
+func TestPoolUnpoolAdjoint(t *testing.T) {
+	// <pool(h), g> must equal <h, unpool(g)> — the defining adjoint
+	// property that makes the backward pass correct.
+	rng := hdc.NewRNG(1)
+	b := NewBatch([]*graph.Graph{graph.Ring(3), graph.Star(5)}, nil)
+	h := nn.NewMatrix(b.NumNodes, 3)
+	for i := range h.Data {
+		h.Data[i] = rng.Float64()
+	}
+	g := nn.NewMatrix(b.NumGraphs, 3)
+	for i := range g.Data {
+		g.Data[i] = rng.Float64()
+	}
+	ph := b.pool(h)
+	ug := b.unpool(g)
+	lhs, rhs := 0.0, 0.0
+	for i := range ph.Data {
+		lhs += ph.Data[i] * g.Data[i]
+	}
+	for i := range h.Data {
+		rhs += h.Data[i] * ug.Data[i]
+	}
+	if math.Abs(lhs-rhs) > 1e-9 {
+		t.Fatalf("adjoint mismatch %v vs %v", lhs, rhs)
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(1, DefaultConfig()); err == nil {
+		t.Fatal("expected class count error")
+	}
+	cfg := DefaultConfig()
+	cfg.Layers = -1
+	if _, err := NewModel(2, cfg); err == nil {
+		t.Fatal("expected layer count error")
+	}
+}
+
+func TestNumParamsMatchesArchitecture(t *testing.T) {
+	m, err := NewModel(2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// eps(1) + L1(1*32+32) + BN(32+32) + L2(32*32+32) + readout(32*2+2)
+	want := 1 + (1*32 + 32) + (32 + 32) + (32*32 + 32) + (32*2 + 2)
+	if m.NumParams() != want {
+		t.Fatalf("params = %d, want %d", m.NumParams(), want)
+	}
+	cfgJK := DefaultConfig()
+	cfgJK.JumpingKnowledge = true
+	mjk, err := NewModel(2, cfgJK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJK := 1 + (1*32 + 32) + (32 + 32) + (32*32 + 32) + (33*2 + 2)
+	if mjk.NumParams() != wantJK {
+		t.Fatalf("JK params = %d, want %d", mjk.NumParams(), wantJK)
+	}
+}
+
+// numericCheckModel verifies the full GIN backward pass against central
+// differences on a tiny network.
+func TestModelBackwardNumeric(t *testing.T) {
+	for _, jk := range []bool{false, true} {
+		// Width 6 keeps central differences fast while making an all-dead
+		// hidden ReLU layer (probability 2^-width per layer on the scalar
+		// input) vanishingly unlikely; liveness is asserted below anyway.
+		cfg := Config{Layers: 2, Hidden: 6, JumpingKnowledge: jk, LR: 0.01, BatchSize: 4, MaxEpochs: 1, Seed: 5}
+		m, err := NewModel(2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs := []*graph.Graph{graph.Ring(4), graph.Star(4)}
+		labels := []int{0, 1}
+		batch := NewBatch(gs, labels)
+		if _, fc0 := m.Forward(batch, true); fc0.hs[1].MaxAbs() == 0 || fc0.hs[2].MaxAbs() == 0 {
+			t.Fatal("test network is dead; pick another seed")
+		}
+		loss := func() float64 {
+			logits, _ := m.Forward(batch, true)
+			v, _ := nn.SoftmaxCrossEntropy(logits, labels)
+			return v
+		}
+		logits, fc := m.Forward(batch, true)
+		_, dlogits := nn.SoftmaxCrossEntropy(logits, labels)
+		for _, p := range m.params() {
+			p.ZeroGrad()
+		}
+		m.Backward(fc, dlogits)
+		for pi, p := range m.params() {
+			for i := range p.W.Data {
+				want := numericGrad(loss, &p.W.Data[i])
+				if math.Abs(want-p.G.Data[i]) > 1e-4 {
+					t.Fatalf("jk=%v param %d[%d]: grad %v, numeric %v", jk, pi, i, p.G.Data[i], want)
+				}
+			}
+		}
+	}
+}
+
+func numericGrad(f func() float64, p *float64) float64 {
+	const h = 1e-6
+	old := *p
+	*p = old + h
+	lp := f()
+	*p = old - h
+	lm := f()
+	*p = old
+	return (lp - lm) / (2 * h)
+}
+
+// separableGraphs builds an easy 2-class problem GIN can fit: dense ER vs
+// sparse ER (sum-pooled constant features expose vertex and edge counts).
+func separableGraphs(n int, seed uint64) ([]*graph.Graph, []int) {
+	rng := hdc.NewRNG(seed)
+	var gs []*graph.Graph
+	var ys []int
+	for i := 0; i < n; i++ {
+		gs = append(gs, graph.ErdosRenyi(15, 0.1, rng))
+		ys = append(ys, 0)
+		gs = append(gs, graph.ErdosRenyi(15, 0.5, rng))
+		ys = append(ys, 1)
+	}
+	return gs, ys
+}
+
+func TestTrainLearnsSeparableProblem(t *testing.T) {
+	for _, jk := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.JumpingKnowledge = jk
+		cfg.MaxEpochs = 60
+		m, err := NewModel(2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs, ys := separableGraphs(30, 4)
+		res, err := m.Train(gs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Epochs == 0 || len(res.LossCurve) != res.Epochs {
+			t.Fatalf("jk=%v result = %+v", jk, res)
+		}
+		testG, testY := separableGraphs(10, 44)
+		preds := m.PredictAll(testG)
+		correct := 0
+		for i := range preds {
+			if preds[i] == testY[i] {
+				correct++
+			}
+		}
+		if acc := float64(correct) / float64(len(testY)); acc < 0.9 {
+			t.Fatalf("jk=%v accuracy = %f", jk, acc)
+		}
+	}
+}
+
+func TestTrainLossDecreases(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxEpochs = 30
+	m, err := NewModel(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, ys := separableGraphs(20, 5)
+	res, err := m.Train(gs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.LossCurve[0], res.FinalLoss
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	m, err := NewModel(2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(nil, nil); err == nil {
+		t.Fatal("expected empty-set error")
+	}
+	if _, err := m.Train([]*graph.Graph{graph.Ring(3)}, []int{0, 1}); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+	if _, err := m.Train([]*graph.Graph{graph.Ring(3)}, []int{5}); err == nil {
+		t.Fatal("expected label range error")
+	}
+}
+
+func TestPredictSingleMatchesBatch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxEpochs = 10
+	m, err := NewModel(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, ys := separableGraphs(10, 6)
+	if _, err := m.Train(gs, ys); err != nil {
+		t.Fatal(err)
+	}
+	batch := m.PredictAll(gs)
+	for i, g := range gs {
+		if m.Predict(g) != batch[i] {
+			t.Fatalf("single/batch prediction mismatch at %d", i)
+		}
+	}
+}
+
+func TestPredictAllEmpty(t *testing.T) {
+	m, err := NewModel(2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := m.PredictAll(nil); out != nil {
+		t.Fatalf("predictions for empty input: %v", out)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	gs, ys := separableGraphs(10, 7)
+	run := func() []int {
+		cfg := DefaultConfig()
+		cfg.MaxEpochs = 10
+		cfg.Seed = 42
+		m, err := NewModel(2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Train(gs, ys); err != nil {
+			t.Fatal(err)
+		}
+		return m.PredictAll(gs)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("training not deterministic under fixed seed")
+		}
+	}
+}

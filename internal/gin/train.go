@@ -1,0 +1,110 @@
+package gin
+
+import (
+	"fmt"
+
+	"graphhd/internal/graph"
+	"graphhd/internal/hdc"
+	"graphhd/internal/nn"
+)
+
+// TrainResult reports what happened during training.
+type TrainResult struct {
+	Epochs    int
+	FinalLoss float64
+	// LossCurve holds the mean training loss per epoch.
+	LossCurve []float64
+}
+
+// Train fits the model on the given graphs with the paper's schedule:
+// mini-batches of cfg.BatchSize, Adam at cfg.LR, reduce-on-plateau
+// scheduler (patience 5, decay 0.5, floor 1e-6). Training stops at
+// cfg.MaxEpochs or earlier once the learning rate has hit its floor and
+// the loss has stopped improving.
+func (m *Model) Train(graphs []*graph.Graph, labels []int) (*TrainResult, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("gin: empty training set")
+	}
+	if len(graphs) != len(labels) {
+		return nil, fmt.Errorf("gin: %d graphs but %d labels", len(graphs), len(labels))
+	}
+	for _, l := range labels {
+		if l < 0 || l >= m.classes {
+			return nil, fmt.Errorf("gin: label %d out of range [0,%d)", l, m.classes)
+		}
+	}
+	opt := nn.NewAdam(m.params(), m.cfg.LR)
+	sched := nn.NewPlateauScheduler(opt)
+	rng := hdc.NewRNG(m.cfg.Seed ^ 0x747261696e)
+
+	idx := make([]int, len(graphs))
+	for i := range idx {
+		idx[i] = i
+	}
+	res := &TrainResult{}
+	stalled := 0
+	for epoch := 0; epoch < m.cfg.MaxEpochs; epoch++ {
+		perm := rng.Perm(len(idx))
+		total := 0.0
+		batches := 0
+		for start := 0; start < len(perm); start += m.cfg.BatchSize {
+			end := start + m.cfg.BatchSize
+			if end > len(perm) {
+				end = len(perm)
+			}
+			bg := make([]*graph.Graph, 0, end-start)
+			bl := make([]int, 0, end-start)
+			for _, i := range perm[start:end] {
+				bg = append(bg, graphs[idx[i]])
+				bl = append(bl, labels[idx[i]])
+			}
+			batch := NewBatch(bg, bl)
+			logits, fc := m.Forward(batch, true)
+			loss, dlogits := nn.SoftmaxCrossEntropy(logits, bl)
+			m.Backward(fc, dlogits)
+			opt.Step()
+			total += loss
+			batches++
+		}
+		epochLoss := total / float64(batches)
+		res.LossCurve = append(res.LossCurve, epochLoss)
+		res.Epochs = epoch + 1
+		res.FinalLoss = epochLoss
+		sched.Step(epochLoss)
+		// Early stop: LR at floor and no improvement for a full patience
+		// window — further epochs cannot change anything meaningfully.
+		if sched.AtMinimum() {
+			stalled++
+			if stalled > sched.Patience {
+				break
+			}
+		} else {
+			stalled = 0
+		}
+	}
+	return res, nil
+}
+
+// Predict classifies a single graph.
+func (m *Model) Predict(g *graph.Graph) int {
+	return m.PredictAll([]*graph.Graph{g})[0]
+}
+
+// PredictAll classifies a batch of graphs.
+func (m *Model) PredictAll(graphs []*graph.Graph) []int {
+	if len(graphs) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(graphs))
+	// Respect the configured batch size to bound peak memory on big sets.
+	for start := 0; start < len(graphs); start += m.cfg.BatchSize {
+		end := start + m.cfg.BatchSize
+		if end > len(graphs) {
+			end = len(graphs)
+		}
+		batch := NewBatch(graphs[start:end], nil)
+		logits, _ := m.Forward(batch, false)
+		out = append(out, nn.Argmax(logits)...)
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package graph
+
+// This file collects the classic graph algorithms the analysis layer uses
+// beyond plain counts: BFS distances, eccentricity/diameter, clustering
+// coefficients, degree histograms and k-core decomposition. They feed the
+// extended dataset statistics (stats.go) and give library users the usual
+// inspection toolkit.
+
+// BFS returns the hop distance from src to every vertex (-1 when
+// unreachable).
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= g.n {
+		return dist
+	}
+	dist[src] = 0
+	queue := make([]int32, 1, g.n)
+	queue[0] = int32(src)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, w := range g.Neighbors(int(v)) {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the greatest hop distance from v to any vertex
+// reachable from it; 0 for isolated vertices.
+func (g *Graph) Eccentricity(v int) int {
+	ecc := 0
+	for _, d := range g.BFS(v) {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the largest eccentricity over all vertices, computed
+// per connected component (unreachable pairs are ignored rather than
+// infinite). O(V·E); intended for the small graphs of this domain.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for v := 0; v < g.n; v++ {
+		if e := g.Eccentricity(v); e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// LocalClustering returns the local clustering coefficient of v: the
+// fraction of its neighbor pairs that are themselves connected. Vertices
+// of degree < 2 have coefficient 0.
+func (g *Graph) LocalClustering(v int) float64 {
+	ns := g.Neighbors(v)
+	deg := len(ns)
+	if deg < 2 {
+		return 0
+	}
+	links := 0
+	for i := 0; i < deg; i++ {
+		for j := i + 1; j < deg; j++ {
+			if g.HasEdge(int(ns[i]), int(ns[j])) {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / (float64(deg) * float64(deg-1))
+}
+
+// AverageClustering returns the mean local clustering coefficient over
+// all vertices (the Watts-Strogatz clustering measure); 0 for the empty
+// graph.
+func (g *Graph) AverageClustering() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	s := 0.0
+	for v := 0; v < g.n; v++ {
+		s += g.LocalClustering(v)
+	}
+	return s / float64(g.n)
+}
+
+// DegreeHistogram returns counts[d] = number of vertices with degree d,
+// indexed 0..MaxDegree.
+func (g *Graph) DegreeHistogram() []int {
+	h := make([]int, g.MaxDegree()+1)
+	for v := 0; v < g.n; v++ {
+		h[g.Degree(v)]++
+	}
+	return h
+}
+
+// CoreNumbers returns the k-core number of every vertex: the largest k
+// such that the vertex belongs to a subgraph where every vertex has
+// degree >= k. Uses the Matula-Beck peeling algorithm in O(V + E).
+func (g *Graph) CoreNumbers() []int {
+	n := g.n
+	core := make([]int, n)
+	if n == 0 {
+		return core
+	}
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket sort vertices by degree.
+	binStart := make([]int, maxDeg+2)
+	for _, d := range deg {
+		binStart[d+1]++
+	}
+	for d := 1; d <= maxDeg+1; d++ {
+		binStart[d] += binStart[d-1]
+	}
+	pos := make([]int, n)  // position of vertex in vert
+	vert := make([]int, n) // vertices sorted by current degree
+	fill := make([]int, maxDeg+1)
+	copy(fill, binStart[:maxDeg+1])
+	for v := 0; v < n; v++ {
+		pos[v] = fill[deg[v]]
+		vert[pos[v]] = v
+		fill[deg[v]]++
+	}
+	bin := make([]int, maxDeg+1)
+	copy(bin, binStart[:maxDeg+1])
+
+	cur := make([]int, n)
+	copy(cur, deg)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		core[v] = cur[v]
+		for _, wn := range g.Neighbors(v) {
+			w := int(wn)
+			if cur[w] > cur[v] {
+				// Move w to the front of its degree bucket, then shrink
+				// its degree by one.
+				dw := cur[w]
+				pw := pos[w]
+				ps := bin[dw]
+				u := vert[ps]
+				if u != w {
+					vert[ps], vert[pw] = w, u
+					pos[w], pos[u] = ps, pw
+				}
+				bin[dw]++
+				cur[w]--
+			}
+		}
+	}
+	return core
+}
+
+// Degeneracy returns the graph's degeneracy: the maximum core number.
+func (g *Graph) Degeneracy() int {
+	max := 0
+	for _, c := range g.CoreNumbers() {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}

@@ -1,0 +1,225 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"graphhd/internal/hdc"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := Path(5)
+	d := g.BFS(0)
+	for v, want := range []int{0, 1, 2, 3, 4} {
+		if d[v] != want {
+			t.Fatalf("dist[%d] = %d, want %d", v, d[v], want)
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := Disjoint(Path(3), Path(2))
+	d := g.BFS(0)
+	if d[3] != -1 || d[4] != -1 {
+		t.Fatalf("unreachable distances = %v", d)
+	}
+}
+
+func TestBFSBadSource(t *testing.T) {
+	g := Path(3)
+	d := g.BFS(-1)
+	for _, v := range d {
+		if v != -1 {
+			t.Fatal("bad source should reach nothing")
+		}
+	}
+}
+
+func TestEccentricityAndDiameter(t *testing.T) {
+	if got := Path(5).Diameter(); got != 4 {
+		t.Fatalf("path diameter = %d", got)
+	}
+	if got := Ring(6).Diameter(); got != 3 {
+		t.Fatalf("C6 diameter = %d", got)
+	}
+	if got := Complete(7).Diameter(); got != 1 {
+		t.Fatalf("K7 diameter = %d", got)
+	}
+	if got := Star(9).Eccentricity(0); got != 1 {
+		t.Fatalf("star hub eccentricity = %d", got)
+	}
+	if got := Star(9).Eccentricity(3); got != 2 {
+		t.Fatalf("star leaf eccentricity = %d", got)
+	}
+	if got := NewBuilder(3).Build().Diameter(); got != 0 {
+		t.Fatalf("edgeless diameter = %d", got)
+	}
+}
+
+func TestLocalClustering(t *testing.T) {
+	if c := Complete(4).LocalClustering(0); c != 1 {
+		t.Fatalf("K4 clustering = %v", c)
+	}
+	if c := Star(5).LocalClustering(0); c != 0 {
+		t.Fatalf("star hub clustering = %v", c)
+	}
+	if c := Path(3).LocalClustering(0); c != 0 {
+		t.Fatalf("degree-1 clustering = %v", c)
+	}
+	// Triangle with a pendant: center vertex has neighbors {2 in-triangle,
+	// 1 pendant}: 1 of 3 pairs linked.
+	g := mustGraph(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {0, 3}})
+	if c := g.LocalClustering(0); math.Abs(c-1.0/3) > 1e-12 {
+		t.Fatalf("clustering = %v, want 1/3", c)
+	}
+}
+
+func TestAverageClustering(t *testing.T) {
+	if c := Complete(5).AverageClustering(); c != 1 {
+		t.Fatalf("K5 avg clustering = %v", c)
+	}
+	if c := Ring(8).AverageClustering(); c != 0 {
+		t.Fatalf("C8 avg clustering = %v", c)
+	}
+	if c := NewBuilder(0).Build().AverageClustering(); c != 0 {
+		t.Fatalf("empty avg clustering = %v", c)
+	}
+	// Watts-Strogatz at beta=0 has the known lattice clustering 0.5 for k=4.
+	ws := WattsStrogatz(40, 4, 0, hdc.NewRNG(1))
+	if c := ws.AverageClustering(); math.Abs(c-0.5) > 1e-9 {
+		t.Fatalf("WS(k=4, beta=0) clustering = %v, want 0.5", c)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	h := Star(5).DegreeHistogram()
+	if h[1] != 4 || h[4] != 1 {
+		t.Fatalf("star histogram = %v", h)
+	}
+	sum := 0
+	for _, c := range h {
+		sum += c
+	}
+	if sum != 5 {
+		t.Fatalf("histogram total = %d", sum)
+	}
+}
+
+func TestCoreNumbersKnown(t *testing.T) {
+	// K4 with a pendant path: clique vertices are 3-core, path tail 1-core.
+	g := mustGraph(t, 6, [][2]int{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, // K4
+		{3, 4}, {4, 5}, // pendant path
+	})
+	core := g.CoreNumbers()
+	for v := 0; v < 4; v++ {
+		if core[v] != 3 {
+			t.Fatalf("K4 vertex %d core = %d", v, core[v])
+		}
+	}
+	if core[4] != 1 || core[5] != 1 {
+		t.Fatalf("path cores = %d %d", core[4], core[5])
+	}
+	if g.Degeneracy() != 3 {
+		t.Fatalf("degeneracy = %d", g.Degeneracy())
+	}
+}
+
+func TestCoreNumbersRing(t *testing.T) {
+	core := Ring(7).CoreNumbers()
+	for v, c := range core {
+		if c != 2 {
+			t.Fatalf("ring core[%d] = %d", v, c)
+		}
+	}
+}
+
+func TestCoreNumbersEmptyAndIsolated(t *testing.T) {
+	if len(NewBuilder(0).Build().CoreNumbers()) != 0 {
+		t.Fatal("empty graph cores")
+	}
+	core := NewBuilder(3).Build().CoreNumbers()
+	for _, c := range core {
+		if c != 0 {
+			t.Fatalf("isolated core = %d", c)
+		}
+	}
+}
+
+func TestCoreNumbersAgainstNaivePeeling(t *testing.T) {
+	// Property test: compare the bucket implementation to straightforward
+	// iterative peeling.
+	naive := func(g *Graph) []int {
+		n := g.NumVertices()
+		deg := make([]int, n)
+		alive := make([]bool, n)
+		for v := 0; v < n; v++ {
+			deg[v] = g.Degree(v)
+			alive[v] = true
+		}
+		core := make([]int, n)
+		for k := 0; ; k++ {
+			remaining := 0
+			for v := 0; v < n; v++ {
+				if alive[v] {
+					remaining++
+				}
+			}
+			if remaining == 0 {
+				return core
+			}
+			changed := true
+			for changed {
+				changed = false
+				for v := 0; v < n; v++ {
+					if alive[v] && deg[v] <= k {
+						alive[v] = false
+						core[v] = k
+						changed = true
+						for _, w := range g.Neighbors(v) {
+							if alive[w] {
+								deg[w]--
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	f := func(seed uint64) bool {
+		rng := hdc.NewRNG(seed)
+		g := ErdosRenyi(18, 0.25, rng)
+		a := g.CoreNumbers()
+		b := naive(g)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiameterMatchesBFSProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := hdc.NewRNG(seed)
+		g := ErdosRenyi(15, 0.2, rng)
+		diam := g.Diameter()
+		// No BFS distance may exceed the diameter.
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, d := range g.BFS(v) {
+				if d > diam {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

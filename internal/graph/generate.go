@@ -1,0 +1,379 @@
+package graph
+
+import (
+	"graphhd/internal/hdc"
+)
+
+// This file implements the random-graph generators used throughout the
+// reproduction: the Erdős–Rényi G(n, p) model from the paper's scaling
+// experiment (Section V-B), plus the structured generators
+// (Barabási–Albert, Watts–Strogatz, rings, stars, grids and motif
+// attachment) that the synthetic dataset substrate composes into
+// class-separable benchmarks.
+
+// ErdosRenyi samples G(n, p): each of the n(n-1)/2 vertex pairs is an edge
+// independently with probability p. The paper's Figure 4 uses p = 0.05.
+func ErdosRenyi(n int, p float64, rng *hdc.RNG) *Graph {
+	b := NewBuilder(n)
+	if p >= 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				b.MustAddEdge(u, v)
+			}
+		}
+		return b.Build()
+	}
+	if p > 0 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < p {
+					b.MustAddEdge(u, v)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// BarabasiAlbert grows a preferential-attachment graph: starting from a
+// clique on m+1 vertices, each new vertex attaches to m existing vertices
+// chosen with probability proportional to their degree. The result has a
+// heavy-tailed degree distribution, structurally very different from
+// Erdős–Rényi graphs of the same density — which is exactly what the
+// synthetic datasets exploit to make classes separable by topology alone.
+func BarabasiAlbert(n, m int, rng *hdc.RNG) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	if n <= m+1 {
+		return Complete(n)
+	}
+	b := NewBuilder(n)
+	// Repeated-endpoint list: vertex v appears deg(v) times. Sampling a
+	// uniform element implements preferential attachment.
+	var targets []int
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			b.MustAddEdge(u, v)
+			targets = append(targets, u, v)
+		}
+	}
+	chosen := make(map[int]struct{}, m)
+	for v := m + 1; v < n; v++ {
+		for k := range chosen {
+			delete(chosen, k)
+		}
+		for len(chosen) < m {
+			t := targets[rng.Intn(len(targets))]
+			chosen[t] = struct{}{}
+		}
+		for t := range chosen {
+			b.MustAddEdge(v, t)
+			targets = append(targets, v, t)
+		}
+	}
+	return b.Build()
+}
+
+// WattsStrogatz samples a small-world graph: a ring lattice where every
+// vertex connects to its k nearest neighbors (k even), with each lattice
+// edge rewired to a uniform random endpoint with probability beta.
+func WattsStrogatz(n, k int, beta float64, rng *hdc.RNG) *Graph {
+	if k >= n {
+		k = n - 1
+	}
+	if k%2 == 1 {
+		k--
+	}
+	b := NewBuilder(n)
+	if k < 2 || n < 3 {
+		return b.Build()
+	}
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k/2; j++ {
+			u := v
+			w := (v + j) % n
+			if rng.Float64() < beta {
+				// Rewire to a random non-self endpoint; duplicates are
+				// dropped by the builder, slightly lowering density at
+				// high beta, which is the standard behaviour.
+				w = rng.Intn(n)
+				if w == u {
+					w = (u + 1) % n
+				}
+			}
+			b.MustAddEdge(u, w)
+		}
+	}
+	return b.Build()
+}
+
+// Ring returns the cycle graph C_n.
+func Ring(n int) *Graph {
+	b := NewBuilder(n)
+	if n >= 3 {
+		for v := 0; v < n; v++ {
+			b.MustAddEdge(v, (v+1)%n)
+		}
+	} else if n == 2 {
+		b.MustAddEdge(0, 1)
+	}
+	return b.Build()
+}
+
+// Path returns the path graph P_n.
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.MustAddEdge(v, v+1)
+	}
+	return b.Build()
+}
+
+// Star returns the star K_{1,n-1} with vertex 0 as the hub.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.MustAddEdge(0, v)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.MustAddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// Grid returns the rows×cols grid graph.
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	idx := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.MustAddEdge(idx(r, c), idx(r, c+1))
+			}
+			if r+1 < rows {
+				b.MustAddEdge(idx(r, c), idx(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Motif identifies a small subgraph shape for MotifChain.
+type Motif int
+
+// Motif shapes attachable to a backbone. They mimic the functional groups
+// of the paper's chemistry datasets (rings, branches, fused rings).
+const (
+	MotifTriangle Motif = iota
+	MotifSquare
+	MotifPentagon
+	MotifHexagon
+	MotifBranch  // a 2-vertex pendant path
+	MotifFusedSq // two squares sharing an edge
+)
+
+func motifSize(m Motif) int {
+	switch m {
+	case MotifTriangle:
+		return 2 // vertices added beyond the anchor
+	case MotifSquare:
+		return 3
+	case MotifPentagon:
+		return 4
+	case MotifHexagon:
+		return 5
+	case MotifBranch:
+		return 2
+	case MotifFusedSq:
+		return 5
+	default:
+		return 2
+	}
+}
+
+// MotifChain builds a molecule-like graph: a path backbone of backboneLen
+// vertices with the given motifs attached at evenly spaced anchors. The
+// class-distinguishing signal of the chemistry-flavoured synthetic
+// datasets is the motif composition.
+func MotifChain(backboneLen int, motifs []Motif) *Graph {
+	if backboneLen < 1 {
+		backboneLen = 1
+	}
+	total := backboneLen
+	for _, m := range motifs {
+		total += motifSize(m)
+	}
+	b := NewBuilder(total)
+	for v := 0; v+1 < backboneLen; v++ {
+		b.MustAddEdge(v, v+1)
+	}
+	next := backboneLen
+	for i, m := range motifs {
+		anchor := 0
+		if len(motifs) > 0 && backboneLen > 1 {
+			anchor = (i * (backboneLen - 1)) / max(1, len(motifs)-1+1)
+			if anchor >= backboneLen {
+				anchor = backboneLen - 1
+			}
+		}
+		next = attachMotif(b, anchor, next, m)
+	}
+	return b.Build()
+}
+
+// attachMotif wires motif m to the anchor vertex using fresh vertices
+// starting at next; it returns the next unused vertex id.
+func attachMotif(b *Builder, anchor, next int, m Motif) int {
+	switch m {
+	case MotifTriangle:
+		a, c := next, next+1
+		b.MustAddEdge(anchor, a)
+		b.MustAddEdge(a, c)
+		b.MustAddEdge(c, anchor)
+		return next + 2
+	case MotifSquare:
+		a, c, d := next, next+1, next+2
+		b.MustAddEdge(anchor, a)
+		b.MustAddEdge(a, c)
+		b.MustAddEdge(c, d)
+		b.MustAddEdge(d, anchor)
+		return next + 3
+	case MotifPentagon:
+		vs := []int{anchor, next, next + 1, next + 2, next + 3}
+		for i := 0; i < 5; i++ {
+			b.MustAddEdge(vs[i], vs[(i+1)%5])
+		}
+		return next + 4
+	case MotifHexagon:
+		vs := []int{anchor, next, next + 1, next + 2, next + 3, next + 4}
+		for i := 0; i < 6; i++ {
+			b.MustAddEdge(vs[i], vs[(i+1)%6])
+		}
+		return next + 5
+	case MotifBranch:
+		b.MustAddEdge(anchor, next)
+		b.MustAddEdge(next, next+1)
+		return next + 2
+	case MotifFusedSq:
+		// Two squares sharing the edge (x, y): anchor-a-x-y and x-y-c-d.
+		a, x, y, c, d := next, next+1, next+2, next+3, next+4
+		b.MustAddEdge(anchor, a)
+		b.MustAddEdge(a, x)
+		b.MustAddEdge(x, y)
+		b.MustAddEdge(y, anchor)
+		b.MustAddEdge(x, c)
+		b.MustAddEdge(c, d)
+		b.MustAddEdge(d, y)
+		return next + 5
+	default:
+		panic("graph: unknown motif")
+	}
+}
+
+// CommunityGraph samples a planted-partition graph: k communities of the
+// given sizes, with intra-community edge probability pIn and
+// inter-community probability pOut. Used by the social-network flavoured
+// synthetic datasets.
+func CommunityGraph(sizes []int, pIn, pOut float64, rng *hdc.RNG) *Graph {
+	n := 0
+	for _, s := range sizes {
+		n += s
+	}
+	comm := make([]int, n)
+	v := 0
+	for c, s := range sizes {
+		for i := 0; i < s; i++ {
+			comm[v] = c
+			v++
+		}
+	}
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for w := u + 1; w < n; w++ {
+			p := pOut
+			if comm[u] == comm[w] {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				b.MustAddEdge(u, w)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Disjoint returns the disjoint union of the given graphs, relabeling
+// vertices consecutively. Vertex labels are preserved when every input is
+// labeled.
+func Disjoint(gs ...*Graph) *Graph {
+	n := 0
+	labeled := len(gs) > 0
+	for _, g := range gs {
+		n += g.NumVertices()
+		if !g.Labeled() {
+			labeled = false
+		}
+	}
+	b := NewBuilder(n)
+	var labels []int
+	if labeled {
+		labels = make([]int, 0, n)
+	}
+	base := 0
+	for _, g := range gs {
+		for _, e := range g.Edges() {
+			b.MustAddEdge(base+int(e.U), base+int(e.V))
+		}
+		if labeled {
+			for v := 0; v < g.NumVertices(); v++ {
+				labels = append(labels, g.VertexLabel(v))
+			}
+		}
+		base += g.NumVertices()
+	}
+	if labeled {
+		if err := b.SetVertexLabels(labels); err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}
+
+// Relabel returns a copy of g with vertices renamed by the permutation
+// perm (new id = perm[old id]). Structure-only classifiers must be
+// invariant to this operation; tests rely on it.
+func Relabel(g *Graph, perm []int) *Graph {
+	if len(perm) != g.NumVertices() {
+		panic("graph: permutation length mismatch")
+	}
+	b := NewBuilder(g.NumVertices())
+	for _, e := range g.Edges() {
+		b.MustAddEdge(perm[e.U], perm[e.V])
+	}
+	if g.Labeled() {
+		labels := make([]int, g.NumVertices())
+		for v := 0; v < g.NumVertices(); v++ {
+			labels[perm[v]] = g.VertexLabel(v)
+		}
+		if err := b.SetVertexLabels(labels); err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

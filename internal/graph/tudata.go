@@ -1,0 +1,315 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the TUDataset flat-file exchange format
+// (https://chrsmrrs.github.io/datasets/docs/format/), the format the
+// paper's six benchmarks ship in. A dataset DS is a directory containing:
+//
+//	DS_A.txt               sparse adjacency: one "row, col" pair per line,
+//	                       1-based global vertex ids, both directions listed
+//	DS_graph_indicator.txt line i holds the 1-based graph id of vertex i
+//	DS_graph_labels.txt    line k holds the class label of graph k
+//	DS_node_labels.txt     (optional) line i holds the label of vertex i
+//
+// ReadTUDataset parses a directory in this format into a Dataset;
+// WriteTUDataset emits one, so the synthetic datasets produced by
+// cmd/datagen are interchangeable with real TUDataset downloads.
+
+// Dataset is a labeled collection of graphs: the unit of every experiment
+// in the paper.
+type Dataset struct {
+	Name   string
+	Graphs []*Graph
+	// Labels[i] is the class of Graphs[i], remapped to [0, NumClasses).
+	Labels []int
+	// ClassNames[c] is the original label value for remapped class c.
+	ClassNames []string
+}
+
+// Len returns the number of graphs.
+func (d *Dataset) Len() int { return len(d.Graphs) }
+
+// NumClasses returns the number of distinct classes.
+func (d *Dataset) NumClasses() int { return len(d.ClassNames) }
+
+// MaxVertices returns the largest vertex count over all graphs.
+func (d *Dataset) MaxVertices() int {
+	m := 0
+	for _, g := range d.Graphs {
+		if g.NumVertices() > m {
+			m = g.NumVertices()
+		}
+	}
+	return m
+}
+
+// Subset returns a view of the dataset restricted to the given indices.
+// Graphs are shared, not copied.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	s := &Dataset{Name: d.Name, ClassNames: d.ClassNames}
+	s.Graphs = make([]*Graph, len(idx))
+	s.Labels = make([]int, len(idx))
+	for i, j := range idx {
+		s.Graphs[i] = d.Graphs[j]
+		s.Labels[i] = d.Labels[j]
+	}
+	return s
+}
+
+// Validate checks internal consistency: parallel slices, labels in range.
+func (d *Dataset) Validate() error {
+	if len(d.Graphs) != len(d.Labels) {
+		return fmt.Errorf("dataset %s: %d graphs but %d labels", d.Name, len(d.Graphs), len(d.Labels))
+	}
+	k := d.NumClasses()
+	for i, l := range d.Labels {
+		if l < 0 || l >= k {
+			return fmt.Errorf("dataset %s: label %d of graph %d out of range [0,%d)", d.Name, l, i, k)
+		}
+	}
+	return nil
+}
+
+// ReadTUDataset loads dataset name from dir/name (the layout produced by
+// unzipping an official TUDataset archive, or by WriteTUDataset).
+func ReadTUDataset(dir, name string) (*Dataset, error) {
+	prefix := filepath.Join(dir, name, name)
+
+	indicator, err := readIntLines(prefix + "_graph_indicator.txt")
+	if err != nil {
+		return nil, fmt.Errorf("tudata: %w", err)
+	}
+	rawLabels, err := readIntLines(prefix + "_graph_labels.txt")
+	if err != nil {
+		return nil, fmt.Errorf("tudata: %w", err)
+	}
+	adjPairs, err := readPairLines(prefix + "_A.txt")
+	if err != nil {
+		return nil, fmt.Errorf("tudata: %w", err)
+	}
+	nodeLabels, _ := readIntLines(prefix + "_node_labels.txt") // optional
+
+	return assembleTU(name, indicator, rawLabels, adjPairs, nodeLabels)
+}
+
+// assembleTU turns raw parsed arrays into a Dataset. Split out for
+// testability without the filesystem.
+func assembleTU(name string, indicator, rawLabels []int, adjPairs [][2]int, nodeLabels []int) (*Dataset, error) {
+	numGraphs := len(rawLabels)
+	if numGraphs == 0 {
+		return nil, fmt.Errorf("tudata %s: no graphs", name)
+	}
+	// Per-graph vertex counts and the local id of each global vertex.
+	counts := make([]int, numGraphs)
+	local := make([]int, len(indicator))
+	for i, gid := range indicator {
+		if gid < 1 || gid > numGraphs {
+			return nil, fmt.Errorf("tudata %s: vertex %d assigned to graph %d, want [1,%d]", name, i+1, gid, numGraphs)
+		}
+		local[i] = counts[gid-1]
+		counts[gid-1]++
+	}
+	if nodeLabels != nil && len(nodeLabels) != len(indicator) {
+		return nil, fmt.Errorf("tudata %s: %d node labels for %d vertices", name, len(nodeLabels), len(indicator))
+	}
+
+	builders := make([]*Builder, numGraphs)
+	var perGraphLabels [][]int
+	if nodeLabels != nil {
+		perGraphLabels = make([][]int, numGraphs)
+	}
+	for gi := 0; gi < numGraphs; gi++ {
+		builders[gi] = NewBuilder(counts[gi])
+		if nodeLabels != nil {
+			perGraphLabels[gi] = make([]int, counts[gi])
+		}
+	}
+	if nodeLabels != nil {
+		for i, lbl := range nodeLabels {
+			perGraphLabels[indicator[i]-1][local[i]] = lbl
+		}
+	}
+	for _, p := range adjPairs {
+		r, c := p[0], p[1]
+		if r < 1 || r > len(indicator) || c < 1 || c > len(indicator) {
+			return nil, fmt.Errorf("tudata %s: adjacency pair (%d,%d) out of vertex range", name, r, c)
+		}
+		gr, gc := indicator[r-1], indicator[c-1]
+		if gr != gc {
+			return nil, fmt.Errorf("tudata %s: edge (%d,%d) crosses graphs %d and %d", name, r, c, gr, gc)
+		}
+		// The builder deduplicates, so the both-directions convention of
+		// DS_A.txt collapses to one undirected edge.
+		if err := builders[gr-1].AddEdge(local[r-1], local[c-1]); err != nil {
+			return nil, fmt.Errorf("tudata %s: %w", name, err)
+		}
+	}
+
+	ds := &Dataset{Name: name}
+	ds.Graphs = make([]*Graph, numGraphs)
+	for gi, b := range builders {
+		if perGraphLabels != nil {
+			if err := b.SetVertexLabels(perGraphLabels[gi]); err != nil {
+				return nil, fmt.Errorf("tudata %s: %w", name, err)
+			}
+		}
+		ds.Graphs[gi] = b.Build()
+	}
+	ds.Labels, ds.ClassNames = remapLabels(rawLabels)
+	return ds, ds.Validate()
+}
+
+// remapLabels maps arbitrary integer class labels to the dense range
+// [0, k), assigning remapped ids in ascending order of the original value.
+func remapLabels(raw []int) ([]int, []string) {
+	distinct := map[int]struct{}{}
+	for _, l := range raw {
+		distinct[l] = struct{}{}
+	}
+	values := make([]int, 0, len(distinct))
+	for v := range distinct {
+		values = append(values, v)
+	}
+	sort.Ints(values)
+	toDense := make(map[int]int, len(values))
+	names := make([]string, len(values))
+	for i, v := range values {
+		toDense[v] = i
+		names[i] = strconv.Itoa(v)
+	}
+	dense := make([]int, len(raw))
+	for i, l := range raw {
+		dense[i] = toDense[l]
+	}
+	return dense, names
+}
+
+// WriteTUDataset writes ds to dir/ds.Name in TUDataset flat-file format.
+func WriteTUDataset(dir string, ds *Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	root := filepath.Join(dir, ds.Name)
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return fmt.Errorf("tudata: %w", err)
+	}
+	prefix := filepath.Join(root, ds.Name)
+
+	var aBuf, indBuf, glBuf, nlBuf strings.Builder
+	anyLabeled := false
+	for _, g := range ds.Graphs {
+		if g.Labeled() {
+			anyLabeled = true
+		}
+	}
+	base := 1 // 1-based global vertex ids
+	for gi, g := range ds.Graphs {
+		for v := 0; v < g.NumVertices(); v++ {
+			fmt.Fprintf(&indBuf, "%d\n", gi+1)
+			if anyLabeled {
+				fmt.Fprintf(&nlBuf, "%d\n", g.VertexLabel(v))
+			}
+		}
+		for _, e := range g.Edges() {
+			u, v := base+int(e.U), base+int(e.V)
+			fmt.Fprintf(&aBuf, "%d, %d\n", u, v)
+			fmt.Fprintf(&aBuf, "%d, %d\n", v, u)
+		}
+		base += g.NumVertices()
+	}
+	for _, l := range ds.Labels {
+		name := ds.ClassNames[l]
+		fmt.Fprintf(&glBuf, "%s\n", name)
+	}
+
+	files := map[string]string{
+		prefix + "_A.txt":               aBuf.String(),
+		prefix + "_graph_indicator.txt": indBuf.String(),
+		prefix + "_graph_labels.txt":    glBuf.String(),
+	}
+	if anyLabeled {
+		files[prefix+"_node_labels.txt"] = nlBuf.String()
+	}
+	for path, content := range files {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return fmt.Errorf("tudata: %w", err)
+		}
+	}
+	return nil
+}
+
+func readIntLines(path string) ([]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseIntLines(f, path)
+}
+
+func parseIntLines(r io.Reader, path string) ([]int, error) {
+	var out []int
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" {
+			continue
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		out = append(out, v)
+	}
+	return out, sc.Err()
+}
+
+func readPairLines(path string) ([][2]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parsePairLines(f, path)
+}
+
+func parsePairLines(r io.Reader, path string) ([][2]int, error) {
+	var out [][2]int
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" {
+			continue
+		}
+		parts := strings.Split(s, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("%s:%d: want 'row, col', got %q", path, line, s)
+		}
+		a, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		b, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		out = append(out, [2]int{a, b})
+	}
+	return out, sc.Err()
+}

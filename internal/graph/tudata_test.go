@@ -1,0 +1,272 @@
+package graph
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphhd/internal/hdc"
+)
+
+func sampleDataset(t *testing.T, labeled bool) *Dataset {
+	t.Helper()
+	mk := func(n int, edges [][2]int, labels []int) *Graph {
+		b := NewBuilder(n)
+		for _, e := range edges {
+			b.MustAddEdge(e[0], e[1])
+		}
+		if labeled {
+			if err := b.SetVertexLabels(labels); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b.Build()
+	}
+	return &Dataset{
+		Name: "SAMPLE",
+		Graphs: []*Graph{
+			mk(3, [][2]int{{0, 1}, {1, 2}, {2, 0}}, []int{1, 1, 2}),
+			mk(4, [][2]int{{0, 1}, {1, 2}, {2, 3}}, []int{1, 2, 2, 1}),
+			mk(2, [][2]int{{0, 1}}, []int{3, 3}),
+		},
+		Labels:     []int{0, 1, 0},
+		ClassNames: []string{"-1", "1"},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for _, labeled := range []bool{false, true} {
+		dir := t.TempDir()
+		ds := sampleDataset(t, labeled)
+		if err := WriteTUDataset(dir, ds); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadTUDataset(dir, "SAMPLE")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != ds.Len() || got.NumClasses() != 2 {
+			t.Fatalf("labeled=%v: got %d graphs %d classes", labeled, got.Len(), got.NumClasses())
+		}
+		for i := range ds.Graphs {
+			a, b := ds.Graphs[i], got.Graphs[i]
+			if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+				t.Fatalf("labeled=%v graph %d: %v vs %v", labeled, i, a, b)
+			}
+			for j, e := range a.Edges() {
+				if b.Edges()[j] != e {
+					t.Fatalf("graph %d edge %d mismatch", i, j)
+				}
+			}
+			if labeled {
+				if !b.Labeled() {
+					t.Fatalf("graph %d lost labels", i)
+				}
+				for v := 0; v < a.NumVertices(); v++ {
+					if a.VertexLabel(v) != b.VertexLabel(v) {
+						t.Fatalf("graph %d vertex %d label mismatch", i, v)
+					}
+				}
+			}
+		}
+		if got.Labels[0] != ds.Labels[0] || got.Labels[1] != ds.Labels[1] {
+			t.Fatalf("labels mismatch: %v vs %v", got.Labels, ds.Labels)
+		}
+	}
+}
+
+func TestReadTUDatasetMissingDir(t *testing.T) {
+	if _, err := ReadTUDataset(t.TempDir(), "NOPE"); err == nil {
+		t.Fatal("expected error for missing dataset")
+	}
+}
+
+func TestAssembleTURejectsCrossGraphEdges(t *testing.T) {
+	_, err := assembleTU("X",
+		[]int{1, 2},      // two vertices, two graphs
+		[]int{0, 1},      // two graph labels
+		[][2]int{{1, 2}}, // edge across graphs
+		nil)
+	if err == nil || !strings.Contains(err.Error(), "crosses graphs") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAssembleTURejectsBadIndicator(t *testing.T) {
+	_, err := assembleTU("X", []int{1, 5}, []int{0, 1}, nil, nil)
+	if err == nil {
+		t.Fatal("expected indicator range error")
+	}
+}
+
+func TestAssembleTURejectsBadAdjacency(t *testing.T) {
+	_, err := assembleTU("X", []int{1}, []int{0}, [][2]int{{1, 9}}, nil)
+	if err == nil {
+		t.Fatal("expected adjacency range error")
+	}
+}
+
+func TestAssembleTUNodeLabelMismatch(t *testing.T) {
+	_, err := assembleTU("X", []int{1, 1}, []int{0}, nil, []int{7})
+	if err == nil {
+		t.Fatal("expected node label count error")
+	}
+}
+
+func TestRemapLabels(t *testing.T) {
+	dense, names := remapLabels([]int{5, -1, 5, 3})
+	if len(names) != 3 || names[0] != "-1" || names[1] != "3" || names[2] != "5" {
+		t.Fatalf("names = %v", names)
+	}
+	want := []int{2, 0, 2, 1}
+	for i, w := range want {
+		if dense[i] != w {
+			t.Fatalf("dense = %v, want %v", dense, want)
+		}
+	}
+}
+
+func TestParseIntLines(t *testing.T) {
+	got, err := parseIntLines(strings.NewReader("1\n\n 2 \n3\n"), "mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1] != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := parseIntLines(strings.NewReader("x\n"), "mem"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestParsePairLines(t *testing.T) {
+	got, err := parsePairLines(strings.NewReader("1, 2\n3,4\n"), "mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1] != [2]int{3, 4} {
+		t.Fatalf("got %v", got)
+	}
+	for _, bad := range []string{"1\n", "1, x\n", "y, 2\n", "1, 2, 3\n"} {
+		if _, err := parsePairLines(strings.NewReader(bad), "mem"); err == nil {
+			t.Fatalf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestDatasetSubset(t *testing.T) {
+	ds := sampleDataset(t, false)
+	sub := ds.Subset([]int{2, 0})
+	if sub.Len() != 2 || sub.Labels[0] != 0 || sub.Graphs[0] != ds.Graphs[2] {
+		t.Fatalf("subset wrong: %+v", sub)
+	}
+}
+
+func TestDatasetValidate(t *testing.T) {
+	ds := sampleDataset(t, false)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Dataset{Name: "B", Graphs: ds.Graphs, Labels: []int{0}, ClassNames: []string{"0"}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	bad2 := &Dataset{Name: "B", Graphs: ds.Graphs[:1], Labels: []int{5}, ClassNames: []string{"0"}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("expected label range error")
+	}
+}
+
+func TestDatasetMaxVertices(t *testing.T) {
+	ds := sampleDataset(t, false)
+	if ds.MaxVertices() != 4 {
+		t.Fatalf("max vertices = %d", ds.MaxVertices())
+	}
+}
+
+func TestWriteTUDatasetLargeRoundTrip(t *testing.T) {
+	// A bigger randomized round trip to shake out format edge cases.
+	rng := hdc.NewRNG(99)
+	ds := &Dataset{Name: "BIG", ClassNames: []string{"0", "1"}}
+	for i := 0; i < 30; i++ {
+		ds.Graphs = append(ds.Graphs, ErdosRenyi(5+rng.Intn(30), 0.15, rng))
+		ds.Labels = append(ds.Labels, i%2)
+	}
+	dir := t.TempDir()
+	if err := WriteTUDataset(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTUDataset(dir, "BIG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Graphs {
+		if got.Graphs[i].NumEdges() != ds.Graphs[i].NumEdges() {
+			t.Fatalf("graph %d edge count mismatch", i)
+		}
+	}
+	if filepath.Join(dir, "BIG") == "" {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	ds := sampleDataset(t, false)
+	st := ComputeStats(ds)
+	if st.Graphs != 3 || st.Classes != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.AvgVertices != 3 { // (3+4+2)/3
+		t.Fatalf("avg vertices = %f", st.AvgVertices)
+	}
+	if st.PerClass[0] != 2 || st.PerClass[1] != 1 {
+		t.Fatalf("per class = %v", st.PerClass)
+	}
+	if st.MaxVertices != 4 || st.MaxEdges != 3 {
+		t.Fatalf("max = %d/%d", st.MaxVertices, st.MaxEdges)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	st := ComputeStats(&Dataset{Name: "E", ClassNames: []string{"0"}})
+	if st.Graphs != 0 || st.AvgVertices != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStatsTable(t *testing.T) {
+	ds := sampleDataset(t, false)
+	table := StatsTable([]Stats{ComputeStats(ds)})
+	if !strings.Contains(table, "SAMPLE") || !strings.Contains(table, "Avg. vertices") {
+		t.Fatalf("table = %q", table)
+	}
+}
+
+func TestComputeExtendedStats(t *testing.T) {
+	ds := sampleDataset(t, false)
+	st := ComputeExtendedStats(ds)
+	if st.Graphs != 3 {
+		t.Fatalf("graphs = %d", st.Graphs)
+	}
+	// Graph 0 is a triangle: diameter 1, clustering 1, degeneracy 2, 1 tri.
+	// Graph 1 is P4: diameter 3. Graph 2 is P2: diameter 1.
+	if want := (1.0 + 3.0 + 1.0) / 3; st.AvgDiameter != want {
+		t.Fatalf("avg diameter = %v, want %v", st.AvgDiameter, want)
+	}
+	if want := 1.0 / 3; st.AvgClustering != want {
+		t.Fatalf("avg clustering = %v, want %v", st.AvgClustering, want)
+	}
+	if want := (2.0 + 1.0 + 1.0) / 3; st.AvgDegeneracy != want {
+		t.Fatalf("avg degeneracy = %v, want %v", st.AvgDegeneracy, want)
+	}
+	if want := 1.0 / 3; st.AvgTriangles != want {
+		t.Fatalf("avg triangles = %v, want %v", st.AvgTriangles, want)
+	}
+	if st.ExtendedRow() == "" {
+		t.Fatal("empty row")
+	}
+	empty := ComputeExtendedStats(&Dataset{Name: "E", ClassNames: []string{"0"}})
+	if empty.AvgDiameter != 0 {
+		t.Fatal("empty dataset extended stats")
+	}
+}

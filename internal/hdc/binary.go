@@ -1,0 +1,240 @@
+package hdc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Binary is a bit-packed binary hypervector: component i is bit i of the
+// underlying word array. Binary hypervectors support the same algebra as
+// bipolar ones under the mapping bit 1 ↔ +1, bit 0 ↔ -1: binding becomes
+// XNOR (implemented as XOR of one operand with the complement, but we keep
+// plain XOR and flip the similarity sign convention — see Bind), and
+// similarity is measured through the Hamming distance via popcount.
+//
+// The binary backend exists for the memory/throughput ablation (A5 in
+// DESIGN.md): it stores 64 components per word and replaces the int8
+// multiply-add inner loops with XOR+popcount.
+type Binary struct {
+	d     int
+	words []uint64
+}
+
+// NewBinary returns an all-zero binary hypervector of dimension d.
+func NewBinary(d int) *Binary {
+	if d <= 0 {
+		panic("hdc: non-positive dimension")
+	}
+	return &Binary{d: d, words: make([]uint64, (d+63)/64)}
+}
+
+// RandomBinary draws a uniform random binary hypervector of dimension d.
+func RandomBinary(d int, rng *RNG) *Binary {
+	b := NewBinary(d)
+	for i := range b.words {
+		b.words[i] = rng.Uint64()
+	}
+	b.maskTail()
+	return b
+}
+
+// maskTail zeroes the unused high bits of the final word so that popcount
+// based operations never see garbage.
+func (b *Binary) maskTail() {
+	if r := b.d & 63; r != 0 {
+		b.words[len(b.words)-1] &= (1 << uint(r)) - 1
+	}
+}
+
+// Dim returns the dimensionality of the hypervector.
+func (b *Binary) Dim() int { return b.d }
+
+// Bit returns component i as 0 or 1.
+func (b *Binary) Bit(i int) int {
+	return int(b.words[i>>6] >> uint(i&63) & 1)
+}
+
+// Clone returns an independent copy of b.
+func (b *Binary) Clone() *Binary {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Binary{d: b.d, words: w}
+}
+
+// Equal reports whether b and c are identical.
+func (b *Binary) Equal(c *Binary) bool {
+	if b.d != c.d {
+		return false
+	}
+	for i, w := range b.words {
+		if c.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Bind returns the XOR of b and c. Under the bit↔bipolar mapping, XOR
+// corresponds to the *negated* element-wise product; since the negation is
+// applied uniformly to every component it preserves all similarity
+// geometry and remains self-inverse, so it is the standard binding for
+// binary HDC.
+func (b *Binary) Bind(c *Binary) *Binary {
+	if b.d != c.d {
+		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d", b.d, c.d))
+	}
+	out := &Binary{d: b.d, words: make([]uint64, len(b.words))}
+	for i := range out.words {
+		out.words[i] = b.words[i] ^ c.words[i]
+	}
+	return out
+}
+
+// Permute returns b cyclically shifted right by k bit positions.
+func (b *Binary) Permute(k int) *Binary {
+	d := b.d
+	k = ((k % d) + d) % d
+	if k == 0 {
+		return b.Clone()
+	}
+	out := NewBinary(d)
+	for i := 0; i < d; i++ {
+		if b.Bit(i) == 1 {
+			j := i + k
+			if j >= d {
+				j -= d
+			}
+			out.words[j>>6] |= 1 << uint(j&63)
+		}
+	}
+	return out
+}
+
+// Hamming returns the number of differing components, computed with
+// per-word XOR + popcount.
+func (b *Binary) Hamming(c *Binary) int {
+	if b.d != c.d {
+		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d", b.d, c.d))
+	}
+	h := 0
+	for i, w := range b.words {
+		h += bits.OnesCount64(w ^ c.words[i])
+	}
+	return h
+}
+
+// Cosine returns the bipolar-equivalent cosine similarity,
+// 1 - 2*Hamming/d, which equals the cosine of the corresponding
+// bipolar vectors and lies in [-1, 1].
+func (b *Binary) Cosine(c *Binary) float64 {
+	return 1 - 2*float64(b.Hamming(c))/float64(b.d)
+}
+
+// UnpackBipolar converts b to the bipolar representation, mapping bit 1 to
+// +1 and bit 0 to -1.
+func (b *Binary) UnpackBipolar() *Bipolar {
+	c := make([]int8, b.d)
+	for i := range c {
+		if b.Bit(i) == 1 {
+			c[i] = 1
+		} else {
+			c[i] = -1
+		}
+	}
+	return &Bipolar{comps: c}
+}
+
+// String renders a short diagnostic form.
+func (b *Binary) String() string {
+	n := b.d
+	show := n
+	if show > 8 {
+		show = 8
+	}
+	buf := make([]byte, show)
+	for i := 0; i < show; i++ {
+		buf[i] = byte('0' + b.Bit(i))
+	}
+	suffix := ""
+	if n > show {
+		suffix = "..."
+	}
+	return fmt.Sprintf("Binary(d=%d, %s%s)", n, buf, suffix)
+}
+
+// BinaryAccumulator is the bit-majority counterpart of Accumulator: it
+// counts, per component, how many bundled vectors had that bit set.
+type BinaryAccumulator struct {
+	d     int
+	ones  []int32
+	total int
+}
+
+// NewBinaryAccumulator returns an empty accumulator of dimension d.
+func NewBinaryAccumulator(d int) *BinaryAccumulator {
+	if d <= 0 {
+		panic("hdc: non-positive dimension")
+	}
+	return &BinaryAccumulator{d: d, ones: make([]int32, d)}
+}
+
+// Dim returns the dimensionality of the accumulator.
+func (a *BinaryAccumulator) Dim() int { return a.d }
+
+// Count returns the number of vectors bundled so far.
+func (a *BinaryAccumulator) Count() int { return a.total }
+
+// Add bundles b into the accumulator.
+func (a *BinaryAccumulator) Add(b *Binary) {
+	if a.d != b.d {
+		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d", a.d, b.d))
+	}
+	for i := 0; i < a.d; i++ {
+		a.ones[i] += int32(b.Bit(i))
+	}
+	a.total++
+}
+
+// Sub removes one vote of b from the accumulator.
+func (a *BinaryAccumulator) Sub(b *Binary) {
+	if a.d != b.d {
+		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d", a.d, b.d))
+	}
+	for i := 0; i < a.d; i++ {
+		a.ones[i] -= int32(b.Bit(i))
+	}
+	a.total--
+}
+
+// Reset clears all votes.
+func (a *BinaryAccumulator) Reset() {
+	for i := range a.ones {
+		a.ones[i] = 0
+	}
+	a.total = 0
+}
+
+// Majority collapses the accumulator to a binary hypervector: bit i is set
+// when strictly more than half of the bundled vectors had it set, cleared
+// when fewer, and copied from tie on an exact tie.
+func (a *BinaryAccumulator) Majority(tie *Binary) *Binary {
+	if a.d != tie.d {
+		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d", a.d, tie.d))
+	}
+	out := NewBinary(a.d)
+	half2 := int32(a.total) // compare 2*ones against total
+	for i := 0; i < a.d; i++ {
+		twice := 2 * a.ones[i]
+		switch {
+		case twice > half2:
+			out.words[i>>6] |= 1 << uint(i&63)
+		case twice < half2:
+			// bit stays 0
+		default:
+			if tie.Bit(i) == 1 {
+				out.words[i>>6] |= 1 << uint(i&63)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package hdc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBinaryZero(t *testing.T) {
+	b := NewBinary(130)
+	for i := 0; i < 130; i++ {
+		if b.Bit(i) != 0 {
+			t.Fatalf("bit %d set in zero vector", i)
+		}
+	}
+}
+
+func TestRandomBinaryTailMasked(t *testing.T) {
+	b := RandomBinary(70, NewRNG(1))
+	if b.words[len(b.words)-1]>>6 != 0 {
+		t.Fatal("tail bits beyond dimension are set")
+	}
+}
+
+func TestBinaryBindSelfInverse(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		v := RandomBinary(257, r)
+		w := RandomBinary(257, r)
+		return v.Bind(w).Bind(w).Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryBindCommutative(t *testing.T) {
+	r := NewRNG(2)
+	v := RandomBinary(512, r)
+	w := RandomBinary(512, r)
+	if !v.Bind(w).Equal(w.Bind(v)) {
+		t.Fatal("binary bind not commutative")
+	}
+}
+
+func TestBinaryHammingSelfZero(t *testing.T) {
+	v := RandomBinary(1000, NewRNG(3))
+	if h := v.Hamming(v); h != 0 {
+		t.Fatalf("self hamming = %d", h)
+	}
+	if c := v.Cosine(v); c != 1 {
+		t.Fatalf("self cosine = %f", c)
+	}
+}
+
+func TestBinaryRandomPairQuasiOrthogonal(t *testing.T) {
+	r := NewRNG(4)
+	v := RandomBinary(10000, r)
+	w := RandomBinary(10000, r)
+	if c := math.Abs(v.Cosine(w)); c > 0.05 {
+		t.Fatalf("|cos| = %f between independent binary hypervectors", c)
+	}
+}
+
+func TestBinaryPermuteRoundTrip(t *testing.T) {
+	v := RandomBinary(100, NewRNG(5))
+	for _, k := range []int{0, 1, 50, 99, 100, -7} {
+		if !v.Permute(k).Permute(-k).Equal(v) {
+			t.Fatalf("binary permute round trip failed for k=%d", k)
+		}
+	}
+}
+
+func TestBinaryPermutePreservesWeight(t *testing.T) {
+	v := RandomBinary(333, NewRNG(6))
+	ones := func(b *Binary) int {
+		n := 0
+		for i := 0; i < b.Dim(); i++ {
+			n += b.Bit(i)
+		}
+		return n
+	}
+	if ones(v) != ones(v.Permute(17)) {
+		t.Fatal("permutation changed population count")
+	}
+}
+
+func TestBinaryBipolarCosineAgreement(t *testing.T) {
+	// The binary Cosine must equal the bipolar Cosine of the unpacked
+	// vectors for all pairs.
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		v := RandomBinary(300, r)
+		w := RandomBinary(300, r)
+		bc := v.Cosine(w)
+		pc := v.UnpackBipolar().Cosine(w.UnpackBipolar())
+		return math.Abs(bc-pc) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryUnpackPackRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		v := RandomBinary(129, NewRNG(seed))
+		return v.UnpackBipolar().PackBinary().Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryString(t *testing.T) {
+	v := NewBinary(4)
+	if got := v.String(); got != "Binary(d=4, 0000)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestBinaryAccumulatorMajority(t *testing.T) {
+	acc := NewBinaryAccumulator(4)
+	mk := func(bits ...int) *Binary {
+		b := NewBinary(4)
+		for i, v := range bits {
+			if v == 1 {
+				b.words[0] |= 1 << uint(i)
+			}
+		}
+		return b
+	}
+	acc.Add(mk(1, 1, 0, 0))
+	acc.Add(mk(1, 0, 0, 1))
+	acc.Add(mk(1, 0, 0, 0))
+	maj := acc.Majority(NewBinary(4))
+	want := []int{1, 0, 0, 0}
+	for i, w := range want {
+		if maj.Bit(i) != w {
+			t.Fatalf("majority bit %d = %d, want %d", i, maj.Bit(i), w)
+		}
+	}
+}
+
+func TestBinaryAccumulatorTie(t *testing.T) {
+	acc := NewBinaryAccumulator(2)
+	one := NewBinary(2)
+	one.words[0] = 0b01
+	two := NewBinary(2)
+	two.words[0] = 0b10
+	acc.Add(one)
+	acc.Add(two)
+	tie := NewBinary(2)
+	tie.words[0] = 0b11
+	maj := acc.Majority(tie)
+	if maj.Bit(0) != 1 || maj.Bit(1) != 1 {
+		t.Fatalf("tie not taken from tie vector: %v", maj)
+	}
+}
+
+func TestBinaryAccumulatorAddSub(t *testing.T) {
+	r := NewRNG(7)
+	acc := NewBinaryAccumulator(64)
+	v := RandomBinary(64, r)
+	w := RandomBinary(64, r)
+	acc.Add(v)
+	acc.Add(w)
+	acc.Sub(w)
+	if acc.Count() != 1 {
+		t.Fatalf("count = %d", acc.Count())
+	}
+	if !acc.Majority(NewBinary(64)).Equal(v) {
+		t.Fatal("add/sub did not cancel")
+	}
+}
+
+func TestBinaryBundlePreservesSimilarity(t *testing.T) {
+	r := NewRNG(8)
+	acc := NewBinaryAccumulator(10000)
+	vs := make([]*Binary, 5)
+	for i := range vs {
+		vs[i] = RandomBinary(10000, r)
+		acc.Add(vs[i])
+	}
+	maj := acc.Majority(RandomBinary(10000, r))
+	for i, v := range vs {
+		if c := maj.Cosine(v); c < 0.2 {
+			t.Fatalf("cos(majority, v%d) = %f", i, c)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package hdc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitCounterMatchesNaive(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		const d = 130
+		c := NewBitCounter(d)
+		naive := make([]int, d)
+		n := 1 + rng.Intn(40)
+		for k := 0; k < n; k++ {
+			b := RandomBinary(d, rng)
+			c.Add(b)
+			for i := 0; i < d; i++ {
+				naive[i] += b.Bit(i)
+			}
+		}
+		if c.Count() != n {
+			return false
+		}
+		for i := 0; i < d; i++ {
+			if c.CountAt(i) != naive[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitCounterAddXorMatchesExplicit(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		const d = 100
+		a := RandomBinary(d, rng)
+		b := RandomBinary(d, rng)
+		// XOR path.
+		cx := NewBitCounter(d)
+		cx.AddXor(a, b, false)
+		x := a.Bind(b)
+		for i := 0; i < d; i++ {
+			if cx.CountAt(i) != x.Bit(i) {
+				return false
+			}
+		}
+		// XNOR path: complement within dimension.
+		cn := NewBitCounter(d)
+		cn.AddXor(a, b, true)
+		for i := 0; i < d; i++ {
+			if cn.CountAt(i) != 1-x.Bit(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitCounterXnorTailMasked(t *testing.T) {
+	// d not a multiple of 64: the complemented tail must not pollute
+	// Popcount.
+	const d = 70
+	a := NewBinary(d)
+	b := NewBinary(d)
+	c := NewBitCounter(d)
+	c.AddXor(a, b, true) // XNOR of zeros = all ones within d
+	if got := c.Popcount(); got != d {
+		t.Fatalf("popcount = %d, want %d", got, d)
+	}
+}
+
+func TestBitCounterSignBipolarMatchesAccumulator(t *testing.T) {
+	// The packed majority must agree bit-for-bit with the int32
+	// accumulator under the bit↔bipolar mapping, ties included.
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		const d = 96
+		tie := RandomBipolar(d, rng)
+		bc := NewBitCounter(d)
+		acc := NewAccumulator(d)
+		n := 2 + rng.Intn(10) // even counts happen, exercising ties
+		for k := 0; k < n; k++ {
+			b := RandomBinary(d, rng)
+			bc.Add(b)
+			acc.Add(b.UnpackBipolar())
+		}
+		return bc.SignBipolar(tie).Equal(acc.Sign(tie))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitCounterReset(t *testing.T) {
+	c := NewBitCounter(64)
+	c.Add(RandomBinary(64, NewRNG(1)))
+	c.Reset()
+	if c.Count() != 0 || c.Popcount() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestBitCounterPanics(t *testing.T) {
+	c := NewBitCounter(64)
+	for _, fn := range []func(){
+		func() { c.Add(NewBinary(65)) },
+		func() { c.AddXor(NewBinary(64), NewBinary(65), false) },
+		func() { c.CountAt(64) },
+		func() { NewBitCounter(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkBitCounterAddXor(b *testing.B) {
+	rng := NewRNG(1)
+	x := RandomBinary(10000, rng)
+	y := RandomBinary(10000, rng)
+	c := NewBitCounter(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.AddXor(x, y, true)
+	}
+}

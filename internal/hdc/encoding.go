@@ -1,0 +1,196 @@
+package hdc
+
+import (
+	"fmt"
+)
+
+// This file implements the generic HDC encoding toolkit the paper
+// describes in Section III-A: record-based encoding (bind key and value
+// hypervectors, bundle the pairs), level hypervectors for scalar values
+// (nearby levels are similar, distant levels quasi-orthogonal), and
+// permutation-based sequence encoding. GraphHD itself only needs the
+// graph encoder in internal/core, but a credible HDC library exposes the
+// standard encodings, and the examples use them to build richer inputs.
+
+// LevelMemory maps discrete scalar levels 0..levels-1 to hypervectors
+// with linearly decaying similarity: level 0 and level levels-1 are
+// quasi-orthogonal, adjacent levels nearly identical. Implemented with
+// the standard interpolation scheme — start from a random vector and flip
+// a fresh disjoint slice of components at each step.
+type LevelMemory struct {
+	dim  int
+	vecs []*Bipolar
+}
+
+// NewLevelMemory builds a level memory of the given dimension and level
+// count, seeded deterministically.
+func NewLevelMemory(dim, levels int, seed uint64) (*LevelMemory, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("hdc: non-positive dimension %d", dim)
+	}
+	if levels < 2 {
+		return nil, fmt.Errorf("hdc: need at least 2 levels, got %d", levels)
+	}
+	rng := NewRNG(seed)
+	base := RandomBipolar(dim, rng)
+	// Shuffle component indices once; level i flips the first i/levels
+	// fraction of them, so flipped sets are nested and similarity decays
+	// linearly with level distance.
+	order := rng.Perm(dim)
+	m := &LevelMemory{dim: dim, vecs: make([]*Bipolar, levels)}
+	for l := 0; l < levels; l++ {
+		v := base.Clone()
+		flip := l * dim / (2 * (levels - 1)) // flip up to d/2 at the top level
+		for _, idx := range order[:flip] {
+			v.comps[idx] = -v.comps[idx]
+		}
+		m.vecs[l] = v
+	}
+	return m, nil
+}
+
+// Levels returns the number of levels.
+func (m *LevelMemory) Levels() int { return len(m.vecs) }
+
+// Dim returns the dimensionality.
+func (m *LevelMemory) Dim() int { return m.dim }
+
+// Vector returns the hypervector for level l.
+func (m *LevelMemory) Vector(l int) *Bipolar {
+	if l < 0 || l >= len(m.vecs) {
+		panic(fmt.Sprintf("hdc: level %d out of range [0,%d)", l, len(m.vecs)))
+	}
+	return m.vecs[l]
+}
+
+// Quantize maps a value in [lo, hi] to the nearest level's hypervector.
+// Values outside the range clamp to the end levels.
+func (m *LevelMemory) Quantize(v, lo, hi float64) *Bipolar {
+	if hi <= lo {
+		panic("hdc: empty quantization range")
+	}
+	f := (v - lo) / (hi - lo)
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	l := int(f*float64(len(m.vecs)-1) + 0.5)
+	return m.vecs[l]
+}
+
+// RecordEncoder implements record-based encoding: a sample with fields
+// (K_i, V_i) encodes to [ K_1 ⊙ V_1 + K_2 ⊙ V_2 + ... ], binding each
+// field's key hypervector to its value hypervector and bundling the pairs
+// (the equation in Section III-A of the paper).
+type RecordEncoder struct {
+	dim  int
+	keys *ItemMemory
+	tie  *Bipolar
+}
+
+// NewRecordEncoder returns a record encoder of the given dimension,
+// seeded deterministically. Key hypervectors are generated on demand: key
+// id i always maps to the same random hypervector.
+func NewRecordEncoder(dim int, seed uint64) (*RecordEncoder, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("hdc: non-positive dimension %d", dim)
+	}
+	rng := NewRNG(seed)
+	keySeed := rng.Uint64()
+	return &RecordEncoder{
+		dim:  dim,
+		keys: NewItemMemory(dim, keySeed),
+		tie:  RandomBipolar(dim, rng),
+	}, nil
+}
+
+// Dim returns the dimensionality.
+func (e *RecordEncoder) Dim() int { return e.dim }
+
+// Key returns the basis hypervector of field i.
+func (e *RecordEncoder) Key(i int) *Bipolar { return e.keys.Vector(i) }
+
+// Encode bundles the key-value bindings of one record. values[i] is bound
+// to field key i; nil entries are skipped.
+func (e *RecordEncoder) Encode(values []*Bipolar) (*Bipolar, error) {
+	acc := NewAccumulator(e.dim)
+	n := 0
+	for i, v := range values {
+		if v == nil {
+			continue
+		}
+		if v.Dim() != e.dim {
+			return nil, fmt.Errorf("hdc: field %d has dimension %d, want %d", i, v.Dim(), e.dim)
+		}
+		acc.Add(e.keys.Vector(i).Bind(v))
+		n++
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("hdc: empty record")
+	}
+	return acc.Sign(e.tie), nil
+}
+
+// Field recovers the approximate value hypervector stored under field i:
+// binding the record with the key unbinds the value (plus bundling noise).
+// The caller typically cleans the result against an item memory.
+func (e *RecordEncoder) Field(record *Bipolar, i int) *Bipolar {
+	return record.Bind(e.keys.Vector(i))
+}
+
+// SequenceEncoder encodes ordered sequences of symbols with the standard
+// permute-and-bind n-gram scheme: the symbol at offset j within an n-gram
+// is permuted j times, the n-gram is the bind of its permuted symbols, and
+// a sequence is the bundle of its n-grams.
+type SequenceEncoder struct {
+	dim     int
+	n       int
+	symbols *ItemMemory
+	tie     *Bipolar
+}
+
+// NewSequenceEncoder returns an n-gram sequence encoder.
+func NewSequenceEncoder(dim, n int, seed uint64) (*SequenceEncoder, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("hdc: non-positive dimension %d", dim)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("hdc: n-gram size %d < 1", n)
+	}
+	rng := NewRNG(seed)
+	symSeed := rng.Uint64()
+	return &SequenceEncoder{
+		dim:     dim,
+		n:       n,
+		symbols: NewItemMemory(dim, symSeed),
+		tie:     RandomBipolar(dim, rng),
+	}, nil
+}
+
+// Dim returns the dimensionality; N returns the n-gram size.
+func (e *SequenceEncoder) Dim() int { return e.dim }
+
+// N returns the n-gram size.
+func (e *SequenceEncoder) N() int { return e.n }
+
+// Symbol returns the basis hypervector of symbol id s.
+func (e *SequenceEncoder) Symbol(s int) *Bipolar { return e.symbols.Vector(s) }
+
+// Encode bundles all n-grams of the symbol sequence. Sequences shorter
+// than n are an error.
+func (e *SequenceEncoder) Encode(seq []int) (*Bipolar, error) {
+	if len(seq) < e.n {
+		return nil, fmt.Errorf("hdc: sequence length %d < n-gram size %d", len(seq), e.n)
+	}
+	acc := NewAccumulator(e.dim)
+	for start := 0; start+e.n <= len(seq); start++ {
+		gram := e.symbols.Vector(seq[start]).Permute(0)
+		for j := 1; j < e.n; j++ {
+			gram = gram.Bind(e.symbols.Vector(seq[start+j]).Permute(j))
+		}
+		acc.Add(gram)
+	}
+	return acc.Sign(e.tie), nil
+}

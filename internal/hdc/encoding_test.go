@@ -1,0 +1,190 @@
+package hdc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLevelMemoryValidation(t *testing.T) {
+	if _, err := NewLevelMemory(0, 4, 1); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if _, err := NewLevelMemory(64, 1, 1); err == nil {
+		t.Fatal("expected level count error")
+	}
+}
+
+func TestLevelMemorySimilarityDecaysMonotonically(t *testing.T) {
+	m, err := NewLevelMemory(10000, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.Vector(0)
+	prev := 1.1
+	for l := 1; l < m.Levels(); l++ {
+		c := base.Cosine(m.Vector(l))
+		if c >= prev {
+			t.Fatalf("similarity not strictly decaying at level %d: %f >= %f", l, c, prev)
+		}
+		prev = c
+	}
+	// Extreme levels are quasi-orthogonal (flip d/2 components → cos≈0).
+	if c := base.Cosine(m.Vector(9)); math.Abs(c) > 0.1 {
+		t.Fatalf("extreme levels cosine = %f, want ≈0", c)
+	}
+	// Adjacent levels stay close.
+	if c := m.Vector(4).Cosine(m.Vector(5)); c < 0.8 {
+		t.Fatalf("adjacent levels cosine = %f, want high", c)
+	}
+}
+
+func TestLevelMemoryQuantize(t *testing.T) {
+	m, err := NewLevelMemory(256, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Quantize(0, 0, 1).Equal(m.Vector(0)) {
+		t.Fatal("lo should map to level 0")
+	}
+	if !m.Quantize(1, 0, 1).Equal(m.Vector(4)) {
+		t.Fatal("hi should map to last level")
+	}
+	if !m.Quantize(-5, 0, 1).Equal(m.Vector(0)) {
+		t.Fatal("below-range should clamp")
+	}
+	if !m.Quantize(99, 0, 1).Equal(m.Vector(4)) {
+		t.Fatal("above-range should clamp")
+	}
+	if !m.Quantize(0.5, 0, 1).Equal(m.Vector(2)) {
+		t.Fatal("midpoint should map to middle level")
+	}
+}
+
+func TestLevelMemoryQuantizePanicsOnEmptyRange(t *testing.T) {
+	m, _ := NewLevelMemory(64, 3, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Quantize(0, 1, 1)
+}
+
+func TestLevelMemoryVectorPanicsOutOfRange(t *testing.T) {
+	m, _ := NewLevelMemory(64, 3, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Vector(3)
+}
+
+func TestRecordEncoderRoundTrip(t *testing.T) {
+	enc, err := NewRecordEncoder(10000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRNG(7)
+	// Item memory of candidate values for cleanup.
+	values := make([]*Bipolar, 5)
+	for i := range values {
+		values[i] = RandomBipolar(10000, rng)
+	}
+	record, err := enc.Encode([]*Bipolar{values[0], values[3], values[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unbinding field 1 should be closest to values[3].
+	got := enc.Field(record, 1)
+	best, bestC := -1, -2.0
+	for i, v := range values {
+		if c := got.Cosine(v); c > bestC {
+			best, bestC = i, c
+		}
+	}
+	if best != 3 {
+		t.Fatalf("recovered value %d, want 3 (cos=%f)", best, bestC)
+	}
+}
+
+func TestRecordEncoderValidation(t *testing.T) {
+	if _, err := NewRecordEncoder(0, 1); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	enc, _ := NewRecordEncoder(128, 1)
+	if _, err := enc.Encode(nil); err == nil {
+		t.Fatal("expected empty-record error")
+	}
+	if _, err := enc.Encode([]*Bipolar{nil, nil}); err == nil {
+		t.Fatal("expected empty-record error for all-nil")
+	}
+	if _, err := enc.Encode([]*Bipolar{NewBipolar(64)}); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}
+
+func TestRecordEncoderSkipsNilFields(t *testing.T) {
+	enc, _ := NewRecordEncoder(1024, 2)
+	v := RandomBipolar(1024, NewRNG(8))
+	r1, err := enc.Encode([]*Bipolar{nil, v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equivalent to a single-field record under key 1.
+	want := enc.Key(1).Bind(v)
+	if !r1.Equal(want) {
+		t.Fatal("nil-skipping changed the encoding")
+	}
+}
+
+func TestSequenceEncoderOrderSensitivity(t *testing.T) {
+	enc, err := NewSequenceEncoder(10000, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := enc.Encode([]int{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := enc.Encode([]int{5, 4, 3, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := a.Cosine(b); c > 0.3 {
+		t.Fatalf("reversed sequence too similar: %f", c)
+	}
+	// Identical sequences encode identically.
+	a2, _ := enc.Encode([]int{1, 2, 3, 4, 5})
+	if !a.Equal(a2) {
+		t.Fatal("sequence encoding not deterministic")
+	}
+	// Sharing most n-grams keeps encodings similar.
+	c, _ := enc.Encode([]int{1, 2, 3, 4, 6})
+	if a.Cosine(c) < 0.3 {
+		t.Fatalf("overlapping sequences too dissimilar: %f", a.Cosine(c))
+	}
+}
+
+func TestSequenceEncoderValidation(t *testing.T) {
+	if _, err := NewSequenceEncoder(0, 2, 1); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if _, err := NewSequenceEncoder(64, 0, 1); err == nil {
+		t.Fatal("expected n-gram error")
+	}
+	enc, _ := NewSequenceEncoder(64, 3, 1)
+	if _, err := enc.Encode([]int{1, 2}); err == nil {
+		t.Fatal("expected short-sequence error")
+	}
+}
+
+func TestSequenceEncoderUnigram(t *testing.T) {
+	// n=1 reduces to a bag of symbols: order must NOT matter.
+	enc, _ := NewSequenceEncoder(4096, 1, 10)
+	a, _ := enc.Encode([]int{1, 2, 3})
+	b, _ := enc.Encode([]int{3, 1, 2})
+	if !a.Equal(b) {
+		t.Fatal("unigram encoding should be order-invariant")
+	}
+}

@@ -1,0 +1,217 @@
+package hdc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ItemMemory is a lazily grown table of basis hypervectors indexed by
+// integer symbol id. GraphHD uses one to map a vertex's PageRank rank to
+// its basis hypervector: rank r in any graph of the dataset retrieves the
+// same random hypervector, which is what makes vertices of different
+// graphs comparable.
+//
+// The memory is safe for concurrent use; parallel per-fold training shares
+// a single basis set.
+type ItemMemory struct {
+	mu   sync.RWMutex
+	dim  int
+	rng  *RNG
+	vecs []*Bipolar
+}
+
+// NewItemMemory returns an empty item memory producing hypervectors of
+// dimension dim, seeded deterministically with seed.
+func NewItemMemory(dim int, seed uint64) *ItemMemory {
+	if dim <= 0 {
+		panic("hdc: non-positive dimension")
+	}
+	return &ItemMemory{dim: dim, rng: NewRNG(seed)}
+}
+
+// Dim returns the dimensionality of the stored hypervectors.
+func (m *ItemMemory) Dim() int { return m.dim }
+
+// Len returns the number of symbols materialized so far.
+func (m *ItemMemory) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.vecs)
+}
+
+// Vector returns the basis hypervector for symbol id, generating (and
+// caching) hypervectors for all ids up to and including id on first use.
+// Because generation order is fixed (0, 1, 2, ...), the vector associated
+// with a given id is independent of the access pattern.
+func (m *ItemMemory) Vector(id int) *Bipolar {
+	if id < 0 {
+		panic(fmt.Sprintf("hdc: negative symbol id %d", id))
+	}
+	m.mu.RLock()
+	if id < len(m.vecs) {
+		v := m.vecs[id]
+		m.mu.RUnlock()
+		return v
+	}
+	m.mu.RUnlock()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id >= len(m.vecs) {
+		m.vecs = append(m.vecs, RandomBipolar(m.dim, m.rng))
+	}
+	return m.vecs[id]
+}
+
+// Reserve eagerly materializes basis vectors for ids [0, n). Useful to
+// avoid lock contention before a parallel section.
+func (m *ItemMemory) Reserve(n int) {
+	if n > 0 {
+		m.Vector(n - 1)
+	}
+}
+
+// AssociativeMemory stores one integer-accumulator class vector per class
+// and answers nearest-class queries, the HDC inference primitive
+// pred(y) = argmax_i δ(Enc(y), C_i). Queries measure cosine similarity
+// either against the raw integer sums (the default, more precise) or
+// against the majority-voted bipolar class vectors.
+type AssociativeMemory struct {
+	dim      int
+	classes  []*Accumulator
+	tie      *Bipolar
+	bipolar  bool // if true, compare against Sign(tie) class vectors
+	signed   []*Bipolar
+	signedOK bool
+}
+
+// NewAssociativeMemory returns a memory for k classes of dimension dim.
+// tieSeed seeds the deterministic tie-break vector used when collapsing
+// accumulators to bipolar form. If bipolarClassVectors is true, inference
+// compares queries against majority-voted class vectors (the strict paper
+// formulation); otherwise against the integer sums.
+func NewAssociativeMemory(k, dim int, tieSeed uint64, bipolarClassVectors bool) *AssociativeMemory {
+	if k <= 0 {
+		panic("hdc: non-positive class count")
+	}
+	am := &AssociativeMemory{
+		dim:     dim,
+		classes: make([]*Accumulator, k),
+		tie:     RandomBipolar(dim, NewRNG(tieSeed)),
+		bipolar: bipolarClassVectors,
+	}
+	for i := range am.classes {
+		am.classes[i] = NewAccumulator(dim)
+	}
+	return am
+}
+
+// NumClasses returns the number of classes.
+func (am *AssociativeMemory) NumClasses() int { return len(am.classes) }
+
+// Dim returns the hypervector dimensionality.
+func (am *AssociativeMemory) Dim() int { return am.dim }
+
+// Tie returns the deterministic tie-break hypervector shared by all
+// bundling in this memory.
+func (am *AssociativeMemory) Tie() *Bipolar { return am.tie }
+
+// Learn bundles the encoded sample v into class c's accumulator.
+func (am *AssociativeMemory) Learn(c int, v *Bipolar) {
+	am.classes[c].Add(v)
+	am.signedOK = false
+}
+
+// Unlearn removes one vote of v from class c, and Reinforce adds weight w
+// votes; both support retraining.
+func (am *AssociativeMemory) Unlearn(c int, v *Bipolar) {
+	am.classes[c].Sub(v)
+	am.signedOK = false
+}
+
+// Reinforce adds w (possibly negative) votes of v to class c.
+func (am *AssociativeMemory) Reinforce(c int, v *Bipolar, w int) {
+	am.classes[c].AddWeighted(v, w)
+	am.signedOK = false
+}
+
+// ClassVector returns the majority-voted bipolar class vector for class c.
+func (am *AssociativeMemory) ClassVector(c int) *Bipolar {
+	return am.classes[c].Sign(am.tie)
+}
+
+// ClassAccumulator exposes the raw accumulator for class c (shared, not a
+// copy); callers must not mutate it concurrently with queries.
+func (am *AssociativeMemory) ClassAccumulator(c int) *Accumulator {
+	return am.classes[c]
+}
+
+func (am *AssociativeMemory) refreshSigned() {
+	if am.signedOK {
+		return
+	}
+	am.signed = make([]*Bipolar, len(am.classes))
+	for i, acc := range am.classes {
+		am.signed[i] = acc.Sign(am.tie)
+	}
+	am.signedOK = true
+}
+
+// Similarities returns δ(v, C_i) for every class i.
+func (am *AssociativeMemory) Similarities(v *Bipolar) []float64 {
+	sims := make([]float64, len(am.classes))
+	if am.bipolar {
+		am.refreshSigned()
+		for i, cv := range am.signed {
+			sims[i] = v.Cosine(cv)
+		}
+		return sims
+	}
+	for i, acc := range am.classes {
+		sims[i] = acc.CosineToSums(v)
+	}
+	return sims
+}
+
+// Classify returns the class whose vector is most similar to v, breaking
+// exact similarity ties toward the smaller class index for determinism.
+func (am *AssociativeMemory) Classify(v *Bipolar) int {
+	sims := am.Similarities(v)
+	best, bestSim := 0, sims[0]
+	for i := 1; i < len(sims); i++ {
+		if sims[i] > bestSim {
+			best, bestSim = i, sims[i]
+		}
+	}
+	return best
+}
+
+// Ranking returns class indices ordered by decreasing similarity to v.
+func (am *AssociativeMemory) Ranking(v *Bipolar) []int {
+	sims := am.Similarities(v)
+	idx := make([]int, len(sims))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return sims[idx[a]] > sims[idx[b]] })
+	return idx
+}
+
+// Reset clears all learned class information.
+func (am *AssociativeMemory) Reset() {
+	for _, acc := range am.classes {
+		acc.Reset()
+	}
+	am.signedOK = false
+}
+
+// LoadClass replaces class c's accumulator state; used when deserializing
+// a trained model.
+func (am *AssociativeMemory) LoadClass(c int, sums []int32, count int) error {
+	if err := am.classes[c].LoadSums(sums, count); err != nil {
+		return err
+	}
+	am.signedOK = false
+	return nil
+}

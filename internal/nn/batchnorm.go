@@ -1,0 +1,171 @@
+package nn
+
+import (
+	"math"
+)
+
+// BatchNorm is 1-D batch normalization over the feature (column) axis,
+// the component of the original GIN architecture (Xu et al. 2019) that
+// keeps sum-aggregated activations in a trainable range: without it,
+// sum pooling over large graphs saturates the softmax and gradients die.
+// Training mode normalizes by batch statistics and maintains running
+// estimates; evaluation mode uses the running estimates.
+type BatchNorm struct {
+	Features int
+	Eps      float64
+	Momentum float64 // running-average update rate (default 0.1)
+
+	Gamma, Beta *Param
+
+	runMean []float64
+	runVar  []float64
+	seen    bool
+}
+
+// NewBatchNorm returns a batch-norm layer over the given feature width
+// with gamma=1, beta=0.
+func NewBatchNorm(features int) *BatchNorm {
+	bn := &BatchNorm{
+		Features: features,
+		Eps:      1e-5,
+		Momentum: 0.1,
+		Gamma:    NewParam(1, features),
+		Beta:     NewParam(1, features),
+		runMean:  make([]float64, features),
+		runVar:   make([]float64, features),
+	}
+	for i := range bn.Gamma.W.Data {
+		bn.Gamma.W.Data[i] = 1
+		bn.runVar[i] = 1
+	}
+	return bn
+}
+
+// Params returns the trainable parameters.
+func (bn *BatchNorm) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// BNCache holds the forward intermediates Backward needs. frozen marks a
+// pass that normalized with running statistics (evaluation mode, or a
+// single-row training batch); its backward treats mean and variance as
+// constants.
+type BNCache struct {
+	frozen bool
+	xhat   *Matrix
+	invStd []float64
+}
+
+// Forward normalizes x (rows = batch, cols = features). In training mode
+// batch statistics are used and folded into the running estimates; in
+// evaluation mode the running estimates are used and the cache is nil.
+func (bn *BatchNorm) Forward(x *Matrix, training bool) (*Matrix, *BNCache) {
+	if x.Cols != bn.Features {
+		panic("nn: batchnorm feature mismatch")
+	}
+	m := float64(x.Rows)
+	out := NewMatrix(x.Rows, x.Cols)
+	if !training || x.Rows == 1 {
+		// Single-row training batches fall back to running statistics:
+		// a batch variance of zero would produce degenerate gradients.
+		cache := &BNCache{frozen: true, xhat: NewMatrix(x.Rows, x.Cols), invStd: make([]float64, bn.Features)}
+		for j := range cache.invStd {
+			cache.invStd[j] = 1 / math.Sqrt(bn.runVar[j]+bn.Eps)
+		}
+		for i := 0; i < x.Rows; i++ {
+			row, xrow, orow := x.Row(i), cache.xhat.Row(i), out.Row(i)
+			for j := range row {
+				xh := (row[j] - bn.runMean[j]) * cache.invStd[j]
+				xrow[j] = xh
+				orow[j] = bn.Gamma.W.Data[j]*xh + bn.Beta.W.Data[j]
+			}
+		}
+		return out, cache
+	}
+	mean := make([]float64, bn.Features)
+	variance := make([]float64, bn.Features)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= m
+	}
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j, v := range row {
+			d := v - mean[j]
+			variance[j] += d * d
+		}
+	}
+	for j := range variance {
+		variance[j] /= m // biased estimator, standard for BN
+	}
+	cache := &BNCache{xhat: NewMatrix(x.Rows, x.Cols), invStd: make([]float64, bn.Features)}
+	for j := range cache.invStd {
+		cache.invStd[j] = 1 / math.Sqrt(variance[j]+bn.Eps)
+	}
+	for i := 0; i < x.Rows; i++ {
+		row, xrow, orow := x.Row(i), cache.xhat.Row(i), out.Row(i)
+		for j, v := range row {
+			xh := (v - mean[j]) * cache.invStd[j]
+			xrow[j] = xh
+			orow[j] = bn.Gamma.W.Data[j]*xh + bn.Beta.W.Data[j]
+		}
+	}
+	mom := bn.Momentum
+	if !bn.seen {
+		mom = 1 // first batch initializes the running stats outright
+		bn.seen = true
+	}
+	for j := range mean {
+		bn.runMean[j] = (1-mom)*bn.runMean[j] + mom*mean[j]
+		bn.runVar[j] = (1-mom)*bn.runVar[j] + mom*variance[j]
+	}
+	return out, cache
+}
+
+// Backward accumulates parameter gradients and returns dL/dx for a
+// training-mode forward pass.
+func (bn *BatchNorm) Backward(cache *BNCache, dy *Matrix) *Matrix {
+	if cache == nil {
+		panic("nn: batchnorm backward without forward cache")
+	}
+	if cache.frozen {
+		// Mean and variance were constants (running statistics), so the
+		// chain rule reduces to the affine part.
+		dx := NewMatrix(dy.Rows, dy.Cols)
+		for i := 0; i < dy.Rows; i++ {
+			drow, xrow, orow := dy.Row(i), cache.xhat.Row(i), dx.Row(i)
+			for j, d := range drow {
+				bn.Gamma.G.Data[j] += d * xrow[j]
+				bn.Beta.G.Data[j] += d
+				orow[j] = d * bn.Gamma.W.Data[j] * cache.invStd[j]
+			}
+		}
+		return dx
+	}
+	m := float64(dy.Rows)
+	sumDy := make([]float64, bn.Features)
+	sumDyXhat := make([]float64, bn.Features)
+	for i := 0; i < dy.Rows; i++ {
+		drow, xrow := dy.Row(i), cache.xhat.Row(i)
+		for j, d := range drow {
+			sumDy[j] += d
+			sumDyXhat[j] += d * xrow[j]
+		}
+	}
+	for j := 0; j < bn.Features; j++ {
+		bn.Gamma.G.Data[j] += sumDyXhat[j]
+		bn.Beta.G.Data[j] += sumDy[j]
+	}
+	dx := NewMatrix(dy.Rows, dy.Cols)
+	for i := 0; i < dy.Rows; i++ {
+		drow, xrow, orow := dy.Row(i), cache.xhat.Row(i), dx.Row(i)
+		for j, d := range drow {
+			g := bn.Gamma.W.Data[j]
+			orow[j] = g * cache.invStd[j] / m * (m*d - sumDy[j] - xrow[j]*sumDyXhat[j])
+		}
+	}
+	return dx
+}

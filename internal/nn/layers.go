@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"graphhd/internal/hdc"
+)
+
+// Linear is a fully connected layer Y = X W + b with explicit forward and
+// backward passes. W has shape in×out, b is 1×out.
+type Linear struct {
+	In, Out int
+	W, B    *Param
+}
+
+// NewLinear returns a Glorot-initialized linear layer.
+func NewLinear(in, out int, rng *hdc.RNG) *Linear {
+	l := &Linear{In: in, Out: out, W: NewParam(in, out), B: NewParam(1, out)}
+	l.W.GlorotInit(rng)
+	return l
+}
+
+// Forward computes Y = X W + b. X has shape n×in.
+func (l *Linear) Forward(x *Matrix) *Matrix {
+	y := MatMul(x, l.W.W)
+	for i := 0; i < y.Rows; i++ {
+		row := y.Row(i)
+		for j := range row {
+			row[j] += l.B.W.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward accumulates parameter gradients given the layer input x and the
+// upstream gradient dy, and returns the gradient with respect to x.
+func (l *Linear) Backward(x, dy *Matrix) *Matrix {
+	l.W.G.AddInPlace(MatMulTA(x, dy))
+	for i := 0; i < dy.Rows; i++ {
+		row := dy.Row(i)
+		for j := range row {
+			l.B.G.Data[j] += row[j]
+		}
+	}
+	return MatMulTB(dy, l.W.W)
+}
+
+// Params returns the layer's trainable parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// ReLUForward returns max(x, 0) element-wise, plus the mask needed by the
+// backward pass.
+func ReLUForward(x *Matrix) (*Matrix, []bool) {
+	y := x.Clone()
+	mask := make([]bool, len(x.Data))
+	for i, v := range x.Data {
+		if v > 0 {
+			mask[i] = true
+		} else {
+			y.Data[i] = 0
+		}
+	}
+	return y, mask
+}
+
+// ReLUBackward masks the upstream gradient: dX = dY ⊙ (x > 0).
+func ReLUBackward(dy *Matrix, mask []bool) *Matrix {
+	dx := dy.Clone()
+	for i := range dx.Data {
+		if !mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// MLP is the two-layer perceptron used inside each GIN layer:
+// Linear → BatchNorm → ReLU → Linear, the architecture of Xu et al. 2019.
+// Batch normalization is essential with sum aggregation/pooling: on large
+// graphs the summed activations otherwise grow with the vertex count and
+// saturate the loss.
+type MLP struct {
+	L1 *Linear
+	BN *BatchNorm
+	L2 *Linear
+}
+
+// NewMLP returns an in→hidden→out two-layer MLP.
+func NewMLP(in, hidden, out int, rng *hdc.RNG) *MLP {
+	return &MLP{L1: NewLinear(in, hidden, rng), BN: NewBatchNorm(hidden), L2: NewLinear(hidden, out, rng)}
+}
+
+// MLPCache stores forward intermediates for the backward pass.
+type MLPCache struct {
+	x     *Matrix
+	z1    *Matrix
+	bn    *BNCache
+	zbn   *Matrix
+	mask1 []bool
+	h1    *Matrix
+}
+
+// Forward runs the MLP and returns the output plus a cache for Backward.
+// training selects batch-statistics normalization; Backward requires a
+// training-mode cache.
+func (m *MLP) Forward(x *Matrix, training bool) (*Matrix, *MLPCache) {
+	c := &MLPCache{x: x}
+	c.z1 = m.L1.Forward(x)
+	c.zbn, c.bn = m.BN.Forward(c.z1, training)
+	c.h1, c.mask1 = ReLUForward(c.zbn)
+	return m.L2.Forward(c.h1), c
+}
+
+// Backward accumulates parameter gradients and returns dL/dx.
+func (m *MLP) Backward(c *MLPCache, dy *Matrix) *Matrix {
+	dh1 := m.L2.Backward(c.h1, dy)
+	dzbn := ReLUBackward(dh1, c.mask1)
+	dz1 := m.BN.Backward(c.bn, dzbn)
+	return m.L1.Backward(c.x, dz1)
+}
+
+// Params returns all trainable parameters.
+func (m *MLP) Params() []*Param {
+	ps := m.L1.Params()
+	ps = append(ps, m.BN.Params()...)
+	return append(ps, m.L2.Params()...)
+}

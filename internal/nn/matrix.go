@@ -1,0 +1,171 @@
+// Package nn is the minimal neural-network substrate backing the paper's
+// GNN baselines: dense row-major matrices, linear layers with explicit
+// backward passes, ReLU, softmax cross-entropy, the Adam optimizer and the
+// reduce-on-plateau learning-rate scheduler the paper's GIN training uses.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"graphhd/internal/hdc"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("nn: negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared storage).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero resets all elements to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// AddInPlace adds o element-wise into m.
+func (m *Matrix) AddInPlace(o *Matrix) {
+	mustSameShape(m, o)
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+}
+
+// Scale multiplies every element by s.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty).
+func (m *Matrix) MaxAbs() float64 {
+	mx := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+func mustSameShape(a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// MatMul returns a @ b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: matmul %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTA returns aᵀ @ b (a is in×r, b is in×c, result r×c); the shape
+// needed for weight gradients dW = Xᵀ dY.
+func MatMulTA(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("nn: matmulTA %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Cols, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		brow := b.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTB returns a @ bᵀ (a is r×in, b is c×in, result r×c); the shape
+// needed for input gradients dX = dY Wᵀ.
+func MatMulTB(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: matmulTB %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// Param is a trainable tensor: a value matrix and its gradient.
+type Param struct {
+	W *Matrix
+	G *Matrix
+}
+
+// NewParam returns a zero-initialized parameter of the given shape.
+func NewParam(rows, cols int) *Param {
+	return &Param{W: NewMatrix(rows, cols), G: NewMatrix(rows, cols)}
+}
+
+// GlorotInit fills the parameter with Glorot/Xavier-uniform values,
+// the standard initialization for the GIN MLPs.
+func (p *Param) GlorotInit(rng *hdc.RNG) {
+	limit := math.Sqrt(6 / float64(p.W.Rows+p.W.Cols))
+	for i := range p.W.Data {
+		p.W.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// ZeroGrad clears the gradient.
+func (p *Param) ZeroGrad() { p.G.Zero() }

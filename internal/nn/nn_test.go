@@ -1,0 +1,371 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"graphhd/internal/hdc"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 || m.At(0, 0) != 0 {
+		t.Fatal("set/at broken")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 0 {
+		t.Fatal("clone shares storage")
+	}
+	m.Zero()
+	if m.At(1, 2) != 0 {
+		t.Fatal("zero failed")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := &Matrix{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	b := &Matrix{Rows: 3, Cols: 2, Data: []float64{7, 8, 9, 10, 11, 12}}
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("matmul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestMatMulTransposesAgree(t *testing.T) {
+	// MatMulTA(a, b) must equal MatMul(transpose(a), b), and
+	// MatMulTB(a, b) must equal MatMul(a, transpose(b)).
+	rng := hdc.NewRNG(1)
+	randM := func(r, c int) *Matrix {
+		m := NewMatrix(r, c)
+		for i := range m.Data {
+			m.Data[i] = rng.Float64()*2 - 1
+		}
+		return m
+	}
+	transpose := func(m *Matrix) *Matrix {
+		out := NewMatrix(m.Cols, m.Rows)
+		for i := 0; i < m.Rows; i++ {
+			for j := 0; j < m.Cols; j++ {
+				out.Set(j, i, m.At(i, j))
+			}
+		}
+		return out
+	}
+	a := randM(4, 3)
+	b := randM(4, 5)
+	ta := MatMulTA(a, b)
+	ref := MatMul(transpose(a), b)
+	for i := range ta.Data {
+		if math.Abs(ta.Data[i]-ref.Data[i]) > 1e-12 {
+			t.Fatal("MatMulTA mismatch")
+		}
+	}
+	c := randM(4, 3)
+	d := randM(5, 3)
+	tb := MatMulTB(c, d)
+	ref2 := MatMul(c, transpose(d))
+	for i := range tb.Data {
+		if math.Abs(tb.Data[i]-ref2.Data[i]) > 1e-12 {
+			t.Fatal("MatMulTB mismatch")
+		}
+	}
+}
+
+func TestLinearForwardKnown(t *testing.T) {
+	l := &Linear{In: 2, Out: 2, W: NewParam(2, 2), B: NewParam(1, 2)}
+	l.W.W.Data = []float64{1, 2, 3, 4}
+	l.B.W.Data = []float64{10, 20}
+	x := &Matrix{Rows: 1, Cols: 2, Data: []float64{1, 1}}
+	y := l.Forward(x)
+	if y.At(0, 0) != 14 || y.At(0, 1) != 26 {
+		t.Fatalf("forward = %v", y.Data)
+	}
+}
+
+// numericGrad estimates dLoss/dparam[i] by central differences.
+func numericGrad(f func() float64, p *float64) float64 {
+	const h = 1e-6
+	old := *p
+	*p = old + h
+	lp := f()
+	*p = old - h
+	lm := f()
+	*p = old
+	return (lp - lm) / (2 * h)
+}
+
+func TestLinearBackwardNumeric(t *testing.T) {
+	rng := hdc.NewRNG(2)
+	l := NewLinear(3, 2, rng)
+	x := NewMatrix(4, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()*2 - 1
+	}
+	labels := []int{0, 1, 1, 0}
+	loss := func() float64 {
+		y := l.Forward(x)
+		v, _ := SoftmaxCrossEntropy(y, labels)
+		return v
+	}
+	// Analytic gradients.
+	y := l.Forward(x)
+	_, dy := SoftmaxCrossEntropy(y, labels)
+	l.W.ZeroGrad()
+	l.B.ZeroGrad()
+	dx := l.Backward(x, dy)
+	// Check W gradient entries.
+	for i := 0; i < len(l.W.W.Data); i++ {
+		want := numericGrad(loss, &l.W.W.Data[i])
+		if math.Abs(want-l.W.G.Data[i]) > 1e-5 {
+			t.Fatalf("dW[%d] = %v, numeric %v", i, l.W.G.Data[i], want)
+		}
+	}
+	for i := 0; i < len(l.B.W.Data); i++ {
+		want := numericGrad(loss, &l.B.W.Data[i])
+		if math.Abs(want-l.B.G.Data[i]) > 1e-5 {
+			t.Fatalf("dB[%d] = %v, numeric %v", i, l.B.G.Data[i], want)
+		}
+	}
+	// Check input gradient.
+	for i := 0; i < len(x.Data); i++ {
+		want := numericGrad(loss, &x.Data[i])
+		if math.Abs(want-dx.Data[i]) > 1e-5 {
+			t.Fatalf("dX[%d] = %v, numeric %v", i, dx.Data[i], want)
+		}
+	}
+}
+
+func TestMLPBackwardNumeric(t *testing.T) {
+	rng := hdc.NewRNG(3)
+	m := NewMLP(3, 4, 2, rng)
+	x := NewMatrix(5, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()*2 - 1
+	}
+	labels := []int{0, 1, 0, 1, 1}
+	loss := func() float64 {
+		y, _ := m.Forward(x, true)
+		v, _ := SoftmaxCrossEntropy(y, labels)
+		return v
+	}
+	y, cache := m.Forward(x, true)
+	_, dy := SoftmaxCrossEntropy(y, labels)
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+	dx := m.Backward(cache, dy)
+	for _, p := range m.Params() {
+		for i := range p.W.Data {
+			want := numericGrad(loss, &p.W.Data[i])
+			if math.Abs(want-p.G.Data[i]) > 1e-4 {
+				t.Fatalf("param grad = %v, numeric %v", p.G.Data[i], want)
+			}
+		}
+	}
+	for i := range x.Data {
+		want := numericGrad(loss, &x.Data[i])
+		if math.Abs(want-dx.Data[i]) > 1e-4 {
+			t.Fatalf("dX[%d] = %v, numeric %v", i, dx.Data[i], want)
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	x := &Matrix{Rows: 1, Cols: 4, Data: []float64{-1, 0, 2, -3}}
+	y, mask := ReLUForward(x)
+	want := []float64{0, 0, 2, 0}
+	for i, w := range want {
+		if y.Data[i] != w {
+			t.Fatalf("relu = %v", y.Data)
+		}
+	}
+	dy := &Matrix{Rows: 1, Cols: 4, Data: []float64{1, 1, 1, 1}}
+	dx := ReLUBackward(dy, mask)
+	wantG := []float64{0, 0, 1, 0}
+	for i, w := range wantG {
+		if dx.Data[i] != w {
+			t.Fatalf("relu grad = %v", dx.Data)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyKnown(t *testing.T) {
+	// Uniform logits over 2 classes: loss = ln 2.
+	logits := &Matrix{Rows: 1, Cols: 2, Data: []float64{0, 0}}
+	loss, grad := SoftmaxCrossEntropy(logits, []int{0})
+	if math.Abs(loss-math.Ln2) > 1e-12 {
+		t.Fatalf("loss = %v, want ln2", loss)
+	}
+	if math.Abs(grad.At(0, 0)-(-0.5)) > 1e-12 || math.Abs(grad.At(0, 1)-0.5) > 1e-12 {
+		t.Fatalf("grad = %v", grad.Data)
+	}
+}
+
+func TestSoftmaxCrossEntropyStability(t *testing.T) {
+	logits := &Matrix{Rows: 1, Cols: 2, Data: []float64{1000, -1000}}
+	loss, grad := SoftmaxCrossEntropy(logits, []int{0})
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("unstable loss %v", loss)
+	}
+	for _, g := range grad.Data {
+		if math.IsNaN(g) {
+			t.Fatal("NaN gradient")
+		}
+	}
+}
+
+func TestSoftmaxGradSumsToZero(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := hdc.NewRNG(seed)
+		logits := NewMatrix(3, 4)
+		for i := range logits.Data {
+			logits.Data[i] = rng.Float64()*4 - 2
+		}
+		_, grad := SoftmaxCrossEntropy(logits, []int{0, 3, 2})
+		for i := 0; i < 3; i++ {
+			s := 0.0
+			for _, v := range grad.Row(i) {
+				s += v
+			}
+			if math.Abs(s) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize ||W - target||^2 via Adam; gradients are 2(W - target).
+	p := NewParam(2, 2)
+	target := []float64{1, -2, 3, 0.5}
+	opt := NewAdam([]*Param{p}, 0.05)
+	for it := 0; it < 2000; it++ {
+		for i := range p.W.Data {
+			p.G.Data[i] = 2 * (p.W.Data[i] - target[i])
+		}
+		opt.Step()
+	}
+	for i, w := range target {
+		if math.Abs(p.W.Data[i]-w) > 1e-3 {
+			t.Fatalf("W[%d] = %v, want %v", i, p.W.Data[i], w)
+		}
+	}
+}
+
+func TestAdamClearsGradients(t *testing.T) {
+	p := NewParam(1, 1)
+	p.G.Data[0] = 5
+	opt := NewAdam([]*Param{p}, 0.1)
+	opt.Step()
+	if p.G.Data[0] != 0 {
+		t.Fatal("gradient not cleared after step")
+	}
+	p.G.Data[0] = 7
+	opt.ZeroGrad()
+	if p.G.Data[0] != 0 {
+		t.Fatal("ZeroGrad failed")
+	}
+}
+
+func TestPlateauScheduler(t *testing.T) {
+	p := NewParam(1, 1)
+	opt := NewAdam([]*Param{p}, 0.01)
+	s := NewPlateauScheduler(opt)
+	// Improving losses: no decay.
+	for i := 0; i < 10; i++ {
+		if s.Step(1.0 / float64(i+1)) {
+			t.Fatal("decayed while improving")
+		}
+	}
+	// Stalled: decay after patience+1 stalls.
+	decays := 0
+	for i := 0; i < 12; i++ {
+		if s.Step(0.5) {
+			decays++
+		}
+	}
+	if decays != 2 {
+		t.Fatalf("decays = %d, want 2 (every patience+1 epochs)", decays)
+	}
+	if math.Abs(opt.LR-0.0025) > 1e-12 {
+		t.Fatalf("lr = %v, want 0.0025", opt.LR)
+	}
+}
+
+func TestPlateauSchedulerFloor(t *testing.T) {
+	p := NewParam(1, 1)
+	opt := NewAdam([]*Param{p}, 1e-6)
+	s := NewPlateauScheduler(opt)
+	s.Step(1)
+	for i := 0; i < 20; i++ {
+		s.Step(1)
+	}
+	if opt.LR < s.MinLR {
+		t.Fatalf("lr %v fell below floor", opt.LR)
+	}
+	if !s.AtMinimum() {
+		t.Fatal("AtMinimum should report true")
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	logits := &Matrix{Rows: 2, Cols: 3, Data: []float64{1, 3, 2, 5, 5, 4}}
+	got := Argmax(logits)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("argmax = %v", got)
+	}
+}
+
+func TestGlorotInitBounded(t *testing.T) {
+	p := NewParam(10, 20)
+	p.GlorotInit(hdc.NewRNG(4))
+	limit := math.Sqrt(6.0 / 30.0)
+	nonzero := false
+	for _, v := range p.W.Data {
+		if math.Abs(v) > limit {
+			t.Fatalf("weight %v exceeds glorot limit %v", v, limit)
+		}
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("all weights zero")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m := &Matrix{Rows: 1, Cols: 3, Data: []float64{-5, 2, 3}}
+	if m.MaxAbs() != 5 {
+		t.Fatalf("maxabs = %v", m.MaxAbs())
+	}
+}
+
+func TestScaleAndAddInPlace(t *testing.T) {
+	a := &Matrix{Rows: 1, Cols: 2, Data: []float64{1, 2}}
+	b := &Matrix{Rows: 1, Cols: 2, Data: []float64{10, 20}}
+	a.AddInPlace(b)
+	a.Scale(2)
+	if a.Data[0] != 22 || a.Data[1] != 44 {
+		t.Fatalf("got %v", a.Data)
+	}
+}

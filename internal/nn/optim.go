@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"math"
+)
+
+// Adam implements the Adam optimizer (Kingma & Ba 2015) over a fixed
+// parameter list. The paper's GIN baselines train with Adam at an initial
+// learning rate of 0.01.
+type Adam struct {
+	LR           float64
+	Beta1, Beta2 float64
+	Eps          float64
+
+	params []*Param
+	m, v   []*Matrix
+	step   int
+}
+
+// NewAdam returns an Adam optimizer over params with learning rate lr and
+// standard moment coefficients (0.9, 0.999, 1e-8).
+func NewAdam(params []*Param, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+	for _, p := range params {
+		a.m = append(a.m, NewMatrix(p.W.Rows, p.W.Cols))
+		a.v = append(a.v, NewMatrix(p.W.Rows, p.W.Cols))
+	}
+	return a
+}
+
+// Step applies one Adam update from the accumulated gradients and clears
+// them.
+func (a *Adam) Step() {
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for pi, p := range a.params {
+		m, v := a.m[pi], a.v[pi]
+		for i, g := range p.G.Data {
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mh := m.Data[i] / bc1
+			vh := v.Data[i] / bc2
+			p.W.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ZeroGrad clears all parameter gradients without updating.
+func (a *Adam) ZeroGrad() {
+	for _, p := range a.params {
+		p.ZeroGrad()
+	}
+}
+
+// PlateauScheduler reduces the learning rate when a monitored quantity
+// stops improving, mirroring the paper's setup: "a learning rate scheduler
+// starting at 0.01 with a patience parameter of 5 which decays with 0.5
+// till a minimum of 1e-6".
+type PlateauScheduler struct {
+	Opt      *Adam
+	Factor   float64 // decay multiplier (paper: 0.5)
+	Patience int     // epochs without improvement before decaying (paper: 5)
+	MinLR    float64 // lower bound (paper: 1e-6)
+
+	best float64
+	wait int
+	init bool
+}
+
+// NewPlateauScheduler returns a scheduler with the paper's settings
+// attached to opt.
+func NewPlateauScheduler(opt *Adam) *PlateauScheduler {
+	return &PlateauScheduler{Opt: opt, Factor: 0.5, Patience: 5, MinLR: 1e-6}
+}
+
+// Step records one epoch's monitored loss; when the loss has not improved
+// for Patience consecutive epochs the learning rate decays by Factor, not
+// going below MinLR. It reports whether a decay happened.
+func (s *PlateauScheduler) Step(loss float64) bool {
+	if !s.init || loss < s.best-1e-12 {
+		s.best = loss
+		s.wait = 0
+		s.init = true
+		return false
+	}
+	s.wait++
+	if s.wait <= s.Patience {
+		return false
+	}
+	s.wait = 0
+	lr := s.Opt.LR * s.Factor
+	if lr < s.MinLR {
+		lr = s.MinLR
+	}
+	decayed := lr < s.Opt.LR
+	s.Opt.LR = lr
+	return decayed
+}
+
+// AtMinimum reports whether the learning rate has reached its floor.
+func (s *PlateauScheduler) AtMinimum() bool { return s.Opt.LR <= s.MinLR }
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// (n×classes) against integer labels, and the gradient dL/dlogits. Uses
+// the max-shift trick for numerical stability.
+func SoftmaxCrossEntropy(logits *Matrix, labels []int) (float64, *Matrix) {
+	if len(labels) != logits.Rows {
+		panic("nn: label count mismatch")
+	}
+	n := logits.Rows
+	grad := NewMatrix(logits.Rows, logits.Cols)
+	loss := 0.0
+	for i := 0; i < n; i++ {
+		row := logits.Row(i)
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		grow := grad.Row(i)
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			grow[j] = e
+			sum += e
+		}
+		p := grow[labels[i]] / sum
+		loss += -math.Log(math.Max(p, 1e-300))
+		inv := 1 / (sum * float64(n))
+		for j := range grow {
+			grow[j] *= inv
+		}
+		grow[labels[i]] -= 1 / float64(n)
+	}
+	return loss / float64(n), grad
+}
+
+// Argmax returns the index of the largest value in each row of logits,
+// breaking ties toward the smaller index.
+func Argmax(logits *Matrix) []int {
+	out := make([]int, logits.Rows)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		best := 0
+		for j := 1; j < len(row); j++ {
+			if row[j] > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+// Package pagerank implements the PageRank centrality metric that GraphHD
+// uses to derive topology-based vertex identifiers (Section IV-C of the
+// paper). Scores are computed by damped power iteration on the undirected
+// graph; the number of iterations is a parameter, fixed to 10 in all paper
+// experiments "because the accuracy of GraphHD has then plateaued".
+package pagerank
+
+import (
+	"sort"
+
+	"graphhd/internal/graph"
+)
+
+// DefaultDamping is the standard PageRank damping factor from Brin & Page.
+const DefaultDamping = 0.85
+
+// DefaultIterations matches the paper's fixed setting of 10 iterations.
+const DefaultIterations = 10
+
+// Options configures a PageRank computation. The zero value selects the
+// defaults used in the paper.
+type Options struct {
+	// Damping is the probability of following an edge rather than
+	// teleporting; 0 selects DefaultDamping.
+	Damping float64
+	// Iterations is the number of power-iteration steps; 0 selects
+	// DefaultIterations.
+	Iterations int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Damping == 0 {
+		o.Damping = DefaultDamping
+	}
+	if o.Iterations == 0 {
+		o.Iterations = DefaultIterations
+	}
+	return o
+}
+
+// Scores returns the PageRank score of every vertex of g after the
+// configured number of power-iteration steps. On an undirected graph each
+// edge acts as two directed links. Vertices with no neighbors (dangling
+// vertices) distribute their mass uniformly, the standard correction, so
+// the scores always sum to 1 (up to floating-point error).
+func Scores(g *graph.Graph, opts Options) []float64 {
+	opts = opts.withDefaults()
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	inv := 1 / float64(n)
+	for i := range cur {
+		cur[i] = inv
+	}
+	d := opts.Damping
+	for it := 0; it < opts.Iterations; it++ {
+		// Teleport mass plus dangling-vertex mass, both uniform.
+		dangling := 0.0
+		for v := 0; v < n; v++ {
+			if g.Degree(v) == 0 {
+				dangling += cur[v]
+			}
+		}
+		base := (1-d)*inv + d*dangling*inv
+		for v := range next {
+			next[v] = base
+		}
+		for v := 0; v < n; v++ {
+			deg := g.Degree(v)
+			if deg == 0 {
+				continue
+			}
+			share := d * cur[v] / float64(deg)
+			for _, w := range g.Neighbors(v) {
+				next[w] += share
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// Ranks returns, for each vertex, its centrality rank: 0 for the vertex
+// with the highest PageRank score, 1 for the next, and so on. This rank is
+// the vertex identifier GraphHD feeds to the item memory.
+//
+// Scores tie frequently on symmetric graphs, so the ordering is made
+// deterministic: score descending, then degree descending, then vertex id
+// ascending. Any deterministic tie-break preserves GraphHD's semantics
+// (tied vertices are structurally interchangeable); this one is stable
+// across runs and platforms.
+func Ranks(g *graph.Graph, opts Options) []int {
+	n := g.NumVertices()
+	scores := Scores(g, opts)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		va, vb := order[a], order[b]
+		if scores[va] != scores[vb] {
+			return scores[va] > scores[vb]
+		}
+		da, db := g.Degree(va), g.Degree(vb)
+		if da != db {
+			return da > db
+		}
+		return va < vb
+	})
+	ranks := make([]int, n)
+	for r, v := range order {
+		ranks[v] = r
+	}
+	return ranks
+}

@@ -1,0 +1,176 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"graphhd/internal/graph"
+	"graphhd/internal/hdc"
+)
+
+func TestScoresSumToOne(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := hdc.NewRNG(seed)
+		g := graph.ErdosRenyi(30, 0.1, rng)
+		s := Scores(g, Options{})
+		sum := 0.0
+		for _, v := range s {
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoresSumToOneWithDanglingVertices(t *testing.T) {
+	// A path plus isolated vertices exercises the dangling-mass path.
+	g := graph.Disjoint(graph.Path(4), graph.NewBuilder(3).Build())
+	s := Scores(g, Options{})
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("sum = %v", sum)
+	}
+}
+
+func TestScoresEmptyGraph(t *testing.T) {
+	if s := Scores(graph.NewBuilder(0).Build(), Options{}); s != nil {
+		t.Fatalf("scores of empty graph = %v", s)
+	}
+}
+
+func TestScoresUniformOnSymmetricGraphs(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Ring(8), graph.Complete(5)} {
+		s := Scores(g, Options{})
+		for i := 1; i < len(s); i++ {
+			if math.Abs(s[i]-s[0]) > 1e-12 {
+				t.Fatalf("%v: scores not uniform: %v", g, s)
+			}
+		}
+	}
+}
+
+func TestStarHubDominates(t *testing.T) {
+	g := graph.Star(10)
+	s := Scores(g, Options{})
+	for v := 1; v < 10; v++ {
+		if s[0] <= s[v] {
+			t.Fatalf("hub score %f not above leaf %f", s[0], s[v])
+		}
+	}
+	r := Ranks(g, Options{})
+	if r[0] != 0 {
+		t.Fatalf("hub rank = %d, want 0", r[0])
+	}
+}
+
+func TestPathCenterOutranksEnds(t *testing.T) {
+	g := graph.Path(5)
+	s := Scores(g, Options{})
+	if s[2] <= s[0] || s[2] <= s[4] {
+		t.Fatalf("center %f not above ends %f %f", s[2], s[0], s[4])
+	}
+	r := Ranks(g, Options{})
+	if r[2] != 0 {
+		t.Fatalf("center rank = %d", r[2])
+	}
+}
+
+func TestRanksArePermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := hdc.NewRNG(seed)
+		g := graph.ErdosRenyi(25, 0.15, rng)
+		r := Ranks(g, Options{})
+		seen := make([]bool, len(r))
+		for _, v := range r {
+			if v < 0 || v >= len(r) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRanksDeterministic(t *testing.T) {
+	g := graph.ErdosRenyi(40, 0.1, hdc.NewRNG(5))
+	a := Ranks(g, Options{})
+	b := Ranks(g, Options{})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ranks not deterministic")
+		}
+	}
+}
+
+func TestRanksTieBreakByVertexID(t *testing.T) {
+	// On a ring all scores and degrees tie, so ranks must equal ids.
+	r := Ranks(graph.Ring(6), Options{})
+	for v, rank := range r {
+		if rank != v {
+			t.Fatalf("ring rank[%d] = %d", v, rank)
+		}
+	}
+}
+
+func TestRanksIsomorphismInvariantUpToTies(t *testing.T) {
+	// Relabeling a graph with all-distinct scores permutes ranks the same
+	// way as the vertices.
+	g := graph.BarabasiAlbert(30, 2, hdc.NewRNG(6))
+	r := Ranks(g, Options{})
+	perm := hdc.NewRNG(7).Perm(30)
+	h := graph.Relabel(g, perm)
+	rh := Ranks(h, Options{})
+	scores := Scores(g, Options{})
+	distinct := map[float64]int{}
+	for _, s := range scores {
+		distinct[s]++
+	}
+	for v := 0; v < 30; v++ {
+		if distinct[scores[v]] == 1 && rh[perm[v]] != r[v] {
+			t.Fatalf("rank of untied vertex %d changed under relabeling", v)
+		}
+	}
+}
+
+func TestMoreIterationsConverge(t *testing.T) {
+	g := graph.BarabasiAlbert(50, 3, hdc.NewRNG(8))
+	a := Scores(g, Options{Iterations: 50})
+	b := Scores(g, Options{Iterations: 100})
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-6 {
+			t.Fatalf("scores not converged at vertex %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDampingZeroIsUniform(t *testing.T) {
+	// Damping is defaulted when 0, so test a tiny positive value instead:
+	// nearly all mass teleports, scores approach uniform.
+	g := graph.Star(10)
+	s := Scores(g, Options{Damping: 1e-9, Iterations: 10})
+	for v := 1; v < 10; v++ {
+		if math.Abs(s[v]-0.1) > 1e-3 {
+			t.Fatalf("near-zero damping score[%d] = %f", v, s[v])
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Damping != DefaultDamping || o.Iterations != DefaultIterations {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o2 := Options{Damping: 0.5, Iterations: 3}.withDefaults()
+	if o2.Damping != 0.5 || o2.Iterations != 3 {
+		t.Fatalf("explicit options overridden: %+v", o2)
+	}
+}

@@ -1,0 +1,118 @@
+package svm
+
+import (
+	"fmt"
+)
+
+// Multiclass is a one-vs-one ensemble of binary SVMs over k classes,
+// trained on a precomputed kernel matrix. Prediction is majority voting
+// over the k(k-1)/2 pairwise classifiers, with ties broken by summed
+// decision values and then by smaller class index (all deterministic).
+type Multiclass struct {
+	k        int
+	pairs    []pairModel
+	trainIdx [][]int // trainIdx[p] holds training-set indices used by pair p
+}
+
+type pairModel struct {
+	a, b int // class pair, a < b; +1 ⇒ class a, -1 ⇒ class b
+	m    *BinarySVM
+}
+
+// TrainMulticlass trains the one-vs-one ensemble. k is the kernel matrix
+// over the full training set, labels are dense class ids in [0, classes).
+func TrainMulticlass(k [][]float64, labels []int, classes int, opts TrainOptions) (*Multiclass, error) {
+	if classes < 2 {
+		return nil, fmt.Errorf("svm: need at least 2 classes, got %d", classes)
+	}
+	if len(k) != len(labels) {
+		return nil, fmt.Errorf("svm: %d kernel rows for %d labels", len(k), len(labels))
+	}
+	byClass := make([][]int, classes)
+	for i, l := range labels {
+		if l < 0 || l >= classes {
+			return nil, fmt.Errorf("svm: label %d out of range [0,%d)", l, classes)
+		}
+		byClass[l] = append(byClass[l], i)
+	}
+	mc := &Multiclass{k: classes}
+	for a := 0; a < classes; a++ {
+		for b := a + 1; b < classes; b++ {
+			idx := append(append([]int(nil), byClass[a]...), byClass[b]...)
+			if len(byClass[a]) == 0 || len(byClass[b]) == 0 {
+				// A fold may lack a class entirely; skip the pair. Votes
+				// for it simply never occur.
+				continue
+			}
+			sub := make([][]float64, len(idx))
+			y := make([]float64, len(idx))
+			for i, gi := range idx {
+				sub[i] = make([]float64, len(idx))
+				for j, gj := range idx {
+					sub[i][j] = k[gi][gj]
+				}
+				if labels[gi] == a {
+					y[i] = 1
+				} else {
+					y[i] = -1
+				}
+			}
+			m, err := TrainBinary(sub, y, opts)
+			if err != nil {
+				return nil, fmt.Errorf("svm: pair (%d,%d): %w", a, b, err)
+			}
+			mc.pairs = append(mc.pairs, pairModel{a: a, b: b, m: m})
+			mc.trainIdx = append(mc.trainIdx, idx)
+		}
+	}
+	if len(mc.pairs) == 0 {
+		return nil, fmt.Errorf("svm: no trainable class pair")
+	}
+	return mc, nil
+}
+
+// NumClasses returns the number of classes.
+func (mc *Multiclass) NumClasses() int { return mc.k }
+
+// NumPairs returns the number of trained pairwise classifiers.
+func (mc *Multiclass) NumPairs() int { return len(mc.pairs) }
+
+// Predict classifies a test sample given its kernel row against the FULL
+// training set (same indexing as the labels passed to TrainMulticlass).
+func (mc *Multiclass) Predict(krow []float64) int {
+	votes := make([]int, mc.k)
+	scores := make([]float64, mc.k)
+	sub := make([]float64, 0, len(krow))
+	for p, pm := range mc.pairs {
+		idx := mc.trainIdx[p]
+		sub = sub[:0]
+		for _, gi := range idx {
+			sub = append(sub, krow[gi])
+		}
+		d := pm.m.DecisionValue(sub)
+		if d >= 0 {
+			votes[pm.a]++
+		} else {
+			votes[pm.b]++
+		}
+		scores[pm.a] += d
+		scores[pm.b] -= d
+	}
+	best := 0
+	for c := 1; c < mc.k; c++ {
+		if votes[c] > votes[best] ||
+			(votes[c] == votes[best] && scores[c] > scores[best]) {
+			best = c
+		}
+	}
+	return best
+}
+
+// PredictAll classifies a batch of kernel rows.
+func (mc *Multiclass) PredictAll(krows [][]float64) []int {
+	out := make([]int, len(krows))
+	for i, row := range krows {
+		out[i] = mc.Predict(row)
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+// Package svm implements the kernel machine that drives the paper's graph
+// kernel baselines: a C-SVC solved with a simplified SMO algorithm on
+// precomputed Gram matrices, one-vs-one multiclass voting, and the C /
+// WL-iteration grid search used in the paper's experimental protocol.
+package svm
+
+import (
+	"fmt"
+	"math"
+
+	"graphhd/internal/hdc"
+)
+
+// BinarySVM is a two-class C-SVC trained on a precomputed kernel matrix.
+// Labels are +1 / -1.
+type BinarySVM struct {
+	alpha []float64 // Lagrange multipliers, one per training sample
+	y     []float64 // training labels in {-1, +1}
+	b     float64   // bias
+	// support holds indices with alpha > 0; kept for DecisionValue.
+	support []int
+}
+
+// TrainOptions configures SMO training.
+type TrainOptions struct {
+	// C is the soft-margin penalty (required, > 0).
+	C float64
+	// Tol is the KKT violation tolerance (default 1e-3, libsvm's default).
+	Tol float64
+	// MaxPasses is the number of consecutive alpha-sweep passes without
+	// any update before declaring convergence (default 5).
+	MaxPasses int
+	// MaxIter caps total passes as a safety net (default 1000).
+	MaxIter int
+	// Seed drives the random second-choice heuristic.
+	Seed uint64
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Tol == 0 {
+		o.Tol = 1e-3
+	}
+	if o.MaxPasses == 0 {
+		o.MaxPasses = 5
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 1000
+	}
+	return o
+}
+
+// TrainBinary solves the C-SVC dual on the n×n kernel matrix k with labels
+// y in {-1, +1}, using the simplified SMO algorithm (Platt 1998; the
+// randomized working-pair variant of the Stanford CS229 notes). The kernel
+// matrix is the full training Gram matrix.
+func TrainBinary(k [][]float64, y []float64, opts TrainOptions) (*BinarySVM, error) {
+	n := len(y)
+	if n == 0 {
+		return nil, fmt.Errorf("svm: empty training set")
+	}
+	if len(k) != n {
+		return nil, fmt.Errorf("svm: kernel matrix has %d rows for %d labels", len(k), n)
+	}
+	for i, row := range k {
+		if len(row) != n {
+			return nil, fmt.Errorf("svm: kernel row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	pos, neg := 0, 0
+	for _, v := range y {
+		switch v {
+		case 1:
+			pos++
+		case -1:
+			neg++
+		default:
+			return nil, fmt.Errorf("svm: label %v not in {-1,+1}", v)
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, fmt.Errorf("svm: training set has a single class")
+	}
+	if opts.C <= 0 {
+		return nil, fmt.Errorf("svm: non-positive C %v", opts.C)
+	}
+	opts = opts.withDefaults()
+
+	m := &BinarySVM{alpha: make([]float64, n), y: append([]float64(nil), y...)}
+	rng := hdc.NewRNG(opts.Seed ^ 0x53564d)
+
+	f := func(i int) float64 {
+		s := 0.0
+		for j, a := range m.alpha {
+			if a != 0 {
+				s += a * m.y[j] * k[i][j]
+			}
+		}
+		return s + m.b
+	}
+
+	passes, iter := 0, 0
+	for passes < opts.MaxPasses && iter < opts.MaxIter {
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := f(i) - m.y[i]
+			if !((m.y[i]*ei < -opts.Tol && m.alpha[i] < opts.C) ||
+				(m.y[i]*ei > opts.Tol && m.alpha[i] > 0)) {
+				continue
+			}
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			ej := f(j) - m.y[j]
+
+			ai, aj := m.alpha[i], m.alpha[j]
+			var lo, hi float64
+			if m.y[i] != m.y[j] {
+				lo = math.Max(0, aj-ai)
+				hi = math.Min(opts.C, opts.C+aj-ai)
+			} else {
+				lo = math.Max(0, ai+aj-opts.C)
+				hi = math.Min(opts.C, ai+aj)
+			}
+			if lo == hi {
+				continue
+			}
+			eta := 2*k[i][j] - k[i][i] - k[j][j]
+			if eta >= 0 {
+				continue
+			}
+			ajNew := aj - m.y[j]*(ei-ej)/eta
+			if ajNew > hi {
+				ajNew = hi
+			} else if ajNew < lo {
+				ajNew = lo
+			}
+			if math.Abs(ajNew-aj) < 1e-7 {
+				continue
+			}
+			aiNew := ai + m.y[i]*m.y[j]*(aj-ajNew)
+
+			b1 := m.b - ei - m.y[i]*(aiNew-ai)*k[i][i] - m.y[j]*(ajNew-aj)*k[i][j]
+			b2 := m.b - ej - m.y[i]*(aiNew-ai)*k[i][j] - m.y[j]*(ajNew-aj)*k[j][j]
+			switch {
+			case aiNew > 0 && aiNew < opts.C:
+				m.b = b1
+			case ajNew > 0 && ajNew < opts.C:
+				m.b = b2
+			default:
+				m.b = (b1 + b2) / 2
+			}
+			m.alpha[i], m.alpha[j] = aiNew, ajNew
+			changed++
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+		iter++
+	}
+
+	for i, a := range m.alpha {
+		if a > 0 {
+			m.support = append(m.support, i)
+		}
+	}
+	return m, nil
+}
+
+// NumSupport returns the number of support vectors.
+func (m *BinarySVM) NumSupport() int { return len(m.support) }
+
+// DecisionValue evaluates the decision function for a test sample given
+// its kernel row against the training set: krow[j] = k(x, x_j).
+func (m *BinarySVM) DecisionValue(krow []float64) float64 {
+	s := m.b
+	for _, j := range m.support {
+		s += m.alpha[j] * m.y[j] * krow[j]
+	}
+	return s
+}
+
+// Predict returns +1 or -1 for a test sample's kernel row. Zero decision
+// values resolve to +1 for determinism.
+func (m *BinarySVM) Predict(krow []float64) float64 {
+	if m.DecisionValue(krow) >= 0 {
+		return 1
+	}
+	return -1
+}

@@ -1,0 +1,291 @@
+package svm
+
+import (
+	"math"
+	"testing"
+
+	"graphhd/internal/hdc"
+)
+
+// linearKernel builds the Gram matrix of explicit points under the dot
+// product, the simplest valid kernel for testing the solver.
+func linearKernel(xs [][]float64) [][]float64 {
+	n := len(xs)
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := range k[i] {
+			k[i][j] = dot(xs[i], xs[j])
+		}
+	}
+	return k
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func krow(x []float64, xs [][]float64) []float64 {
+	row := make([]float64, len(xs))
+	for j := range xs {
+		row[j] = dot(x, xs[j])
+	}
+	return row
+}
+
+// separable2D builds two Gaussian-ish blobs around (±2, 0).
+func separable2D(n int, seed uint64) ([][]float64, []float64) {
+	rng := hdc.NewRNG(seed)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < n; i++ {
+		xs = append(xs, []float64{2 + rng.Float64() - 0.5, rng.Float64() - 0.5})
+		ys = append(ys, 1)
+		xs = append(xs, []float64{-2 + rng.Float64() - 0.5, rng.Float64() - 0.5})
+		ys = append(ys, -1)
+	}
+	return xs, ys
+}
+
+func TestTrainBinarySeparable(t *testing.T) {
+	xs, ys := separable2D(20, 1)
+	m, err := TrainBinary(linearKernel(xs), ys, TrainOptions{C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range xs {
+		if m.Predict(krow(x, xs)) == ys[i] {
+			correct++
+		}
+	}
+	if correct != len(xs) {
+		t.Fatalf("training accuracy %d/%d on separable data", correct, len(xs))
+	}
+	if m.NumSupport() == 0 || m.NumSupport() == len(xs) {
+		t.Fatalf("suspicious support count %d", m.NumSupport())
+	}
+}
+
+func TestTrainBinaryGeneralizes(t *testing.T) {
+	xs, ys := separable2D(25, 2)
+	m, err := TrainBinary(linearKernel(xs), ys, TrainOptions{C: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testX, testY := separable2D(10, 99)
+	correct := 0
+	for i, x := range testX {
+		if m.Predict(krow(x, xs)) == testY[i] {
+			correct++
+		}
+	}
+	if correct < len(testX)-1 {
+		t.Fatalf("test accuracy %d/%d", correct, len(testX))
+	}
+}
+
+func TestTrainBinaryMarginMaximization(t *testing.T) {
+	// Three collinear points: the separator must fall between the closest
+	// opposite pair, so the decision value at the midpoint of the margin
+	// has the right sign structure.
+	xs := [][]float64{{0}, {1}, {4}}
+	ys := []float64{-1, -1, 1}
+	m, err := TrainBinary(linearKernel(xs), ys, TrainOptions{C: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict(krow([]float64{0.5}, xs)) != -1 {
+		t.Fatal("x=0.5 should be class -1")
+	}
+	if m.Predict(krow([]float64{3.5}, xs)) != 1 {
+		t.Fatal("x=3.5 should be class +1")
+	}
+	// The max-margin boundary for points 1 and 4 is 2.5.
+	if m.Predict(krow([]float64{2.0}, xs)) != -1 {
+		t.Fatal("x=2.0 should fall on the -1 side of the max-margin boundary")
+	}
+	if m.Predict(krow([]float64{3.0}, xs)) != 1 {
+		t.Fatal("x=3.0 should fall on the +1 side")
+	}
+}
+
+func TestTrainBinaryValidation(t *testing.T) {
+	k := [][]float64{{1, 0}, {0, 1}}
+	if _, err := TrainBinary(k, []float64{1, -1}, TrainOptions{C: 0}); err == nil {
+		t.Fatal("expected error for C=0")
+	}
+	if _, err := TrainBinary(k, []float64{1, 2}, TrainOptions{C: 1}); err == nil {
+		t.Fatal("expected error for bad label")
+	}
+	if _, err := TrainBinary(k, []float64{1, 1}, TrainOptions{C: 1}); err == nil {
+		t.Fatal("expected error for single-class data")
+	}
+	if _, err := TrainBinary(nil, nil, TrainOptions{C: 1}); err == nil {
+		t.Fatal("expected error for empty set")
+	}
+	if _, err := TrainBinary(k[:1], []float64{1, -1}, TrainOptions{C: 1}); err == nil {
+		t.Fatal("expected error for row count mismatch")
+	}
+	if _, err := TrainBinary([][]float64{{1}, {0}}, []float64{1, -1}, TrainOptions{C: 1}); err == nil {
+		t.Fatal("expected error for ragged matrix")
+	}
+}
+
+func TestTrainBinaryDeterministic(t *testing.T) {
+	xs, ys := separable2D(15, 3)
+	k := linearKernel(xs)
+	m1, err := TrainBinary(k, ys, TrainOptions{C: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := TrainBinary(k, ys, TrainOptions{C: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.b != m2.b || m1.NumSupport() != m2.NumSupport() {
+		t.Fatal("same seed produced different models")
+	}
+	for i := range m1.alpha {
+		if m1.alpha[i] != m2.alpha[i] {
+			t.Fatal("alphas differ")
+		}
+	}
+}
+
+func TestSoftMarginHandlesNoise(t *testing.T) {
+	xs, ys := separable2D(20, 4)
+	// Flip one label; a soft-margin SVM with moderate C should still fit
+	// the rest.
+	ys[0] = -ys[0]
+	m, err := TrainBinary(linearKernel(xs), ys, TrainOptions{C: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range xs {
+		if m.Predict(krow(x, xs)) == ys[i] {
+			correct++
+		}
+	}
+	if correct < len(xs)-2 {
+		t.Fatalf("soft margin accuracy %d/%d", correct, len(xs))
+	}
+}
+
+// threeBlobs builds three separable 2-D clusters for multiclass tests.
+func threeBlobs(n int, seed uint64) ([][]float64, []int) {
+	rng := hdc.NewRNG(seed)
+	centers := [][2]float64{{3, 0}, {-3, 0}, {0, 3}}
+	var xs [][]float64
+	var ys []int
+	for c, ctr := range centers {
+		for i := 0; i < n; i++ {
+			xs = append(xs, []float64{ctr[0] + rng.Float64() - 0.5, ctr[1] + rng.Float64() - 0.5})
+			ys = append(ys, c)
+		}
+	}
+	return xs, ys
+}
+
+func TestMulticlassThreeBlobs(t *testing.T) {
+	xs, ys := threeBlobs(10, 5)
+	mc, err := TrainMulticlass(linearKernel(xs), ys, 3, TrainOptions{C: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.NumPairs() != 3 || mc.NumClasses() != 3 {
+		t.Fatalf("pairs = %d classes = %d", mc.NumPairs(), mc.NumClasses())
+	}
+	testX, testY := threeBlobs(5, 55)
+	rows := make([][]float64, len(testX))
+	for i, x := range testX {
+		rows[i] = krow(x, xs)
+	}
+	preds := mc.PredictAll(rows)
+	correct := 0
+	for i := range preds {
+		if preds[i] == testY[i] {
+			correct++
+		}
+	}
+	if correct < len(testY)-1 {
+		t.Fatalf("multiclass accuracy %d/%d", correct, len(testY))
+	}
+}
+
+func TestMulticlassBinaryCase(t *testing.T) {
+	xs, ysf := separable2D(10, 6)
+	ys := make([]int, len(ysf))
+	for i, v := range ysf {
+		if v == 1 {
+			ys[i] = 1
+		}
+	}
+	mc, err := TrainMulticlass(linearKernel(xs), ys, 2, TrainOptions{C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		if got := mc.Predict(krow(x, xs)); got != ys[i] {
+			t.Fatalf("sample %d predicted %d, want %d", i, got, ys[i])
+		}
+	}
+}
+
+func TestMulticlassValidation(t *testing.T) {
+	k := [][]float64{{1, 0}, {0, 1}}
+	if _, err := TrainMulticlass(k, []int{0, 1}, 1, TrainOptions{C: 1}); err == nil {
+		t.Fatal("expected error for 1 class")
+	}
+	if _, err := TrainMulticlass(k, []int{0}, 2, TrainOptions{C: 1}); err == nil {
+		t.Fatal("expected error for mismatched labels")
+	}
+	if _, err := TrainMulticlass(k, []int{0, 5}, 2, TrainOptions{C: 1}); err == nil {
+		t.Fatal("expected error for out-of-range label")
+	}
+	// Missing class: pair is skipped; with only one class present the
+	// training must fail because no pair is trainable.
+	if _, err := TrainMulticlass(k, []int{0, 0}, 3, TrainOptions{C: 1}); err == nil {
+		t.Fatal("expected error when no pair is trainable")
+	}
+}
+
+func TestMulticlassMissingClassTolerated(t *testing.T) {
+	// Three declared classes, only two present: the (0,1) pair trains and
+	// predictions still work.
+	xs, ysf := separable2D(10, 7)
+	ys := make([]int, len(ysf))
+	for i, v := range ysf {
+		if v == 1 {
+			ys[i] = 1
+		}
+	}
+	mc, err := TrainMulticlass(linearKernel(xs), ys, 3, TrainOptions{C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.NumPairs() != 1 {
+		t.Fatalf("pairs = %d, want 1", mc.NumPairs())
+	}
+	if got := mc.Predict(krow(xs[0], xs)); got != ys[0] {
+		t.Fatalf("predicted %d, want %d", got, ys[0])
+	}
+}
+
+func TestDecisionValueFiniteness(t *testing.T) {
+	xs, ys := separable2D(10, 8)
+	m, err := TrainBinary(linearKernel(xs), ys, TrainOptions{C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		if d := m.DecisionValue(krow(x, xs)); math.IsNaN(d) || math.IsInf(d, 0) {
+			t.Fatalf("decision value %v", d)
+		}
+	}
+}

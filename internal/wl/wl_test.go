@@ -1,0 +1,339 @@
+package wl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"graphhd/internal/assignment"
+	"graphhd/internal/graph"
+	"graphhd/internal/hdc"
+)
+
+func TestRefineIteration0Uniform(t *testing.T) {
+	gs := []*graph.Graph{graph.Ring(5), graph.Path(4)}
+	refs := Refine(gs, Options{Iterations: 0})
+	// All vertices share one label at iteration 0.
+	if len(refs[0].Counts[0]) != 1 || refs[0].Counts[0][0] != 5 {
+		t.Fatalf("ring counts = %v", refs[0].Counts[0])
+	}
+	if refs[1].Counts[0][0] != 4 {
+		t.Fatalf("path counts = %v", refs[1].Counts[0])
+	}
+}
+
+func TestRefineFirstIterationIsDegree(t *testing.T) {
+	// After one WL iteration from a uniform start, labels are exactly
+	// vertex degrees (as equivalence classes).
+	g := graph.Star(5) // degrees: 4,1,1,1,1
+	refs := Refine([]*graph.Graph{g}, Options{Iterations: 1})
+	c := refs[0].Counts[1]
+	if len(c) != 2 {
+		t.Fatalf("star should have 2 degree classes, got %v", c)
+	}
+	counts := []int{}
+	for _, v := range c {
+		counts = append(counts, v)
+	}
+	if !(counts[0] == 1 && counts[1] == 4 || counts[0] == 4 && counts[1] == 1) {
+		t.Fatalf("star degree classes = %v", c)
+	}
+}
+
+func TestRefineDistinguishesNonIsomorphic(t *testing.T) {
+	// C6 vs two triangles: 1-WL famously cannot distinguish these
+	// (both are 2-regular), so their refinements must be identical...
+	c6 := graph.Ring(6)
+	twoTri := graph.Disjoint(graph.Ring(3), graph.Ring(3))
+	refs := Refine([]*graph.Graph{c6, twoTri}, Options{Iterations: 3})
+	if SubtreeKernel(refs[0], refs[0]) != SubtreeKernel(refs[0], refs[1]) {
+		t.Fatal("1-WL should NOT distinguish C6 from 2xC3")
+	}
+	// ...but a star vs a path of equal size must differ.
+	refs2 := Refine([]*graph.Graph{graph.Star(5), graph.Path(5)}, Options{Iterations: 2})
+	if SubtreeKernel(refs2[0], refs2[0]) == SubtreeKernel(refs2[0], refs2[1]) {
+		t.Fatal("WL failed to distinguish star from path")
+	}
+}
+
+func TestRefineIsomorphismInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := hdc.NewRNG(seed)
+		g := graph.ErdosRenyi(15, 0.2, rng)
+		h := graph.Relabel(g, rng.Perm(15))
+		refs := Refine([]*graph.Graph{g, h}, Options{Iterations: 3})
+		// Isomorphic graphs have identical label-count multisets, so the
+		// kernel cannot tell them apart from themselves.
+		kgg := SubtreeKernel(refs[0], refs[0])
+		kgh := SubtreeKernel(refs[0], refs[1])
+		khh := SubtreeKernel(refs[1], refs[1])
+		return kgg == kgh && kgh == khh
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineWithVertexLabels(t *testing.T) {
+	mk := func(labels []int) *graph.Graph {
+		b := graph.NewBuilder(3)
+		b.MustAddEdge(0, 1)
+		b.MustAddEdge(1, 2)
+		if err := b.SetVertexLabels(labels); err != nil {
+			t.Fatal(err)
+		}
+		return b.Build()
+	}
+	g1 := mk([]int{0, 0, 0})
+	g2 := mk([]int{1, 1, 1})
+	refs := Refine([]*graph.Graph{g1, g2}, Options{Iterations: 1, UseVertexLabels: true})
+	if SubtreeKernel(refs[0], refs[1]) != 0 {
+		t.Fatal("different uniform labels should share no features")
+	}
+	// Without label use, identical structure gives identical features.
+	refsU := Refine([]*graph.Graph{g1, g2}, Options{Iterations: 1})
+	if SubtreeKernel(refsU[0], refsU[0]) != SubtreeKernel(refsU[0], refsU[1]) {
+		t.Fatal("unlabeled refinement should ignore labels")
+	}
+}
+
+func TestSubtreeKernelSymmetric(t *testing.T) {
+	rng := hdc.NewRNG(1)
+	gs := []*graph.Graph{
+		graph.ErdosRenyi(12, 0.3, rng),
+		graph.BarabasiAlbert(12, 2, rng),
+		graph.Ring(12),
+	}
+	refs := Refine(gs, Options{Iterations: 3})
+	for i := range refs {
+		for j := range refs {
+			if SubtreeKernel(refs[i], refs[j]) != SubtreeKernel(refs[j], refs[i]) {
+				t.Fatalf("subtree kernel asymmetric at (%d,%d)", i, j)
+			}
+			if OptimalAssignmentKernel(refs[i], refs[j]) != OptimalAssignmentKernel(refs[j], refs[i]) {
+				t.Fatalf("OA kernel asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestOptimalAssignmentSelfValue(t *testing.T) {
+	// k_OA(G, G) = sum over iterations of |V| = (h+1)|V|.
+	g := graph.ErdosRenyi(10, 0.3, hdc.NewRNG(2))
+	refs := Refine([]*graph.Graph{g}, Options{Iterations: 4})
+	if got := OptimalAssignmentKernel(refs[0], refs[0]); got != float64(5*10) {
+		t.Fatalf("self OA = %v, want 50", got)
+	}
+}
+
+func TestOptimalAssignmentBounded(t *testing.T) {
+	// Histogram intersection is bounded by the smaller self-value.
+	f := func(seed uint64) bool {
+		rng := hdc.NewRNG(seed)
+		a := graph.ErdosRenyi(8+rng.Intn(8), 0.25, rng)
+		b := graph.ErdosRenyi(8+rng.Intn(8), 0.25, rng)
+		refs := Refine([]*graph.Graph{a, b}, Options{Iterations: 3})
+		kab := OptimalAssignmentKernel(refs[0], refs[1])
+		kaa := OptimalAssignmentKernel(refs[0], refs[0])
+		kbb := OptimalAssignmentKernel(refs[1], refs[1])
+		return kab <= kaa && kab <= kbb && kab >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtreeCauchySchwarz(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := hdc.NewRNG(seed)
+		a := graph.BarabasiAlbert(10+rng.Intn(10), 2, rng)
+		b := graph.ErdosRenyi(10+rng.Intn(10), 0.2, rng)
+		refs := Refine([]*graph.Graph{a, b}, Options{Iterations: 2})
+		kab := SubtreeKernel(refs[0], refs[1])
+		kaa := SubtreeKernel(refs[0], refs[0])
+		kbb := SubtreeKernel(refs[1], refs[1])
+		return kab*kab <= kaa*kbb+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGramMatrixPSDish(t *testing.T) {
+	// The subtree kernel is an explicit dot product, so the Gram matrix
+	// must be positive semi-definite. Verify x^T K x >= 0 for random x.
+	rng := hdc.NewRNG(3)
+	gs := make([]*graph.Graph, 8)
+	for i := range gs {
+		gs[i] = graph.ErdosRenyi(10, 0.25, rng)
+	}
+	refs := Refine(gs, Options{Iterations: 2})
+	k := GramMatrix(refs, SubtreeKernel)
+	for trial := 0; trial < 20; trial++ {
+		x := make([]float64, len(gs))
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		q := 0.0
+		for i := range x {
+			for j := range x {
+				q += x[i] * k[i][j] * x[j]
+			}
+		}
+		if q < -1e-6 {
+			t.Fatalf("x^T K x = %v < 0", q)
+		}
+	}
+}
+
+func TestNormalizeGramUnitDiagonal(t *testing.T) {
+	rng := hdc.NewRNG(4)
+	gs := make([]*graph.Graph, 5)
+	for i := range gs {
+		gs[i] = graph.BarabasiAlbert(12, 2, rng)
+	}
+	refs := Refine(gs, Options{Iterations: 2})
+	k := GramMatrix(refs, SubtreeKernel)
+	NormalizeGram(k)
+	for i := range k {
+		if math.Abs(k[i][i]-1) > 1e-12 {
+			t.Fatalf("diag[%d] = %v", i, k[i][i])
+		}
+		for j := range k {
+			if k[i][j] < -1e-12 || k[i][j] > 1+1e-12 {
+				t.Fatalf("normalized entry (%d,%d) = %v", i, j, k[i][j])
+			}
+		}
+	}
+}
+
+func TestNormalizeCrossMatchesGram(t *testing.T) {
+	rng := hdc.NewRNG(5)
+	gs := make([]*graph.Graph, 6)
+	for i := range gs {
+		gs[i] = graph.ErdosRenyi(10, 0.3, rng)
+	}
+	refs := Refine(gs, Options{Iterations: 2})
+	full := GramMatrix(refs, SubtreeKernel)
+	NormalizeGram(full)
+
+	rows, cols := refs[:2], refs[2:]
+	cross := CrossGram(rows, cols, SubtreeKernel)
+	NormalizeCross(cross, SelfKernels(rows, SubtreeKernel), SelfKernels(cols, SubtreeKernel))
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 4; j++ {
+			if math.Abs(cross[i][j]-full[i][j+2]) > 1e-12 {
+				t.Fatalf("cross (%d,%d) = %v, full = %v", i, j, cross[i][j], full[i][j+2])
+			}
+		}
+	}
+}
+
+func TestRelabelerStableIDs(t *testing.T) {
+	rl := NewRelabeler()
+	a := rl.id("x")
+	b := rl.id("y")
+	if rl.id("x") != a || rl.id("y") != b || rl.NumLabels() != 2 {
+		t.Fatal("relabeler ids unstable")
+	}
+}
+
+func TestSignatureUnambiguous(t *testing.T) {
+	// (1, [23]) and (12, [3]) must produce different signatures, as must
+	// orderings that a naive string join would conflate.
+	if signature(1, []int{23}) == signature(12, []int{3}) {
+		t.Fatal("signature ambiguity")
+	}
+	if signature(1, []int{2, 3}) == signature(1, []int{23}) {
+		t.Fatal("signature ambiguity")
+	}
+	if signature(200, nil) == signature(72, []int{1}) {
+		t.Fatal("signature ambiguity with multi-byte varints")
+	}
+}
+
+func TestTotalFeatures(t *testing.T) {
+	g := graph.Ring(7)
+	refs := Refine([]*graph.Graph{g}, Options{Iterations: 3})
+	if got := refs[0].TotalFeatures(); got != 4*7 {
+		t.Fatalf("total features = %d, want 28", got)
+	}
+}
+
+func TestEmptyGraphRefines(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	refs := Refine([]*graph.Graph{g}, Options{Iterations: 2})
+	if SubtreeKernel(refs[0], refs[0]) != 0 {
+		t.Fatal("empty graph self-kernel should be 0")
+	}
+}
+
+func TestKeepVertexLabelsConsistentWithCounts(t *testing.T) {
+	rng := hdc.NewRNG(9)
+	gs := []*graph.Graph{graph.ErdosRenyi(12, 0.25, rng), graph.BarabasiAlbert(10, 2, rng)}
+	refs := Refine(gs, Options{Iterations: 3, KeepVertexLabels: true})
+	for gi, r := range refs {
+		if len(r.VertexLabels) != 4 {
+			t.Fatalf("graph %d: %d label levels", gi, len(r.VertexLabels))
+		}
+		for it, labels := range r.VertexLabels {
+			counted := map[int]int{}
+			for _, l := range labels {
+				counted[l]++
+			}
+			if len(counted) != len(r.Counts[it]) {
+				t.Fatalf("graph %d it %d: label sets differ", gi, it)
+			}
+			for l, c := range counted {
+				if r.Counts[it][l] != c {
+					t.Fatalf("graph %d it %d label %d: count %d vs %d", gi, it, l, c, r.Counts[it][l])
+				}
+			}
+		}
+	}
+	// Without the option, histories are absent.
+	plain := Refine(gs, Options{Iterations: 2})
+	if plain[0].VertexLabels != nil {
+		t.Fatal("unexpected vertex label history")
+	}
+}
+
+// TestOptimalAssignmentMatchesHungarian is the ground-truth cross-check
+// for the WL-OA shortcut: for the hierarchy-induced vertex kernel
+// k(u,v) = #iterations where u and v share a WL label, the histogram
+// intersection over all iterations must equal the true maximum-weight
+// assignment value (Kriege et al. 2016, Theorem 4.2).
+func TestOptimalAssignmentMatchesHungarian(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := hdc.NewRNG(seed)
+		a := graph.ErdosRenyi(4+rng.Intn(6), 0.3, rng)
+		b := graph.ErdosRenyi(4+rng.Intn(6), 0.3, rng)
+		h := 1 + rng.Intn(3)
+		refs := Refine([]*graph.Graph{a, b}, Options{Iterations: h, KeepVertexLabels: true})
+		ra, rb := refs[0], refs[1]
+
+		// Exact: pairwise hierarchy kernel + Hungarian.
+		na, nb := a.NumVertices(), b.NumVertices()
+		w := make([][]float64, na)
+		for u := 0; u < na; u++ {
+			w[u] = make([]float64, nb)
+			for v := 0; v < nb; v++ {
+				shared := 0.0
+				for it := 0; it <= h; it++ {
+					if ra.VertexLabels[it][u] == rb.VertexLabels[it][v] {
+						shared++
+					}
+				}
+				w[u][v] = shared
+			}
+		}
+		_, exact, err := assignment.MaxWeight(w)
+		if err != nil {
+			return false
+		}
+		return math.Abs(exact-OptimalAssignmentKernel(ra, rb)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
