@@ -8,6 +8,9 @@
 //	graphhd -data ./data -name MUTAG -folds 5 -reps 1
 //	graphhd -data ./data -name MUTAG -dim 4096 -pr-iters 5
 //	graphhd -data ./data -name MUTAG -predict ./data2 -predict-name TEST
+//	graphhd -data ./data -name MUTAG -save-packed model.ghdp   # packed deployment artifact
+//	graphhd -data ./data -name MUTAG -load model.ghdp          # packed-path inference
+//	graphhd -data ./data -name MUTAG -cv-workers -1            # parallel CV folds
 //
 // The directory layout is <data>/<name>/<name>_*.txt as produced by
 // cmd/datagen or an unzipped TUDataset archive.
@@ -36,7 +39,9 @@ func main() {
 		predict     = flag.String("predict", "", "train on -data and classify this directory instead of CV")
 		predictName = flag.String("predict-name", "", "dataset name under -predict (defaults to -name)")
 		saveModel   = flag.String("save", "", "train on the full dataset and save the model to this path")
-		loadModel   = flag.String("load", "", "load a saved model and classify -data/-name with it")
+		savePacked  = flag.String("save-packed", "", "train on the full dataset and save the packed query predictor to this path")
+		loadModel   = flag.String("load", "", "load a saved model or packed predictor and classify -data/-name with it")
+		cvWorkers   = flag.Int("cv-workers", 1, "concurrent CV folds (-1 = all cores; timings are contended unless 1)")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -60,11 +65,13 @@ func main() {
 		st.Name, st.Graphs, st.Classes, st.AvgVertices, st.AvgEdges)
 
 	if *loadModel != "" {
-		model, err := graphhd.LoadModelFile(*loadModel)
+		// LoadPredictorFile accepts both the full-model and the packed
+		// record, so inference always runs on the packed path.
+		pred, err := graphhd.LoadPredictorFile(*loadModel)
 		if err != nil {
 			fatal(err)
 		}
-		preds := model.PredictAll(ds.Graphs)
+		preds := pred.PredictAll(ds.Graphs)
 		correct := 0
 		for i, p := range preds {
 			if p == ds.Labels[i] {
@@ -73,9 +80,13 @@ func main() {
 		}
 		fmt.Printf("loaded model accuracy on %s: %.4f (%d graphs)\n",
 			*name, float64(correct)/float64(len(preds)), len(preds))
+		fmt.Println("inference: packed majority-voted class vectors (full-model records are snapshotted on load)")
+		fmt.Printf("query memory: %d bytes packed (int32 accumulators would use %d bytes, %.1f× more)\n",
+			pred.MemoryBytes(), pred.NumClasses()*pred.Encoder().Dimension()*4,
+			float64(pred.NumClasses()*pred.Encoder().Dimension()*4)/float64(pred.MemoryBytes()))
 		return
 	}
-	if *saveModel != "" {
+	if *saveModel != "" || *savePacked != "" {
 		model, err := graphhd.Train(cfg, ds.Graphs, ds.Labels)
 		if err != nil {
 			fatal(err)
@@ -85,10 +96,20 @@ func main() {
 				fatal(err)
 			}
 		}
-		if err := model.SaveFile(*saveModel); err != nil {
-			fatal(err)
+		if *saveModel != "" {
+			if err := model.SaveFile(*saveModel); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("saved model to %s (%d bytes of accumulator state)\n", *saveModel, model.MemoryBytes())
 		}
-		fmt.Printf("saved model to %s\n", *saveModel)
+		if *savePacked != "" {
+			pred := model.Snapshot()
+			if err := pred.SaveFile(*savePacked); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("saved packed predictor to %s (%d bytes of class vectors, %.1f× smaller than accumulators)\n",
+				*savePacked, pred.MemoryBytes(), float64(model.MemoryBytes())/float64(pred.MemoryBytes()))
+		}
 		return
 	}
 
@@ -104,7 +125,7 @@ func main() {
 			return &retrainingClassifier{cfg: c, epochs: *retrain}
 		}
 		return graphhd.NewGraphHDClassifier(c)
-	}, graphhd.CVOptions{Folds: *folds, Repetitions: *reps, Seed: *seed})
+	}, graphhd.CVOptions{Folds: *folds, Repetitions: *reps, Seed: *seed, Workers: *cvWorkers})
 	if err != nil {
 		fatal(err)
 	}
@@ -113,7 +134,8 @@ func main() {
 	fmt.Printf("inference time per graph: %v\n", res.MeanInferTimePerGraph())
 }
 
-// runPredict trains on the full training dataset and labels another one.
+// runPredict trains on the full training dataset and labels another one,
+// classifying through the packed query snapshot.
 func runPredict(cfg graphhd.Config, train *graphhd.Dataset, dir, name, fallback string, retrain int) {
 	if name == "" {
 		name = fallback
@@ -131,7 +153,7 @@ func runPredict(cfg graphhd.Config, train *graphhd.Dataset, dir, name, fallback 
 			fatal(err)
 		}
 	}
-	preds := model.PredictAll(test.Graphs)
+	preds := model.Snapshot().PredictAll(test.Graphs)
 	correct := 0
 	for i, p := range preds {
 		fmt.Printf("graph %d: predicted class %s\n", i, train.ClassNames[p])
@@ -144,11 +166,14 @@ func runPredict(cfg graphhd.Config, train *graphhd.Dataset, dir, name, fallback 
 	}
 }
 
-// retrainingClassifier adapts retraining into the CV harness.
+// retrainingClassifier adapts retraining into the CV harness. Inference
+// runs on the packed snapshot, the same query semantics as the
+// non-retraining GraphHD adapter, so -retrain comparisons measure
+// retraining alone.
 type retrainingClassifier struct {
 	cfg    graphhd.Config
 	epochs int
-	model  *graphhd.Model
+	pred   *graphhd.Predictor
 }
 
 func (c *retrainingClassifier) Fit(gs []*graphhd.Graph, labels []int) error {
@@ -159,12 +184,12 @@ func (c *retrainingClassifier) Fit(gs []*graphhd.Graph, labels []int) error {
 	if _, err := m.Retrain(gs, labels, graphhd.RetrainOptions{Epochs: c.epochs}); err != nil {
 		return err
 	}
-	c.model = m
+	c.pred = m.Snapshot()
 	return nil
 }
 
 func (c *retrainingClassifier) PredictAll(gs []*graphhd.Graph) []int {
-	return c.model.PredictAll(gs)
+	return c.pred.PredictAll(gs)
 }
 
 var _ eval.Classifier = (*retrainingClassifier)(nil)

@@ -1,9 +1,12 @@
 // Deployment: the embedded/IoT story that motivates the paper. A model is
-// trained "in the datacenter", serialized to a ~80 KB file, reloaded as if
-// on a device, and then queried while hypervector memory suffers random
-// bit-flips — demonstrating both the tiny model footprint (class
-// accumulators only; basis vectors regenerate from the seed) and the
-// holographic robustness HDC promises for faulty hardware.
+// trained "in the datacenter", collapsed to a bit-packed query predictor,
+// serialized to a few-KB file, reloaded as if on a device, and then
+// queried while hypervector memory suffers random bit-flips. The demo
+// shows all three deployment wins at once: the tiny packed model footprint
+// (majority-voted class vectors at one bit per component; basis vectors
+// regenerate from the seed), the popcount-Hamming query path that never
+// unpacks a hypervector, and the holographic robustness HDC promises for
+// faulty hardware.
 package main
 
 import (
@@ -33,35 +36,62 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	path := filepath.Join(dir, "model.ghd")
-	if err := model.SaveFile(path); err != nil {
+
+	// Full model (live int32 accumulators, can keep learning) vs packed
+	// predictor (majority-voted bit vectors, query only): the deployment
+	// artifact is ~32× smaller on disk and 32× smaller in memory.
+	fullPath := filepath.Join(dir, "model.ghd")
+	if err := model.SaveFile(fullPath); err != nil {
 		log.Fatal(err)
 	}
-	info, err := os.Stat(path)
+	packed := model.Snapshot()
+	packedPath := filepath.Join(dir, "model.ghdp")
+	if err := packed.SaveFile(packedPath); err != nil {
+		log.Fatal(err)
+	}
+	fullInfo, err := os.Stat(fullPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("model serialized to %d bytes (%d classes × %d dims of int32 + header)\n",
-		info.Size(), model.NumClasses(), cfg.Dimension)
+	packedInfo, err := os.Stat(packedPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model footprint before packing: %6d bytes on disk, %6d bytes of query memory\n",
+		fullInfo.Size(), model.MemoryBytes())
+	fmt.Printf("model footprint after packing:  %6d bytes on disk, %6d bytes of query memory (%.1f× smaller)\n",
+		packedInfo.Size(), packed.MemoryBytes(),
+		float64(model.MemoryBytes())/float64(packed.MemoryBytes()))
 
 	// --- device side ------------------------------------------------------
-	device, err := graphhd.LoadModelFile(path)
+	device, err := graphhd.LoadPredictorFile(packedPath)
 	if err != nil {
 		log.Fatal(err)
 	}
 	test := graphhd.MustGenerateDataset("MUTAG", graphhd.DatasetOptions{Seed: 90, GraphCount: 80})
 
-	clean := accuracy(device, test)
-	fmt.Printf("device accuracy, clean memory:      %.3f\n", clean)
+	preds := device.PredictAll(test.Graphs)
+	correct := 0
+	for i, p := range preds {
+		if p == test.Labels[i] {
+			correct++
+		}
+	}
+	fmt.Printf("device accuracy, clean memory:      %.3f\n", float64(correct)/float64(test.Len()))
 
-	// Simulate faulty hypervector memory: corrupt a fraction of each
-	// query encoding's components before the associative-memory lookup.
+	// Simulate faulty hypervector memory: flip a fraction of each packed
+	// query encoding's bits before the associative-memory lookup. The
+	// encoding stays bit-packed end to end — corruption is a word-level
+	// XOR away, and classification degrades gracefully.
 	rng := graphhd.NewRNG(123)
 	enc := device.Encoder()
 	for _, flip := range []float64{0.10, 0.25} {
 		correct := 0
 		for i, g := range test.Graphs {
-			hv := corrupt(enc.EncodeGraph(g), flip, rng)
+			hv := enc.EncodeGraphPacked(g)
+			for _, idx := range rng.Perm(hv.Dim())[:int(flip*float64(hv.Dim()))] {
+				hv.Flip(idx)
+			}
 			if device.PredictEncoded(hv) == test.Labels[i] {
 				correct++
 			}
@@ -69,32 +99,4 @@ func main() {
 		fmt.Printf("device accuracy, %2.0f%% bits flipped: %.3f\n",
 			flip*100, float64(correct)/float64(test.Len()))
 	}
-}
-
-func accuracy(m *graphhd.Model, ds *graphhd.Dataset) float64 {
-	preds := m.PredictAll(ds.Graphs)
-	c := 0
-	for i, p := range preds {
-		if p == ds.Labels[i] {
-			c++
-		}
-	}
-	return float64(c) / float64(len(preds))
-}
-
-// corrupt returns hv with a random fraction of components negated.
-func corrupt(hv *graphhd.Hypervector, fraction float64, rng *graphhd.RNG) *graphhd.Hypervector {
-	d := hv.Dim()
-	comps := make([]int8, d)
-	for i := 0; i < d; i++ {
-		comps[i] = hv.At(i)
-	}
-	for _, idx := range rng.Perm(d)[:int(fraction*float64(d))] {
-		comps[idx] = -comps[idx]
-	}
-	out, err := graphhd.HypervectorFromComponents(comps)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return out
 }

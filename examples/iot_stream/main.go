@@ -37,9 +37,11 @@ func main() {
 	for i, g := range stream.Graphs {
 		label := stream.Labels[i]
 		// Progressive validation: predict first (skip the cold start
-		// before both classes have been observed)...
+		// before both classes have been observed). Prediction runs on the
+		// packed path — bit-packed encoding, popcount-Hamming query
+		// against a majority-voted snapshot refreshed after each Learn...
 		if i >= 2 {
-			if model.Predict(g) == label {
+			if model.PredictPacked(g) == label {
 				correct++
 			}
 			seen++

@@ -1,0 +1,3 @@
+module graphhd
+
+go 1.24

@@ -45,6 +45,10 @@ type (
 	Model = core.Model
 	// Encoder maps graphs to hypervectors.
 	Encoder = core.Encoder
+	// Predictor is the packed query snapshot of a trained model: class
+	// vectors majority-voted to bit-packed form, inference entirely in the
+	// packed domain (see Model.Snapshot).
+	Predictor = core.Predictor
 	// MultiPrototypeModel is the multiple-class-vectors extension.
 	MultiPrototypeModel = core.MultiPrototypeModel
 	// RetrainOptions configures perceptron-style retraining.
@@ -177,6 +181,22 @@ func LoadModelFile(path string) (*Model, error) { return core.LoadModelFile(path
 
 // ReadModel deserializes a model from r (see Model.WriteTo).
 func ReadModel(r io.Reader) (*Model, error) { return core.ReadModel(r) }
+
+// LoadPredictorFile reads a packed predictor saved with Predictor.SaveFile
+// (it also accepts full-model files, snapshotting them on load).
+func LoadPredictorFile(path string) (*Predictor, error) { return core.LoadPredictorFile(path) }
+
+// ReadPredictor deserializes a packed predictor from r (see
+// Predictor.WriteTo).
+func ReadPredictor(r io.Reader) (*Predictor, error) { return core.ReadPredictor(r) }
+
+// OnlineLearner is the predict-then-learn interface of the streaming
+// harness.
+type OnlineLearner = eval.OnlineLearner
+
+// NewOnlineGraphHD adapts a model for streaming: packed-path predictions
+// against a snapshot that refreshes after every Learn.
+func NewOnlineGraphHD(m *Model) OnlineLearner { return eval.OnlineGraphHD(m) }
 
 // CentralityMetric selects the vertex-identifier metric for Config.Centrality.
 type CentralityMetric = centrality.Metric

@@ -69,10 +69,11 @@ func (c Config) validate() error {
 // It is safe for concurrent use: the underlying item memories synchronize
 // internally and encoding is otherwise stateless.
 type Encoder struct {
-	cfg    Config
-	ranks  *hdc.ItemMemory // basis hypervectors indexed by centrality rank
-	tie    *hdc.Bipolar    // deterministic bundling tie-break
-	prOpts pagerank.Options
+	cfg       Config
+	ranks     *hdc.ItemMemory // basis hypervectors indexed by centrality rank
+	tie       *hdc.Bipolar    // deterministic bundling tie-break
+	packedTie *hdc.Binary     // tie in bit form, for the packed pipeline
+	prOpts    pagerank.Options
 
 	// Labeled-extension state: one basis hypervector per (rank, label)
 	// pair, generated from a keyed seed so that lookups are deterministic
@@ -101,7 +102,7 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 		return nil, err
 	}
 	seeds := hdc.NewRNG(cfg.Seed)
-	return &Encoder{
+	e := &Encoder{
 		cfg:       cfg,
 		ranks:     hdc.NewItemMemory(cfg.Dimension, seeds.Uint64()),
 		labelSeed: seeds.Uint64(),
@@ -111,7 +112,9 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 			Damping:    cfg.PageRankDamping,
 			Iterations: cfg.PageRankIterations,
 		},
-	}, nil
+	}
+	e.packedTie = e.tie.PackBinary()
+	return e, nil
 }
 
 // MustNewEncoder is NewEncoder that panics on an invalid configuration;
@@ -152,15 +155,19 @@ func (e *Encoder) Ranks(g *graph.Graph) []int {
 func (e *Encoder) VertexVectors(g *graph.Graph) []*hdc.Bipolar {
 	ranks := e.Ranks(g)
 	out := make([]*hdc.Bipolar, g.NumVertices())
-	useLabels := e.cfg.UseVertexLabels && g.Labeled()
 	for v := range out {
-		if useLabels {
-			out[v] = e.rankLabelVector(ranks[v], g.VertexLabel(v))
-		} else {
-			out[v] = e.ranks.Vector(ranks[v])
-		}
+		out[v] = e.vertexVector(g, v, ranks[v])
 	}
 	return out
+}
+
+// vertexVector returns Enc_v for a single vertex given its precomputed
+// centrality rank, resolving the labeled extension when active.
+func (e *Encoder) vertexVector(g *graph.Graph, v, rank int) *hdc.Bipolar {
+	if e.cfg.UseVertexLabels && g.Labeled() {
+		return e.rankLabelVector(rank, g.VertexLabel(v))
+	}
+	return e.ranks.Vector(rank)
 }
 
 // rankLabelVector returns the basis hypervector for a (rank, label) pair,
@@ -197,12 +204,34 @@ func (e *Encoder) rankLabelVector(rank, label int) *hdc.Bipolar {
 // keeps the reference implementation alive for the labeled extension and
 // for the equivalence tests.
 func (e *Encoder) EncodeGraph(g *graph.Graph) *hdc.Bipolar {
+	if counter := e.edgeBitCounter(g); counter != nil {
+		return counter.SignBipolar(e.tie)
+	}
+	return e.encodeGraphSlow(g)
+}
+
+// EncodeGraphPacked is EncodeGraph without the int8 detour: the bundle is
+// majority-voted straight into bit-packed Binary form, so the hypervector
+// stays d/64 words from encoding through classification. The result equals
+// EncodeGraph(g).PackBinary() bit for bit on every input (the labeled and
+// edgeless fallbacks pack the reference encoding).
+func (e *Encoder) EncodeGraphPacked(g *graph.Graph) *hdc.Binary {
+	if counter := e.edgeBitCounter(g); counter != nil {
+		return counter.SignBinary(e.packedTie)
+	}
+	return e.encodeGraphSlow(g).PackBinary()
+}
+
+// edgeBitCounter runs the bit-sliced edge accumulation shared by both
+// encoding outputs, or returns nil when the fast path does not apply
+// (labeled extension active, or no edges to bind).
+func (e *Encoder) edgeBitCounter(g *graph.Graph) *hdc.BitCounter {
 	if e.cfg.UseVertexLabels && g.Labeled() {
-		return e.encodeGraphSlow(g)
+		return nil
 	}
 	edges := g.Edges()
 	if len(edges) == 0 {
-		return e.encodeGraphSlow(g)
+		return nil
 	}
 	ranks := e.Ranks(g)
 	packed := e.packedSlice(g.NumVertices())
@@ -212,7 +241,7 @@ func (e *Encoder) EncodeGraph(g *graph.Graph) *hdc.Bipolar {
 		// under the bit 1 ↔ +1 mapping.
 		counter.AddXor(packed[ranks[ed.U]], packed[ranks[ed.V]], true)
 	}
-	return counter.SignBipolar(e.tie)
+	return counter
 }
 
 // encodeGraphSlow is the reference int8 implementation of Enc_G.
@@ -258,8 +287,32 @@ func (e *Encoder) packedSlice(n int) []*hdc.Binary {
 }
 
 // EncodeEdge returns Enc_e((u,v)) = Enc_v(u) × Enc_v(v) for one edge of g.
-// Exposed for diagnostics and tests; EncodeGraph is the hot path.
+// Exposed for diagnostics and tests; EncodeGraph is the hot path. Only the
+// two endpoint vectors are materialized (centrality ranks are a whole-graph
+// property and are still computed once).
 func (e *Encoder) EncodeEdge(g *graph.Graph, u, v int) *hdc.Bipolar {
-	vvecs := e.VertexVectors(g)
-	return vvecs[u].Bind(vvecs[v])
+	ranks := e.Ranks(g)
+	return e.vertexVector(g, u, ranks[u]).Bind(e.vertexVector(g, v, ranks[v]))
+}
+
+// reserveFor pre-materializes the rank basis vectors (and their packed
+// copies) covering every vertex count in graphs, so parallel encoding
+// workers take the read-lock fast path throughout.
+func (e *Encoder) reserveFor(graphs []*graph.Graph) {
+	maxN := 0
+	packedPath := false
+	for _, g := range graphs {
+		if g.NumVertices() > maxN {
+			maxN = g.NumVertices()
+		}
+		// Mirror edgeBitCounter's gate: any graph outside the labeled
+		// extension will take the packed fast path.
+		if !(e.cfg.UseVertexLabels && g.Labeled()) {
+			packedPath = true
+		}
+	}
+	e.ranks.Reserve(maxN)
+	if packedPath {
+		e.packedSlice(maxN)
+	}
 }

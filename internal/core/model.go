@@ -2,11 +2,10 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"graphhd/internal/graph"
 	"graphhd/internal/hdc"
+	"graphhd/internal/parallel"
 )
 
 // Model is a trained GraphHD classifier: one class vector per class held
@@ -74,45 +73,14 @@ func (m *Model) Fit(graphs []*graph.Graph, labels []int) error {
 	return nil
 }
 
-// encodeAll encodes graphs concurrently, preserving order.
+// encodeAll encodes graphs across the shared worker pool, preserving
+// order.
 func (m *Model) encodeAll(graphs []*graph.Graph) []*hdc.Bipolar {
-	// Pre-materialize the basis vectors for the largest rank we'll need so
-	// that the workers mostly take the read-lock fast path.
-	maxN := 0
-	for _, g := range graphs {
-		if g.NumVertices() > maxN {
-			maxN = g.NumVertices()
-		}
-	}
-	m.enc.ranks.Reserve(maxN)
-
+	m.enc.reserveFor(graphs)
 	encoded := make([]*hdc.Bipolar, len(graphs))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(graphs) {
-		workers = len(graphs)
-	}
-	if workers <= 1 {
-		for i, g := range graphs {
-			encoded[i] = m.enc.EncodeGraph(g)
-		}
-		return encoded
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				encoded[i] = m.enc.EncodeGraph(graphs[i])
-			}
-		}()
-	}
-	for i := range graphs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	parallel.ForEach(0, len(graphs), func(i int) {
+		encoded[i] = m.enc.EncodeGraph(graphs[i])
+	})
 	return encoded
 }
 
@@ -140,6 +108,22 @@ func (m *Model) PredictAll(graphs []*graph.Graph) []int {
 // Similarities returns δ(Enc(g), C_i) for every class i.
 func (m *Model) Similarities(g *graph.Graph) []float64 {
 	return m.am.Similarities(m.enc.EncodeGraph(g))
+}
+
+// PredictPacked classifies g entirely in the packed domain: bit-packed
+// encoding, then a popcount-Hamming query against a lazily refreshed
+// majority-voted snapshot of the class accumulators. Unlike Snapshot, the
+// cached snapshot follows later Learn/Unlearn calls, which makes this the
+// online-learning inference path. Predictions match Predict bit for bit
+// when the model uses bipolar (majority-voted) class vectors.
+func (m *Model) PredictPacked(g *graph.Graph) int {
+	return m.am.ClassifyPacked(m.enc.EncodeGraphPacked(g))
+}
+
+// MemoryBytes returns the bytes held by the int32 class accumulators, the
+// model's training-time state (k × d × 4).
+func (m *Model) MemoryBytes() int {
+	return m.k * m.enc.Dimension() * 4
 }
 
 // Train is the one-call convenience API: build an encoder and model from

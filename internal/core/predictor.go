@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"graphhd/internal/graph"
+	"graphhd/internal/hdc"
+	"graphhd/internal/parallel"
+)
+
+// Predictor is an immutable packed-inference snapshot of a trained Model:
+// class vectors majority-voted down to bit-packed Binary form, queried by
+// popcount Hamming distance on hypervectors that stay bit-packed from
+// encoding through classification. It is the deployment artifact — the
+// whole query path runs on d/64 uint64 words, an 8× smaller query memory
+// and a far cheaper inner loop than the int8 reference pipeline, with
+// predictions bit-for-bit identical to a Model configured with
+// BipolarClassVectors: true (exactly the majority-voted semantics the
+// snapshot freezes).
+//
+// A Predictor does not learn; keep the Model for training/retraining and
+// re-snapshot after updates. Predictors are safe for concurrent use.
+type Predictor struct {
+	enc *Encoder
+	pm  *hdc.PackedMemory
+}
+
+// Snapshot freezes the model's current class accumulators into a packed
+// query predictor.
+func (m *Model) Snapshot() *Predictor {
+	return &Predictor{enc: m.enc, pm: m.am.Snapshot()}
+}
+
+// newPredictor assembles a predictor from deserialized parts.
+func newPredictor(enc *Encoder, classes []*hdc.Binary) (*Predictor, error) {
+	pm, err := hdc.NewPackedMemory(classes)
+	if err != nil {
+		return nil, err
+	}
+	if pm.Dim() != enc.Dimension() {
+		return nil, fmt.Errorf("core: class dimension %d does not match encoder dimension %d",
+			pm.Dim(), enc.Dimension())
+	}
+	return &Predictor{enc: enc, pm: pm}, nil
+}
+
+// Encoder returns the predictor's encoder.
+func (p *Predictor) Encoder() *Encoder { return p.enc }
+
+// NumClasses returns the number of classes.
+func (p *Predictor) NumClasses() int { return p.pm.NumClasses() }
+
+// ClassVector returns the packed class vector of class c (shared;
+// read-only).
+func (p *Predictor) ClassVector(c int) *hdc.Binary { return p.pm.ClassVector(c) }
+
+// MemoryBytes returns the bytes held by the packed class vectors — the
+// predictor's entire query-time model state (k × d/8, rounded up to
+// words). Compare Model.MemoryBytes.
+func (p *Predictor) MemoryBytes() int { return p.pm.MemoryBytes() }
+
+// Predict returns the predicted class of g. The graph is encoded directly
+// to a bit-packed hypervector and classified by Hamming distance; no int8
+// intermediate is materialized.
+func (p *Predictor) Predict(g *graph.Graph) int {
+	return p.pm.Classify(p.enc.EncodeGraphPacked(g))
+}
+
+// PredictEncoded classifies an already packed graph-hypervector.
+func (p *Predictor) PredictEncoded(hv *hdc.Binary) int {
+	return p.pm.Classify(hv)
+}
+
+// PredictAll classifies a batch of graphs across the shared worker pool,
+// preserving order.
+func (p *Predictor) PredictAll(graphs []*graph.Graph) []int {
+	p.enc.reserveFor(graphs)
+	out := make([]int, len(graphs))
+	parallel.ForEach(0, len(graphs), func(i int) {
+		out[i] = p.pm.Classify(p.enc.EncodeGraphPacked(graphs[i]))
+	})
+	return out
+}
+
+// Similarities returns δ(Enc(g), C_i) for every class i: exactly the
+// cosine values the bipolar reference path reports, computed as
+// 1 - 2*Hamming/d in the packed domain.
+func (p *Predictor) Similarities(g *graph.Graph) []float64 {
+	return p.pm.Similarities(p.enc.EncodeGraphPacked(g))
+}
+
+// SimilaritiesEncoded returns the class similarities of an already packed
+// query hypervector.
+func (p *Predictor) SimilaritiesEncoded(hv *hdc.Binary) []float64 {
+	return p.pm.Similarities(hv)
+}

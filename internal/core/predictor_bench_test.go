@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"graphhd/internal/dataset"
+	"graphhd/internal/hdc"
+)
+
+// The Predict benchmarks isolate the associative-memory query — the step
+// the packed refactor moves from an int8 multiply-accumulate to popcount
+// Hamming — at the paper's scale: d = 10,000, 6 classes (ENZYMES), with
+// the query hypervector pre-encoded so encoding cost (identical on both
+// paths) is excluded. BipolarClassVectors selects the majority-voted int8
+// reference, the semantics the packed path reproduces bit for bit.
+
+func benchModel(b *testing.B) *Model {
+	b.Helper()
+	ds, err := dataset.Generate("ENZYMES", dataset.Options{Seed: 1, GraphCount: 60})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig() // d = 10,000
+	cfg.BipolarClassVectors = true
+	m, err := Train(cfg, ds.Graphs, ds.Labels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func benchQuery(b *testing.B, m *Model) *hdc.Bipolar {
+	b.Helper()
+	ds, err := dataset.Generate("ENZYMES", dataset.Options{Seed: 2, GraphCount: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m.enc.EncodeGraph(ds.Graphs[0])
+}
+
+// BenchmarkPredictInt8 measures the int8 reference query path.
+func BenchmarkPredictInt8(b *testing.B) {
+	m := benchModel(b)
+	hv := benchQuery(b, m)
+	m.PredictEncoded(hv) // warm the signed class-vector cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictEncoded(hv)
+	}
+}
+
+// BenchmarkPredictPacked measures the packed query path on the same model
+// and query.
+func BenchmarkPredictPacked(b *testing.B) {
+	m := benchModel(b)
+	pred := m.Snapshot()
+	hv := benchQuery(b, m).PackBinary()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred.PredictEncoded(hv)
+	}
+}
+
+// BenchmarkPredictEndToEndInt8 and ...Packed time the full pipeline —
+// PageRank, encoding, query — per graph, the deployment-relevant latency.
+func BenchmarkPredictEndToEndInt8(b *testing.B) {
+	m := benchModel(b)
+	ds, err := dataset.Generate("ENZYMES", dataset.Options{Seed: 2, GraphCount: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := ds.Graphs[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(g)
+	}
+}
+
+func BenchmarkPredictEndToEndPacked(b *testing.B) {
+	m := benchModel(b)
+	pred := m.Snapshot()
+	ds, err := dataset.Generate("ENZYMES", dataset.Options{Seed: 2, GraphCount: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := ds.Graphs[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred.Predict(g)
+	}
+}

@@ -8,17 +8,15 @@ import (
 	"os"
 
 	"graphhd/internal/centrality"
+	"graphhd/internal/hdc"
 )
 
 // Model serialization. A trained GraphHD model is remarkably small: the
 // basis hypervectors regenerate deterministically from the seed, so only
-// the configuration and the integer class accumulators need storing —
-// k × dimension int32 values plus a fixed-size header. A 6-class model at
-// the paper's d = 10,000 serializes to ~240 KB.
+// the configuration and the per-class state need storing. Two record
+// versions share one header layout (little endian):
 //
-// Format (little endian):
-//
-//	magic   [8]byte  "GRAPHHD1"
+//	magic   [8]byte  "GRAPHHD1" (full model) or "GRAPHHD2" (packed predictor)
 //	dim     uint32
 //	prIters uint32
 //	damping float64
@@ -26,17 +24,81 @@ import (
 //	flags   uint32   bit0 = bipolar class vectors, bit1 = use vertex labels
 //	metric  uint32   centrality metric
 //	k       uint32   class count
-//	k × { count int64, dim × sum int32 }
+//
+// A GRAPHHD1 body stores the live int32 class accumulators — k × { count
+// int64, dim × sum int32 } — so the model keeps learning after a reload
+// (~240 KB for 6 classes at d = 10,000). A GRAPHHD2 body stores the
+// majority-voted class vectors bit-packed — k × ⌈dim/64⌉ uint64 words —
+// the query-only deployment form (~7.5 KB for the same model, 32× less).
 //
 // The labeled-extension (rank, label) cache regenerates lazily from the
 // seed, so labeled models round-trip too.
 
-var modelMagic = [8]byte{'G', 'R', 'A', 'P', 'H', 'H', 'D', '1'}
+var (
+	modelMagic  = [8]byte{'G', 'R', 'A', 'P', 'H', 'H', 'D', '1'}
+	packedMagic = [8]byte{'G', 'R', 'A', 'P', 'H', 'H', 'D', '2'}
+)
 
 const (
 	flagBipolarCV uint32 = 1 << iota
 	flagUseLabels
 )
+
+// writeHeader serializes the shared record header.
+func writeHeader(write func(any) error, magic [8]byte, cfg Config, k int) error {
+	var flags uint32
+	if cfg.BipolarClassVectors {
+		flags |= flagBipolarCV
+	}
+	if cfg.UseVertexLabels {
+		flags |= flagUseLabels
+	}
+	fields := []any{
+		magic,
+		uint32(cfg.Dimension),
+		uint32(cfg.PageRankIterations),
+		cfg.PageRankDamping,
+		cfg.Seed,
+		flags,
+		uint32(cfg.Centrality),
+		uint32(k),
+	}
+	for _, f := range fields {
+		if err := write(f); err != nil {
+			return fmt.Errorf("core: serialize header: %w", err)
+		}
+	}
+	return nil
+}
+
+// readHeaderBody deserializes everything after the magic bytes of the
+// shared header, returning the config and class count.
+func readHeaderBody(read func(any) error) (Config, int, error) {
+	var dim, prIters, flags, metric, k uint32
+	var damping float64
+	var seed uint64
+	for _, v := range []any{&dim, &prIters, &damping, &seed, &flags, &metric, &k} {
+		if err := read(v); err != nil {
+			return Config{}, 0, fmt.Errorf("core: read model header: %w", err)
+		}
+	}
+	if dim == 0 || dim > 1<<24 {
+		return Config{}, 0, fmt.Errorf("core: implausible dimension %d", dim)
+	}
+	if k == 0 || k > 1<<16 {
+		return Config{}, 0, fmt.Errorf("core: implausible class count %d", k)
+	}
+	cfg := Config{
+		Dimension:           int(dim),
+		PageRankIterations:  int(prIters),
+		PageRankDamping:     damping,
+		Seed:                seed,
+		BipolarClassVectors: flags&flagBipolarCV != 0,
+		UseVertexLabels:     flags&flagUseLabels != 0,
+		Centrality:          centrality.Metric(metric),
+	}
+	return cfg, int(k), nil
+}
 
 // WriteTo serializes the model. It implements io.WriterTo.
 func (m *Model) WriteTo(w io.Writer) (int64, error) {
@@ -49,28 +111,8 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 		n += int64(binary.Size(v))
 		return nil
 	}
-	cfg := m.enc.Config()
-	var flags uint32
-	if cfg.BipolarClassVectors {
-		flags |= flagBipolarCV
-	}
-	if cfg.UseVertexLabels {
-		flags |= flagUseLabels
-	}
-	fields := []any{
-		modelMagic,
-		uint32(cfg.Dimension),
-		uint32(cfg.PageRankIterations),
-		cfg.PageRankDamping,
-		cfg.Seed,
-		flags,
-		uint32(cfg.Centrality),
-		uint32(m.k),
-	}
-	for _, f := range fields {
-		if err := write(f); err != nil {
-			return n, fmt.Errorf("core: serialize header: %w", err)
-		}
+	if err := writeHeader(write, modelMagic, m.enc.Config(), m.k); err != nil {
+		return n, err
 	}
 	for c := 0; c < m.k; c++ {
 		acc := m.am.ClassAccumulator(c)
@@ -113,39 +155,25 @@ func ReadModel(r io.Reader) (*Model, error) {
 	if magic != modelMagic {
 		return nil, fmt.Errorf("core: bad model magic %q", magic)
 	}
-	var dim, prIters, flags, metric, k uint32
-	var damping float64
-	var seed uint64
-	for _, v := range []any{&dim, &prIters, &damping, &seed, &flags, &metric, &k} {
-		if err := read(v); err != nil {
-			return nil, fmt.Errorf("core: read model header: %w", err)
-		}
-	}
-	if dim == 0 || dim > 1<<24 {
-		return nil, fmt.Errorf("core: implausible dimension %d", dim)
-	}
-	if k == 0 || k > 1<<16 {
-		return nil, fmt.Errorf("core: implausible class count %d", k)
-	}
-	cfg := Config{
-		Dimension:           int(dim),
-		PageRankIterations:  int(prIters),
-		PageRankDamping:     damping,
-		Seed:                seed,
-		BipolarClassVectors: flags&flagBipolarCV != 0,
-		UseVertexLabels:     flags&flagUseLabels != 0,
-		Centrality:          centrality.Metric(metric),
+	return readModelBody(read)
+}
+
+// readModelBody deserializes a GRAPHHD1 record after the magic bytes.
+func readModelBody(read func(any) error) (*Model, error) {
+	cfg, k, err := readHeaderBody(read)
+	if err != nil {
+		return nil, err
 	}
 	enc, err := NewEncoder(cfg)
 	if err != nil {
 		return nil, err
 	}
-	m, err := NewModel(enc, int(k))
+	m, err := NewModel(enc, k)
 	if err != nil {
 		return nil, err
 	}
-	sums := make([]int32, dim)
-	for c := 0; c < int(k); c++ {
+	sums := make([]int32, cfg.Dimension)
+	for c := 0; c < k; c++ {
 		var count int64
 		if err := read(&count); err != nil {
 			return nil, fmt.Errorf("core: read class %d count: %w", c, err)
@@ -168,4 +196,102 @@ func LoadModelFile(path string) (*Model, error) {
 	}
 	defer f.Close()
 	return ReadModel(f)
+}
+
+// WriteTo serializes the predictor as a GRAPHHD2 packed record. It
+// implements io.WriterTo.
+func (p *Predictor) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := writeHeader(write, packedMagic, p.enc.Config(), p.NumClasses()); err != nil {
+		return n, err
+	}
+	for c := 0; c < p.NumClasses(); c++ {
+		if err := write(p.pm.ClassVector(c).Words()); err != nil {
+			return n, fmt.Errorf("core: serialize packed class %d: %w", c, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, fmt.Errorf("core: serialize flush: %w", err)
+	}
+	return n, nil
+}
+
+// SaveFile writes the packed predictor to path.
+func (p *Predictor) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save predictor: %w", err)
+	}
+	if _, err := p.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadPredictor deserializes a packed query predictor. It accepts both
+// record versions: a GRAPHHD2 record loads directly, and a GRAPHHD1 full
+// model is loaded and snapshotted, so deployment code reads either format.
+// Note that snapshotting always yields the majority-voted query semantics:
+// for a GRAPHHD1 model saved with BipolarClassVectors false, the resulting
+// predictions follow the majority-voted rule, not the int32-accumulator
+// cosine rule the model itself would apply. Use ReadModel when the
+// record's native query mode must be preserved.
+func ReadPredictor(r io.Reader) (*Predictor, error) {
+	br := bufio.NewReader(r)
+	read := func(v any) error {
+		return binary.Read(br, binary.LittleEndian, v)
+	}
+	var magic [8]byte
+	if err := read(&magic); err != nil {
+		return nil, fmt.Errorf("core: read model magic: %w", err)
+	}
+	switch magic {
+	case modelMagic:
+		m, err := readModelBody(read)
+		if err != nil {
+			return nil, err
+		}
+		return m.Snapshot(), nil
+	case packedMagic:
+	default:
+		return nil, fmt.Errorf("core: bad model magic %q", magic)
+	}
+	cfg, k, err := readHeaderBody(read)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	words := make([]uint64, (cfg.Dimension+63)/64)
+	classes := make([]*hdc.Binary, k)
+	for c := 0; c < k; c++ {
+		if err := read(words); err != nil {
+			return nil, fmt.Errorf("core: read packed class %d: %w", c, err)
+		}
+		if classes[c], err = hdc.BinaryFromWords(cfg.Dimension, words); err != nil {
+			return nil, fmt.Errorf("core: packed class %d: %w", c, err)
+		}
+	}
+	return newPredictor(enc, classes)
+}
+
+// LoadPredictorFile reads a predictor from path (either record version).
+func LoadPredictorFile(path string) (*Predictor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load predictor: %w", err)
+	}
+	defer f.Close()
+	return ReadPredictor(f)
 }

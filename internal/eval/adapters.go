@@ -15,10 +15,16 @@ import (
 // interface, including the hyper-parameter search the paper's protocol
 // prescribes for the kernels.
 
-// GraphHDClassifier wraps core.Model.
+// GraphHDClassifier wraps core.Model. Training accumulates int32 class
+// sums (the reference path); inference runs on a packed query snapshot —
+// majority-voted bit-packed class vectors classified by popcount Hamming
+// distance, the strict paper formulation. This matches a model configured
+// with BipolarClassVectors: true bit for bit and keeps the harness's hot
+// query path entirely in bit form.
 type GraphHDClassifier struct {
 	Config core.Config
 	model  *core.Model
+	pred   *core.Predictor
 }
 
 // NewGraphHDClassifier returns an adapter using cfg (zero Dimension
@@ -30,19 +36,34 @@ func NewGraphHDClassifier(cfg core.Config) *GraphHDClassifier {
 	return &GraphHDClassifier{Config: cfg}
 }
 
-// Fit trains a fresh GraphHD model.
+// Fit trains a fresh GraphHD model and freezes its packed query snapshot.
 func (c *GraphHDClassifier) Fit(graphs []*graph.Graph, labels []int) error {
 	m, err := core.Train(c.Config, graphs, labels)
 	if err != nil {
 		return err
 	}
 	c.model = m
+	c.pred = m.Snapshot()
 	return nil
 }
 
-// PredictAll classifies the given graphs.
+// Model exposes the trained reference model (int32 accumulators).
+func (c *GraphHDClassifier) Model() *core.Model { return c.model }
+
+// PredictAll classifies the given graphs on the packed path.
 func (c *GraphHDClassifier) PredictAll(graphs []*graph.Graph) []int {
-	return c.model.PredictAll(graphs)
+	return c.pred.PredictAll(graphs)
+}
+
+// OnlineGraphHD adapts a core.Model into an OnlineLearner whose
+// predictions run on the packed path: each query is encoded straight to
+// bit-packed form and classified against a majority-voted snapshot that
+// refreshes lazily after every Learn.
+func OnlineGraphHD(m *core.Model) OnlineLearner {
+	return AdaptOnline(m.PredictPacked, func(g *graph.Graph, l int) error {
+		_, err := m.Learn(g, l)
+		return err
+	})
 }
 
 // KernelKind selects which WL kernel a KernelSVMClassifier uses.

@@ -1,0 +1,109 @@
+package eval
+
+import (
+	"errors"
+	"testing"
+
+	"graphhd/internal/core"
+	"graphhd/internal/graph"
+)
+
+func TestCrossValidateParallelMatchesSequential(t *testing.T) {
+	// Folds share no classifier state, so accuracies (and fold order in the
+	// result) must be identical at any worker count.
+	ds := tinyDataset(12, 31)
+	run := func(workers int) *Result {
+		res, err := CrossValidate("GraphHD", ds, func(fold int, seed uint64) Classifier {
+			return NewGraphHDClassifier(smallHDConfig())
+		}, CrossValidateOptions{Folds: 3, Repetitions: 2, Seed: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// An explicit worker count > 1 forces the concurrent path even on a
+	// single-core machine (0 and 1 both run sequentially by design).
+	seq, par := run(1), run(4)
+	if len(seq.Folds) != len(par.Folds) {
+		t.Fatalf("fold counts differ: %d vs %d", len(seq.Folds), len(par.Folds))
+	}
+	for i := range seq.Folds {
+		s, p := seq.Folds[i], par.Folds[i]
+		if s.Fold != p.Fold || s.Repetition != p.Repetition {
+			t.Fatalf("fold order differs at %d: (%d,%d) vs (%d,%d)",
+				i, s.Repetition, s.Fold, p.Repetition, p.Fold)
+		}
+		if s.Accuracy != p.Accuracy || s.TestSize != p.TestSize {
+			t.Fatalf("fold %d: accuracy %f/%d vs %f/%d",
+				i, s.Accuracy, s.TestSize, p.Accuracy, p.TestSize)
+		}
+		if p.TrainTime <= 0 || p.InferTime <= 0 {
+			t.Fatalf("fold %d: timings not recorded under parallel execution", i)
+		}
+	}
+}
+
+func TestCrossValidateParallelPropagatesErrors(t *testing.T) {
+	ds := tinyDataset(12, 32)
+	_, err := CrossValidate("bad", ds, func(fold int, seed uint64) Classifier {
+		return failingClassifier{}
+	}, CrossValidateOptions{Folds: 3, Repetitions: 1, Seed: 5, Workers: 0})
+	if err == nil {
+		t.Fatal("expected fit error to propagate")
+	}
+}
+
+var errFit = errors.New("fit failed")
+
+type failingClassifier struct{}
+
+func (failingClassifier) Fit([]*graph.Graph, []int) error { return errFit }
+func (failingClassifier) PredictAll([]*graph.Graph) []int { return nil }
+
+func TestGraphHDClassifierUsesPackedPredictor(t *testing.T) {
+	ds := tinyDataset(15, 33)
+	c := NewGraphHDClassifier(smallHDConfig())
+	if err := c.Fit(ds.Graphs, ds.Labels); err != nil {
+		t.Fatal(err)
+	}
+	preds := c.PredictAll(ds.Graphs)
+	// The adapter's predictions must equal the model's own packed snapshot
+	// (majority-voted semantics), not the int8 accumulator path.
+	want := c.Model().Snapshot().PredictAll(ds.Graphs)
+	for i := range preds {
+		if preds[i] != want[i] {
+			t.Fatalf("graph %d: adapter %d, snapshot %d", i, preds[i], want[i])
+		}
+	}
+	if Accuracy(preds, ds.Labels) < 0.9 {
+		t.Fatalf("packed train accuracy = %f", Accuracy(preds, ds.Labels))
+	}
+}
+
+func TestOnlineGraphHDLearnsAndMatchesPacked(t *testing.T) {
+	ds := tinyDataset(40, 34)
+	cfg := smallHDConfig()
+	enc, err := core.NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewModel(enc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learner := OnlineGraphHD(m)
+	res, err := ProgressiveValidation(learner, ds, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccuracy() < 0.8 {
+		t.Fatalf("packed progressive accuracy = %f", res.FinalAccuracy())
+	}
+	// After the stream, the learner's predictions are the model's packed
+	// predictions.
+	for i, g := range ds.Graphs[:10] {
+		if learner.Predict(g) != m.PredictPacked(g) {
+			t.Fatalf("graph %d: adapter diverged from PredictPacked", i)
+		}
+	}
+}

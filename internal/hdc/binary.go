@@ -54,6 +54,38 @@ func (b *Binary) Bit(i int) int {
 	return int(b.words[i>>6] >> uint(i&63) & 1)
 }
 
+// Flip negates component i (bit 1 ↔ bit 0), the packed analogue of a
+// bipolar sign flip; used to model faulty hypervector memory.
+func (b *Binary) Flip(i int) {
+	if i < 0 || i >= b.d {
+		panic(fmt.Sprintf("hdc: component %d out of range [0,%d)", i, b.d))
+	}
+	b.words[i>>6] ^= 1 << uint(i&63)
+}
+
+// Words exposes the underlying word array (64 components per word, little
+// endian within the word). The slice is shared with b and must be treated
+// as read-only; it exists for serialization and SWAR consumers.
+func (b *Binary) Words() []uint64 { return b.words }
+
+// BinaryFromWords builds a binary hypervector of dimension d from a packed
+// word slice as produced by Words. The slice is copied; unused tail bits
+// beyond d are rejected so round-tripped vectors stay canonical.
+func BinaryFromWords(d int, words []uint64) (*Binary, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("hdc: non-positive dimension %d", d)
+	}
+	if want := (d + 63) / 64; len(words) != want {
+		return nil, fmt.Errorf("hdc: %d words for dimension %d, want %d", len(words), d, want)
+	}
+	if r := d & 63; r != 0 && words[len(words)-1]&^((1<<uint(r))-1) != 0 {
+		return nil, fmt.Errorf("hdc: tail bits beyond dimension %d are set", d)
+	}
+	w := make([]uint64, len(words))
+	copy(w, words)
+	return &Binary{d: d, words: w}, nil
+}
+
 // Clone returns an independent copy of b.
 func (b *Binary) Clone() *Binary {
 	w := make([]uint64, len(b.words))

@@ -223,6 +223,30 @@ func (c *BitCounter) SignBipolar(tie *Bipolar) *Bipolar {
 	return &Bipolar{comps: out}
 }
 
+// SignBinary collapses the counter to a bit-packed binary hypervector by
+// the same majority rule as SignBipolar: bit i is set when more than half
+// of the n added vectors had it set, cleared when fewer, and copied from
+// tie on an exact tie. SignBinary(tiePacked) == SignBipolar(tie).PackBinary()
+// bit for bit, which is what lets the packed encoder skip the int8 detour
+// entirely.
+func (c *BitCounter) SignBinary(tie *Binary) *Binary {
+	if c.d != tie.d {
+		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d", c.d, tie.d))
+	}
+	c.flush()
+	out := NewBinary(c.d)
+	half2 := int32(c.n) // compare 2*cnt against n
+	for i, cnt := range c.counts {
+		switch twice := 2 * cnt; {
+		case twice > half2:
+			out.words[i>>6] |= 1 << uint(i&63)
+		case twice == half2:
+			out.words[i>>6] |= tie.words[i>>6] & (1 << uint(i&63))
+		}
+	}
+	return out
+}
+
 // Reset clears the counter.
 func (c *BitCounter) Reset() {
 	for j := range c.nib {

@@ -84,6 +84,7 @@ type AssociativeMemory struct {
 	bipolar  bool // if true, compare against Sign(tie) class vectors
 	signed   []*Bipolar
 	signedOK bool
+	packed   *PackedMemory // lazy bit-packed query snapshot
 }
 
 // NewAssociativeMemory returns a memory for k classes of dimension dim.
@@ -117,23 +118,29 @@ func (am *AssociativeMemory) Dim() int { return am.dim }
 // bundling in this memory.
 func (am *AssociativeMemory) Tie() *Bipolar { return am.tie }
 
+// invalidate drops all cached query snapshots after a class update.
+func (am *AssociativeMemory) invalidate() {
+	am.signedOK = false
+	am.packed = nil
+}
+
 // Learn bundles the encoded sample v into class c's accumulator.
 func (am *AssociativeMemory) Learn(c int, v *Bipolar) {
 	am.classes[c].Add(v)
-	am.signedOK = false
+	am.invalidate()
 }
 
 // Unlearn removes one vote of v from class c, and Reinforce adds weight w
 // votes; both support retraining.
 func (am *AssociativeMemory) Unlearn(c int, v *Bipolar) {
 	am.classes[c].Sub(v)
-	am.signedOK = false
+	am.invalidate()
 }
 
 // Reinforce adds w (possibly negative) votes of v to class c.
 func (am *AssociativeMemory) Reinforce(c int, v *Bipolar, w int) {
 	am.classes[c].AddWeighted(v, w)
-	am.signedOK = false
+	am.invalidate()
 }
 
 // ClassVector returns the majority-voted bipolar class vector for class c.
@@ -156,6 +163,45 @@ func (am *AssociativeMemory) refreshSigned() {
 		am.signed[i] = acc.Sign(am.tie)
 	}
 	am.signedOK = true
+}
+
+// Snapshot majority-votes every class accumulator down to a bit-packed
+// Binary vector (the strict paper formulation, equivalent to bipolar class
+// vectors) and returns an immutable packed query memory. The snapshot does
+// not track later Learn/Unlearn calls; take a fresh one after training.
+func (am *AssociativeMemory) Snapshot() *PackedMemory {
+	classes := make([]*Binary, len(am.classes))
+	for i, acc := range am.classes {
+		classes[i] = acc.Sign(am.tie).PackBinary()
+	}
+	pm, err := NewPackedMemory(classes)
+	if err != nil {
+		panic(err) // unreachable: k >= 1 and dimensions agree by construction
+	}
+	return pm
+}
+
+// refreshPacked returns the cached packed snapshot, rebuilding it after
+// any class update.
+func (am *AssociativeMemory) refreshPacked() *PackedMemory {
+	if am.packed == nil {
+		am.packed = am.Snapshot()
+	}
+	return am.packed
+}
+
+// ClassifyPacked classifies a bit-packed query against the (lazily
+// refreshed) majority-voted snapshot via popcount Hamming distance. For a
+// memory configured with bipolar class vectors the result is bit-for-bit
+// identical to Classify on the unpacked query.
+func (am *AssociativeMemory) ClassifyPacked(v *Binary) int {
+	return am.refreshPacked().Classify(v)
+}
+
+// SimilaritiesPacked returns δ(v, C_i) for every class i in the packed
+// domain: exactly the cosines Similarities reports in bipolar mode.
+func (am *AssociativeMemory) SimilaritiesPacked(v *Binary) []float64 {
+	return am.refreshPacked().Similarities(v)
 }
 
 // Similarities returns δ(v, C_i) for every class i.
@@ -203,7 +249,7 @@ func (am *AssociativeMemory) Reset() {
 	for _, acc := range am.classes {
 		acc.Reset()
 	}
-	am.signedOK = false
+	am.invalidate()
 }
 
 // LoadClass replaces class c's accumulator state; used when deserializing
@@ -212,6 +258,6 @@ func (am *AssociativeMemory) LoadClass(c int, sums []int32, count int) error {
 	if err := am.classes[c].LoadSums(sums, count); err != nil {
 		return err
 	}
-	am.signedOK = false
+	am.invalidate()
 	return nil
 }

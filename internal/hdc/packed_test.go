@@ -1,0 +1,181 @@
+package hdc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSignBinaryMatchesSignBipolar(t *testing.T) {
+	// SignBinary(tiePacked) must equal SignBipolar(tie).PackBinary() bit
+	// for bit, including exact ties (even add counts force many).
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		d := 100 + rng.Intn(200) // non-multiple of 64 exercises the tail
+		tie := RandomBipolar(d, rng)
+		a := NewBitCounter(d)
+		b := NewBitCounter(d)
+		n := 2 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			v := RandomBinary(d, rng)
+			a.Add(v)
+			b.Add(v)
+		}
+		return a.SignBinary(tie.PackBinary()).Equal(b.SignBipolar(tie).PackBinary())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignBinaryDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBitCounter(64).SignBinary(NewBinary(65))
+}
+
+// packedFixture trains a small bipolar-mode associative memory and returns
+// it with the query vectors used against it.
+func packedFixture(t *testing.T, k, d, n int, seed uint64) (*AssociativeMemory, []*Bipolar) {
+	t.Helper()
+	rng := NewRNG(seed)
+	am := NewAssociativeMemory(k, d, rng.Uint64(), true)
+	for i := 0; i < n; i++ {
+		am.Learn(i%k, RandomBipolar(d, rng))
+	}
+	queries := make([]*Bipolar, 20)
+	for i := range queries {
+		queries[i] = RandomBipolar(d, rng)
+	}
+	return am, queries
+}
+
+func TestPackedMemoryMatchesBipolarMode(t *testing.T) {
+	am, queries := packedFixture(t, 3, 500, 30, 1)
+	pm := am.Snapshot()
+	if pm.NumClasses() != 3 || pm.Dim() != 500 {
+		t.Fatalf("snapshot shape %d/%d", pm.NumClasses(), pm.Dim())
+	}
+	for qi, q := range queries {
+		b := q.PackBinary()
+		if got, want := pm.Classify(b), am.Classify(q); got != want {
+			t.Fatalf("query %d: packed class %d, reference %d", qi, got, want)
+		}
+		gotS, wantS := pm.Similarities(b), am.Similarities(q)
+		for c := range wantS {
+			if gotS[c] != wantS[c] {
+				t.Fatalf("query %d class %d: packed sim %v, reference %v (must be exactly equal)",
+					qi, c, gotS[c], wantS[c])
+			}
+		}
+	}
+}
+
+func TestPackedMemoryHammingsConsistent(t *testing.T) {
+	am, queries := packedFixture(t, 4, 320, 40, 2)
+	pm := am.Snapshot()
+	for _, q := range queries {
+		b := q.PackBinary()
+		hs := pm.Hammings(b)
+		for c, h := range hs {
+			if want := pm.ClassVector(c).Hamming(b); h != want {
+				t.Fatalf("class %d hamming %d, want %d", c, h, want)
+			}
+		}
+	}
+}
+
+func TestClassifyPackedTracksLearning(t *testing.T) {
+	// The cached snapshot behind ClassifyPacked must refresh after every
+	// class update, staying equal to a fresh Snapshot.
+	rng := NewRNG(3)
+	am := NewAssociativeMemory(2, 256, rng.Uint64(), true)
+	am.Learn(0, RandomBipolar(256, rng))
+	am.Learn(1, RandomBipolar(256, rng))
+	for i := 0; i < 10; i++ {
+		q := RandomBipolar(256, rng)
+		b := q.PackBinary()
+		if am.ClassifyPacked(b) != am.Snapshot().Classify(b) {
+			t.Fatalf("step %d: cached snapshot stale", i)
+		}
+		am.Learn(i%2, q)
+	}
+	// Unlearn and Reinforce must invalidate too.
+	v := RandomBipolar(256, rng)
+	am.ClassifyPacked(v.PackBinary()) // populate cache
+	am.Unlearn(0, v)
+	if am.packed != nil {
+		t.Fatal("Unlearn did not invalidate the packed snapshot")
+	}
+	am.ClassifyPacked(v.PackBinary())
+	am.Reinforce(1, v, 2)
+	if am.packed != nil {
+		t.Fatal("Reinforce did not invalidate the packed snapshot")
+	}
+}
+
+func TestNewPackedMemoryErrors(t *testing.T) {
+	if _, err := NewPackedMemory(nil); err == nil {
+		t.Fatal("expected empty class error")
+	}
+	if _, err := NewPackedMemory([]*Binary{NewBinary(64), nil}); err == nil {
+		t.Fatal("expected nil class error")
+	}
+	if _, err := NewPackedMemory([]*Binary{NewBinary(64), NewBinary(128)}); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}
+
+func TestPackedMemoryBytes(t *testing.T) {
+	pm, err := NewPackedMemory([]*Binary{NewBinary(100), NewBinary(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pm.MemoryBytes(); got != 2*2*8 { // 2 classes × 2 words × 8 bytes
+		t.Fatalf("MemoryBytes = %d", got)
+	}
+}
+
+func TestBinaryFlip(t *testing.T) {
+	b := NewBinary(70)
+	b.Flip(0)
+	b.Flip(69)
+	if b.Bit(0) != 1 || b.Bit(69) != 1 {
+		t.Fatal("flip did not set bits")
+	}
+	b.Flip(69)
+	if b.Bit(69) != 0 {
+		t.Fatal("double flip did not clear")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected out-of-range panic")
+		}
+	}()
+	b.Flip(70)
+}
+
+func TestBinaryWordsRoundTrip(t *testing.T) {
+	rng := NewRNG(4)
+	for _, d := range []int{1, 63, 64, 65, 500} {
+		b := RandomBinary(d, rng)
+		c, err := BinaryFromWords(d, b.Words())
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if !c.Equal(b) {
+			t.Fatalf("d=%d: round trip changed vector", d)
+		}
+	}
+	if _, err := BinaryFromWords(0, nil); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if _, err := BinaryFromWords(64, make([]uint64, 2)); err == nil {
+		t.Fatal("expected word count error")
+	}
+	if _, err := BinaryFromWords(10, []uint64{1 << 12}); err == nil {
+		t.Fatal("expected tail bit error")
+	}
+}

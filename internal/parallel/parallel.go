@@ -1,0 +1,65 @@
+// Package parallel provides the shared worker-pool primitive used by every
+// data-parallel loop in the repository: batch encoding, batch prediction
+// and cross-validation fold execution. HDC workloads are embarrassingly
+// parallel across samples, so a single dynamic-scheduling ForEach covers
+// all of them without per-call goroutine tuning.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: non-positive means
+// GOMAXPROCS, and the result is clamped to n so short inputs never spawn
+// idle goroutines.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(i) for every i in [0, n), distributing indices across up
+// to workers goroutines (non-positive workers means GOMAXPROCS). Indices
+// are handed out dynamically, so uneven per-item cost — large graphs next
+// to small ones, heavyweight folds next to cheap ones — still balances.
+// ForEach returns after every call completes. fn must be safe to call
+// concurrently; writing to disjoint slice elements indexed by i is the
+// intended result-collection pattern.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,66 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		for _, n := range []int{0, 1, 5, 100, 1000} {
+			hits := make([]int32, n)
+			ForEach(workers, n, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachOrderIndependentResults(t *testing.T) {
+	n := 500
+	out := make([]int, n)
+	ForEach(8, n, func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	maxprocs := runtime.GOMAXPROCS(0)
+	min := func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	cases := []struct{ req, n, want int }{
+		{0, 100, min(maxprocs, 100)},
+		{0, 1, 1},
+		{3, 100, 3},
+		{3, 2, 2},
+		{-5, 2, min(maxprocs, 2)},
+		{1, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.req, c.n); got != c.want {
+			t.Fatalf("Workers(%d, %d) = %d, want %d", c.req, c.n, got, c.want)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	ran := false
+	ForEach(4, 0, func(int) { ran = true })
+	ForEach(4, -3, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for empty range")
+	}
+}
