@@ -260,8 +260,26 @@ func BenchmarkEncodeGraph(b *testing.B) {
 	for _, n := range []int{20, 100, 500} {
 		g := graph.ErdosRenyi(n, 0.05, hdc.NewRNG(1))
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				enc.EncodeGraph(g)
+			}
+		})
+	}
+}
+
+// BenchmarkEncodeGraphScratch is BenchmarkEncodeGraph on a reused
+// EncoderScratch — the steady-state serving path, 0 allocs/op.
+func BenchmarkEncodeGraphScratch(b *testing.B) {
+	enc := core.MustNewEncoder(core.DefaultConfig())
+	for _, n := range []int{20, 100, 500} {
+		g := graph.ErdosRenyi(n, 0.05, hdc.NewRNG(1))
+		s := enc.NewScratch()
+		s.EncodeGraphPacked(g)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.EncodeGraphPacked(g)
 			}
 		})
 	}
@@ -301,8 +319,25 @@ func BenchmarkPageRank(b *testing.B) {
 	for _, n := range []int{50, 500} {
 		g := graph.ErdosRenyi(n, 0.05, hdc.NewRNG(1))
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				pagerank.Ranks(g, pagerank.Options{})
+			}
+		})
+	}
+}
+
+// BenchmarkPageRankInto is BenchmarkPageRank through the caller-owned
+// buffer API — zero allocations once the scratch has warmed.
+func BenchmarkPageRankInto(b *testing.B) {
+	for _, n := range []int{50, 500} {
+		g := graph.ErdosRenyi(n, 0.05, hdc.NewRNG(1))
+		var s pagerank.Scratch
+		dst := pagerank.RanksInto(g, pagerank.Options{}, nil, &s)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dst = pagerank.RanksInto(g, pagerank.Options{}, dst, &s)
 			}
 		})
 	}

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"graphhd"
 	"graphhd/internal/eval"
@@ -71,7 +72,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		t0 := time.Now()
 		preds := pred.PredictAll(ds.Graphs)
+		elapsed := time.Since(t0)
 		correct := 0
 		for i, p := range preds {
 			if p == ds.Labels[i] {
@@ -80,6 +83,8 @@ func main() {
 		}
 		fmt.Printf("loaded model accuracy on %s: %.4f (%d graphs)\n",
 			*name, float64(correct)/float64(len(preds)), len(preds))
+		fmt.Printf("batch inference: %v total, %v per graph (scratch-reuse path, zero allocations per graph)\n",
+			elapsed, elapsed/time.Duration(len(preds)))
 		fmt.Println("inference: packed majority-voted class vectors (full-model records are snapshotted on load)")
 		fmt.Printf("query memory: %d bytes packed (int32 accumulators would use %d bytes, %.1f× more)\n",
 			pred.MemoryBytes(), pred.NumClasses()*pred.Encoder().Dimension()*4,

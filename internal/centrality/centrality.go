@@ -8,7 +8,6 @@ package centrality
 
 import (
 	"math"
-	"sort"
 
 	"graphhd/internal/graph"
 	"graphhd/internal/pagerank"
@@ -55,19 +54,68 @@ type Options struct {
 	Damping    float64
 }
 
+// Scratch holds the reusable buffers of ScoresInto and RanksInto: the
+// PageRank scratch for the PageRank delegation, separate score/order
+// buffers for the other metrics, and the BFS state closeness needs. The
+// zero value is ready to use; buffers grow to the largest graph seen and
+// are then reused. A Scratch is not safe for concurrent use — each
+// encoding goroutine owns its own.
+type Scratch struct {
+	pr           pagerank.Scratch
+	scores, next []float64
+	order        []int
+	dist         []int
+	queue        []int32
+}
+
+// ensure grows the non-PageRank buffers to cover n vertices.
+func (s *Scratch) ensure(n int) {
+	if cap(s.scores) < n {
+		s.scores = make([]float64, n)
+	}
+	if cap(s.next) < n {
+		s.next = make([]float64, n)
+	}
+	if cap(s.order) < n {
+		s.order = make([]int, n)
+	}
+}
+
 // Scores returns the centrality score of every vertex under the given
 // metric. Scores are comparable within one graph; only their ordering is
 // used by the encoder.
 func Scores(g *graph.Graph, metric Metric, opts Options) []float64 {
 	switch metric {
 	case Degree:
-		return degreeScores(g)
+		return degreeScoresInto(g, make([]float64, g.NumVertices()))
 	case Eigenvector:
-		return eigenvectorScores(g, opts)
+		return eigenvectorScoresInto(g, opts, make([]float64, g.NumVertices()), make([]float64, g.NumVertices()))
 	case Closeness:
-		return closenessScores(g)
+		var s Scratch
+		return closenessScoresInto(g, make([]float64, g.NumVertices()), &s)
 	default:
 		return pagerank.Scores(g, pagerank.Options{Iterations: opts.Iterations, Damping: opts.Damping})
+	}
+}
+
+// ScoresInto is Scores writing into s's reusable buffers. The returned
+// slice is owned by s and valid until the next ScoresInto or RanksInto
+// call on it. Out-of-range metric values fall back to PageRank, the same
+// rule as Scores.
+func ScoresInto(g *graph.Graph, metric Metric, opts Options, s *Scratch) []float64 {
+	n := g.NumVertices()
+	switch metric {
+	case Degree:
+		s.ensure(n)
+		return degreeScoresInto(g, s.scores[:n])
+	case Eigenvector:
+		s.ensure(n)
+		return eigenvectorScoresInto(g, opts, s.scores[:n], s.next[:n])
+	case Closeness:
+		s.ensure(n)
+		return closenessScoresInto(g, s.scores[:n], s)
+	default:
+		return pagerank.ScoresInto(g, pagerank.Options{Iterations: opts.Iterations, Damping: opts.Damping}, &s.pr)
 	}
 }
 
@@ -82,35 +130,56 @@ func Ranks(g *graph.Graph, metric Metric, opts Options) []int {
 	return RanksFromScores(g, Scores(g, metric, opts))
 }
 
+// RanksInto is Ranks writing into dst, with every intermediate buffer
+// drawn from s. dst is grown when its capacity is insufficient, so callers
+// that reuse the returned slice reach a steady state with zero heap
+// allocations per graph. Out-of-range metric values fall back to PageRank,
+// the same rule as Ranks.
+func RanksInto(g *graph.Graph, metric Metric, opts Options, dst []int, s *Scratch) []int {
+	switch metric {
+	case Degree, Eigenvector, Closeness:
+		scores := ScoresInto(g, metric, opts, s)
+		return RanksFromScoresInto(g, scores, dst, s.order[:g.NumVertices()])
+	default:
+		return pagerank.RanksInto(g, pagerank.Options{Iterations: opts.Iterations, Damping: opts.Damping}, dst, &s.pr)
+	}
+}
+
 // RanksFromScores converts a score vector to deterministic ranks with the
 // shared tie-break rule.
 func RanksFromScores(g *graph.Graph, scores []float64) []int {
 	n := g.NumVertices()
-	order := make([]int, n)
+	return RanksFromScoresInto(g, scores, make([]int, n), make([]int, n))
+}
+
+// RanksFromScoresInto is RanksFromScores writing the ranks into dst and
+// using order — a caller-owned slice of length NumVertices — as sort
+// scratch. The sort is pagerank.SortByCentrality, allocation-free and
+// identical to the historical sort.SliceStable result because the
+// tie-break rule is a total order.
+func RanksFromScoresInto(g *graph.Graph, scores []float64, dst, order []int) []int {
+	n := g.NumVertices()
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dst = dst[:n]
+	order = order[:n]
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		va, vb := order[a], order[b]
-		if scores[va] != scores[vb] {
-			return scores[va] > scores[vb]
-		}
-		da, db := g.Degree(va), g.Degree(vb)
-		if da != db {
-			return da > db
-		}
-		return va < vb
-	})
-	ranks := make([]int, n)
+	pagerank.SortByCentrality(g, scores, order)
 	for r, v := range order {
-		ranks[v] = r
+		dst[v] = r
 	}
-	return ranks
+	return dst
 }
 
-func degreeScores(g *graph.Graph) []float64 {
+func degreeScoresInto(g *graph.Graph, s []float64) []float64 {
 	n := g.NumVertices()
-	s := make([]float64, n)
+	s = s[:n]
+	for v := range s {
+		s[v] = 0
+	}
 	if n < 2 {
 		return s
 	}
@@ -121,24 +190,27 @@ func degreeScores(g *graph.Graph) []float64 {
 	return s
 }
 
-// eigenvectorScores runs power iteration on the shifted adjacency matrix
-// A + I with L2 normalization. The shift leaves the principal eigenvector
-// (and therefore the ranking) unchanged while preventing the sign
-// oscillation power iteration suffers on bipartite graphs, whose extreme
-// eigenvalues come in ±λ pairs.
-func eigenvectorScores(g *graph.Graph, opts Options) []float64 {
+// eigenvectorScoresInto runs power iteration on the shifted adjacency
+// matrix A + I with L2 normalization, ping-ponging between the caller's
+// cur and next buffers (the returned slice is one of the two). The shift
+// leaves the principal eigenvector (and therefore the ranking) unchanged
+// while preventing the sign oscillation power iteration suffers on
+// bipartite graphs, whose extreme eigenvalues come in ±λ pairs.
+func eigenvectorScoresInto(g *graph.Graph, opts Options, cur, next []float64) []float64 {
 	n := g.NumVertices()
+	cur, next = cur[:n], next[:n]
 	if g.NumEdges() == 0 {
 		// No adjacency structure: define all scores as zero rather than
 		// letting the +I shift return a meaningless uniform vector.
-		return make([]float64, n)
+		for v := range cur {
+			cur[v] = 0
+		}
+		return cur
 	}
 	iters := opts.Iterations
 	if iters == 0 {
 		iters = 50
 	}
-	cur := make([]float64, n)
-	next := make([]float64, n)
 	for v := range cur {
 		cur[v] = 1
 	}
@@ -170,17 +242,27 @@ func eigenvectorScores(g *graph.Graph, opts Options) []float64 {
 	return cur
 }
 
-// closenessScores computes Wasserman-Faust closeness: for each vertex v
-// with r(v) reachable vertices at total BFS distance s(v),
-// C(v) = ((r-1)/(n-1)) * ((r-1)/s). Isolated vertices score 0.
-func closenessScores(g *graph.Graph) []float64 {
+// closenessScoresInto computes Wasserman-Faust closeness into out: for
+// each vertex v with r(v) reachable vertices at total BFS distance s(v),
+// C(v) = ((r-1)/(n-1)) * ((r-1)/s). Isolated vertices score 0. The BFS
+// distance array and queue live in s.
+func closenessScoresInto(g *graph.Graph, out []float64, s *Scratch) []float64 {
 	n := g.NumVertices()
-	out := make([]float64, n)
+	out = out[:n]
+	for v := range out {
+		out[v] = 0
+	}
 	if n < 2 {
 		return out
 	}
-	dist := make([]int, n)
-	queue := make([]int32, 0, n)
+	if cap(s.dist) < n {
+		s.dist = make([]int, n)
+	}
+	if cap(s.queue) < n {
+		s.queue = make([]int32, 0, n)
+	}
+	dist := s.dist[:n]
+	queue := s.queue[:0]
 	for src := 0; src < n; src++ {
 		for i := range dist {
 			dist[i] = -1

@@ -180,3 +180,83 @@ func TestMetricsDisagreeWhereTheyShould(t *testing.T) {
 		}
 	}
 }
+
+func TestRanksIntoMatchesRanksAllMetrics(t *testing.T) {
+	rng := hdc.NewRNG(31)
+	var s Scratch
+	var dst []int
+	for trial := 0; trial < 12; trial++ {
+		var g *graph.Graph
+		switch trial % 3 {
+		case 0:
+			g = graph.ErdosRenyi(6+trial*6, 0.12, rng)
+		case 1:
+			g = graph.Star(5 + trial)
+		default:
+			g = graph.Disjoint(graph.Ring(4+trial), graph.Path(3+trial))
+		}
+		for _, m := range AllMetrics() {
+			want := Ranks(g, m, Options{})
+			dst = RanksInto(g, m, Options{}, dst, &s)
+			for v := range want {
+				if dst[v] != want[v] {
+					t.Fatalf("trial %d metric %s: rank[%d] = %d, want %d", trial, m, v, dst[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestScoresIntoMatchesScoresAllMetrics(t *testing.T) {
+	rng := hdc.NewRNG(32)
+	var s Scratch
+	for trial := 0; trial < 8; trial++ {
+		g := graph.ErdosRenyi(10+trial*9, 0.1, rng)
+		for _, m := range AllMetrics() {
+			want := Scores(g, m, Options{})
+			got := ScoresInto(g, m, Options{}, &s)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("trial %d metric %s: score[%d] = %v, want %v", trial, m, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestRanksIntoAllocationFreeAllMetrics(t *testing.T) {
+	g := graph.ErdosRenyi(80, 0.08, hdc.NewRNG(33))
+	for _, m := range AllMetrics() {
+		var s Scratch
+		dst := RanksInto(g, m, Options{}, nil, &s) // warm the buffers
+		allocs := testing.AllocsPerRun(20, func() {
+			dst = RanksInto(g, m, Options{}, dst, &s)
+		})
+		if allocs != 0 {
+			t.Fatalf("metric %s: RanksInto allocated %v times per run, want 0", m, allocs)
+		}
+	}
+}
+
+func TestIntoVariantsOutOfRangeMetricFallsBackToPageRank(t *testing.T) {
+	// Serialized configs can carry unvalidated metric values; the Into
+	// variants must route them exactly like Scores/Ranks do (PageRank
+	// fallback), not to some other metric.
+	g := graph.ErdosRenyi(25, 0.15, hdc.NewRNG(34))
+	bogus := Metric(99)
+	var s Scratch
+	wantS := Scores(g, bogus, Options{})
+	gotS := ScoresInto(g, bogus, Options{}, &s)
+	for v := range wantS {
+		if gotS[v] != wantS[v] {
+			t.Fatalf("score[%d] = %v, want %v", v, gotS[v], wantS[v])
+		}
+	}
+	wantR := Ranks(g, bogus, Options{})
+	gotR := RanksInto(g, bogus, Options{}, nil, &s)
+	for v := range wantR {
+		if gotR[v] != wantR[v] {
+			t.Fatalf("rank[%d] = %d, want %d", v, gotR[v], wantR[v])
+		}
+	}
+}

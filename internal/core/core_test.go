@@ -109,17 +109,20 @@ func TestEncodeDeterministic(t *testing.T) {
 func TestEncodeIsomorphismInvariance(t *testing.T) {
 	// GraphHD encodes only topology, so relabeling vertices must give an
 	// extremely similar hypervector (identical when PageRank ranks have no
-	// ties; near-identical otherwise).
+	// ties; near-identical otherwise). The seeds are fixed rather than
+	// drawn through quick.Check: rank tie-breaks depend on vertex ids, so
+	// the cosine after relabeling is a statistical quantity (rarely dipping
+	// below 0.8 on tie-heavy draws) and time-seeded sampling made this test
+	// flake roughly once per ten runs.
 	enc := MustNewEncoder(testConfig())
-	f := func(seed uint64) bool {
+	for seed := uint64(1); seed <= 40; seed++ {
 		rng := hdc.NewRNG(seed)
 		g := graph.BarabasiAlbert(15, 2, rng)
 		perm := rng.Perm(g.NumVertices())
 		h := graph.Relabel(g, perm)
-		return enc.EncodeGraph(g).Cosine(enc.EncodeGraph(h)) > 0.8
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
-		t.Fatal(err)
+		if c := enc.EncodeGraph(g).Cosine(enc.EncodeGraph(h)); c <= 0.8 {
+			t.Fatalf("seed %d: cosine after relabeling = %f", seed, c)
+		}
 	}
 }
 

@@ -90,6 +90,11 @@ type Encoder struct {
 	// bit form; the slice only ever grows, guarded by packedMu.
 	packedMu sync.RWMutex
 	packed   []*hdc.Binary
+
+	// scratch pools per-goroutine EncoderScratch values so the one-shot
+	// encode/rank APIs run allocation-free in steady state; the batch APIs
+	// check scratches out for a whole worker lifetime instead.
+	scratch sync.Pool
 }
 
 type rankLabelKey struct {
@@ -114,6 +119,7 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 		},
 	}
 	e.packedTie = e.tie.PackBinary()
+	e.scratch.New = func() any { return e.NewScratch() }
 	return e, nil
 }
 
@@ -138,15 +144,15 @@ func (e *Encoder) Dimension() int { return e.cfg.Dimension }
 func (e *Encoder) Tie() *hdc.Bipolar { return e.tie }
 
 // Ranks returns the centrality ranks the encoder assigns to g's vertices
-// under the configured metric.
+// under the configured metric. The returned slice is freshly allocated;
+// intermediate buffers come from a pooled scratch.
 func (e *Encoder) Ranks(g *graph.Graph) []int {
-	if e.cfg.Centrality == centrality.PageRank {
-		return pagerank.Ranks(g, e.prOpts)
-	}
-	return centrality.Ranks(g, e.cfg.Centrality, centrality.Options{
+	s := e.getScratch()
+	defer e.putScratch(s)
+	return centrality.RanksInto(g, e.cfg.Centrality, centrality.Options{
 		Iterations: e.prOpts.Iterations,
 		Damping:    e.prOpts.Damping,
-	})
+	}, make([]int, g.NumVertices()), &s.cent)
 }
 
 // VertexVectors returns Enc_v(v) for every vertex of g: the basis
@@ -204,10 +210,9 @@ func (e *Encoder) rankLabelVector(rank, label int) *hdc.Bipolar {
 // keeps the reference implementation alive for the labeled extension and
 // for the equivalence tests.
 func (e *Encoder) EncodeGraph(g *graph.Graph) *hdc.Bipolar {
-	if counter := e.edgeBitCounter(g); counter != nil {
-		return counter.SignBipolar(e.tie)
-	}
-	return e.encodeGraphSlow(g)
+	s := e.getScratch()
+	defer e.putScratch(s)
+	return s.encodeGraphNew(g)
 }
 
 // EncodeGraphPacked is EncodeGraph without the int8 detour: the bundle is
@@ -216,32 +221,9 @@ func (e *Encoder) EncodeGraph(g *graph.Graph) *hdc.Bipolar {
 // EncodeGraph(g).PackBinary() bit for bit on every input (the labeled and
 // edgeless fallbacks pack the reference encoding).
 func (e *Encoder) EncodeGraphPacked(g *graph.Graph) *hdc.Binary {
-	if counter := e.edgeBitCounter(g); counter != nil {
-		return counter.SignBinary(e.packedTie)
-	}
-	return e.encodeGraphSlow(g).PackBinary()
-}
-
-// edgeBitCounter runs the bit-sliced edge accumulation shared by both
-// encoding outputs, or returns nil when the fast path does not apply
-// (labeled extension active, or no edges to bind).
-func (e *Encoder) edgeBitCounter(g *graph.Graph) *hdc.BitCounter {
-	if e.cfg.UseVertexLabels && g.Labeled() {
-		return nil
-	}
-	edges := g.Edges()
-	if len(edges) == 0 {
-		return nil
-	}
-	ranks := e.Ranks(g)
-	packed := e.packedSlice(g.NumVertices())
-	counter := hdc.NewBitCounter(e.cfg.Dimension)
-	for _, ed := range edges {
-		// XNOR of the packed endpoints is exactly the bipolar product
-		// under the bit 1 ↔ +1 mapping.
-		counter.AddXor(packed[ranks[ed.U]], packed[ranks[ed.V]], true)
-	}
-	return counter
+	s := e.getScratch()
+	defer e.putScratch(s)
+	return s.encodeGraphPackedNew(g)
 }
 
 // encodeGraphSlow is the reference int8 implementation of Enc_G.

@@ -14,10 +14,119 @@ func BenchmarkFig4Encode980(b *testing.B) {
 	cfg := DefaultConfig()
 	cfg.Dimension = 2048
 	enc := MustNewEncoder(cfg)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, g := range ds.Graphs {
 			enc.EncodeGraph(g)
 		}
+	}
+}
+
+// BenchmarkFig4Encode980Scratch is the same workload on a reused
+// EncoderScratch — the steady-state serving path, zero allocs/op.
+func BenchmarkFig4Encode980Scratch(b *testing.B) {
+	ds := dataset.Scaling(980, 20, 1)
+	cfg := DefaultConfig()
+	cfg.Dimension = 2048
+	enc := MustNewEncoder(cfg)
+	s := enc.NewScratch()
+	for _, g := range ds.Graphs {
+		s.EncodeGraphPacked(g) // warm buffers and the packed basis table
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range ds.Graphs {
+			s.EncodeGraphPacked(g)
+		}
+	}
+}
+
+// BenchmarkEncodeGraph measures the allocating single-shot API: scratch
+// state is pooled internally, only the returned hypervector is fresh.
+func BenchmarkEncodeGraph(b *testing.B) {
+	ds, err := dataset.Generate("ENZYMES", dataset.Options{Seed: 2, GraphCount: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := MustNewEncoder(DefaultConfig())
+	g := ds.Graphs[0]
+	enc.EncodeGraph(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.EncodeGraph(g)
+	}
+}
+
+// BenchmarkEncodeGraphPacked is BenchmarkEncodeGraph on the packed output.
+func BenchmarkEncodeGraphPacked(b *testing.B) {
+	ds, err := dataset.Generate("ENZYMES", dataset.Options{Seed: 2, GraphCount: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := MustNewEncoder(DefaultConfig())
+	g := ds.Graphs[0]
+	enc.EncodeGraphPacked(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.EncodeGraphPacked(g)
+	}
+}
+
+// BenchmarkEncodeScratchPacked is the acceptance benchmark of the scratch
+// refactor: steady-state unlabeled-graph encoding into a reused scratch,
+// 0 allocs/op (previously ≥14 from BitCounter + PageRank allocations).
+func BenchmarkEncodeScratchPacked(b *testing.B) {
+	ds, err := dataset.Generate("ENZYMES", dataset.Options{Seed: 2, GraphCount: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := MustNewEncoder(DefaultConfig())
+	s := enc.NewScratch()
+	g := ds.Graphs[0]
+	s.EncodeGraphPacked(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.EncodeGraphPacked(g)
+	}
+}
+
+// BenchmarkEncodeScratchBipolar is the bipolar-output variant, also
+// 0 allocs/op.
+func BenchmarkEncodeScratchBipolar(b *testing.B) {
+	ds, err := dataset.Generate("ENZYMES", dataset.Options{Seed: 2, GraphCount: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := MustNewEncoder(DefaultConfig())
+	s := enc.NewScratch()
+	g := ds.Graphs[0]
+	s.EncodeGraph(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.EncodeGraph(g)
+	}
+}
+
+// BenchmarkEncodeRanks isolates the centrality-rank step (PageRank power
+// iteration plus the allocation-free index sort) on the scratch path.
+func BenchmarkEncodeRanks(b *testing.B) {
+	ds, err := dataset.Generate("ENZYMES", dataset.Options{Seed: 2, GraphCount: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := MustNewEncoder(DefaultConfig())
+	s := enc.NewScratch()
+	g := ds.Graphs[0]
+	s.Ranks(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Ranks(g)
 	}
 }

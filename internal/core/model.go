@@ -74,20 +74,29 @@ func (m *Model) Fit(graphs []*graph.Graph, labels []int) error {
 }
 
 // encodeAll encodes graphs across the shared worker pool, preserving
-// order.
+// order. Each worker owns one pooled EncoderScratch for its whole
+// lifetime, so ranks, counters and sort buffers are reused across graphs;
+// only the retained output hypervectors are allocated.
 func (m *Model) encodeAll(graphs []*graph.Graph) []*hdc.Bipolar {
 	m.enc.reserveFor(graphs)
 	encoded := make([]*hdc.Bipolar, len(graphs))
-	parallel.ForEach(0, len(graphs), func(i int) {
-		encoded[i] = m.enc.EncodeGraph(graphs[i])
+	workers := parallel.Workers(0, len(graphs))
+	scratches := m.enc.newBatchScratches(workers)
+	defer scratches.release()
+	parallel.ForEachWorker(workers, len(graphs), func(w, i int) {
+		encoded[i] = scratches.get(w).encodeGraphNew(graphs[i])
 	})
 	return encoded
 }
 
 // Predict returns the predicted class of g: the class whose vector is most
-// similar to Enc(g).
+// similar to Enc(g). The encoding runs on a pooled scratch; the query
+// vector is never retained, so steady-state prediction of unlabeled graphs
+// allocates nothing.
 func (m *Model) Predict(g *graph.Graph) int {
-	return m.am.Classify(m.enc.EncodeGraph(g))
+	s := m.enc.getScratch()
+	defer m.enc.putScratch(s)
+	return m.am.Classify(s.EncodeGraph(g))
 }
 
 // PredictEncoded classifies an already encoded graph-hypervector.
@@ -107,7 +116,9 @@ func (m *Model) PredictAll(graphs []*graph.Graph) []int {
 
 // Similarities returns δ(Enc(g), C_i) for every class i.
 func (m *Model) Similarities(g *graph.Graph) []float64 {
-	return m.am.Similarities(m.enc.EncodeGraph(g))
+	s := m.enc.getScratch()
+	defer m.enc.putScratch(s)
+	return m.am.Similarities(s.EncodeGraph(g))
 }
 
 // PredictPacked classifies g entirely in the packed domain: bit-packed
@@ -117,7 +128,9 @@ func (m *Model) Similarities(g *graph.Graph) []float64 {
 // online-learning inference path. Predictions match Predict bit for bit
 // when the model uses bipolar (majority-voted) class vectors.
 func (m *Model) PredictPacked(g *graph.Graph) int {
-	return m.am.ClassifyPacked(m.enc.EncodeGraphPacked(g))
+	s := m.enc.getScratch()
+	defer m.enc.putScratch(s)
+	return m.am.ClassifyPacked(s.EncodeGraphPacked(g))
 }
 
 // MemoryBytes returns the bytes held by the int32 class accumulators, the

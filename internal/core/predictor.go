@@ -60,10 +60,13 @@ func (p *Predictor) ClassVector(c int) *hdc.Binary { return p.pm.ClassVector(c) 
 func (p *Predictor) MemoryBytes() int { return p.pm.MemoryBytes() }
 
 // Predict returns the predicted class of g. The graph is encoded directly
-// to a bit-packed hypervector and classified by Hamming distance; no int8
-// intermediate is materialized.
+// to a bit-packed hypervector held in a pooled scratch and classified by
+// Hamming distance; no int8 intermediate is materialized and steady-state
+// prediction of unlabeled graphs performs zero heap allocations.
 func (p *Predictor) Predict(g *graph.Graph) int {
-	return p.pm.Classify(p.enc.EncodeGraphPacked(g))
+	s := p.enc.getScratch()
+	defer p.enc.putScratch(s)
+	return p.pm.Classify(s.EncodeGraphPacked(g))
 }
 
 // PredictEncoded classifies an already packed graph-hypervector.
@@ -72,12 +75,16 @@ func (p *Predictor) PredictEncoded(hv *hdc.Binary) int {
 }
 
 // PredictAll classifies a batch of graphs across the shared worker pool,
-// preserving order.
+// preserving order. Each worker owns one pooled EncoderScratch, so the
+// whole batch encodes and classifies without per-graph heap allocations.
 func (p *Predictor) PredictAll(graphs []*graph.Graph) []int {
 	p.enc.reserveFor(graphs)
 	out := make([]int, len(graphs))
-	parallel.ForEach(0, len(graphs), func(i int) {
-		out[i] = p.pm.Classify(p.enc.EncodeGraphPacked(graphs[i]))
+	workers := parallel.Workers(0, len(graphs))
+	scratches := p.enc.newBatchScratches(workers)
+	defer scratches.release()
+	parallel.ForEachWorker(workers, len(graphs), func(w, i int) {
+		out[i] = p.pm.Classify(scratches.get(w).EncodeGraphPacked(graphs[i]))
 	})
 	return out
 }
@@ -86,7 +93,9 @@ func (p *Predictor) PredictAll(graphs []*graph.Graph) []int {
 // cosine values the bipolar reference path reports, computed as
 // 1 - 2*Hamming/d in the packed domain.
 func (p *Predictor) Similarities(g *graph.Graph) []float64 {
-	return p.pm.Similarities(p.enc.EncodeGraphPacked(g))
+	s := p.enc.getScratch()
+	defer p.enc.putScratch(s)
+	return p.pm.Similarities(s.EncodeGraphPacked(g))
 }
 
 // SimilaritiesEncoded returns the class similarities of an already packed

@@ -10,6 +10,7 @@ package eval
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -47,19 +48,18 @@ func StratifiedKFold(labels []int, k int, seed uint64) ([][]int, error) {
 	}
 	rng := hdc.NewRNG(seed)
 	folds := make([][]int, k)
-	// Iterate classes in deterministic order.
-	maxClass := 0
+	// Iterate classes in deterministic (sorted) order. Iterating the actual
+	// keys — rather than assuming labels live in [0, maxClass] — keeps
+	// negative and sparse label values (e.g. raw TUDataset {-1, +1} labels
+	// that bypassed the loader's remap) from being silently dropped.
+	classes := make([]int, 0, len(byClass))
 	for c := range byClass {
-		if c > maxClass {
-			maxClass = c
-		}
+		classes = append(classes, c)
 	}
+	sort.Ints(classes)
 	next := 0
-	for c := 0; c <= maxClass; c++ {
-		idx, ok := byClass[c]
-		if !ok {
-			continue
-		}
+	for _, c := range classes {
+		idx := byClass[c]
 		perm := rng.Perm(len(idx))
 		for _, p := range perm {
 			folds[next%k] = append(folds[next%k], idx[p])
@@ -87,8 +87,11 @@ type Result struct {
 	Folds   []FoldResult
 }
 
-// MeanAccuracy returns the mean fold accuracy.
+// MeanAccuracy returns the mean fold accuracy, or 0 with no folds.
 func (r *Result) MeanAccuracy() float64 {
+	if len(r.Folds) == 0 {
+		return 0
+	}
 	s := 0.0
 	for _, f := range r.Folds {
 		s += f.Accuracy
@@ -110,8 +113,12 @@ func (r *Result) StdAccuracy() float64 {
 	return math.Sqrt(s / float64(len(r.Folds)-1))
 }
 
-// MeanTrainTime returns the mean wall time of one fold of training.
+// MeanTrainTime returns the mean wall time of one fold of training, or 0
+// with no folds.
 func (r *Result) MeanTrainTime() time.Duration {
+	if len(r.Folds) == 0 {
+		return 0
+	}
 	var s time.Duration
 	for _, f := range r.Folds {
 		s += f.TrainTime

@@ -216,3 +216,85 @@ func TestCVDefaultsApplied(t *testing.T) {
 		t.Fatalf("defaults = %+v", opts)
 	}
 }
+
+func TestStratifiedKFoldNegativeAndSparseLabels(t *testing.T) {
+	// Regression: raw TUDataset-style {-1, +1} labels passed directly
+	// (bypassing the loader's remap) used to lose every negative-label
+	// sample because classes were scanned over [0, maxClass].
+	labels := []int{-1, 1, -1, 1, -1, 1, -1, 1}
+	folds, err := StratifiedKFold(labels, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, f := range folds {
+		for _, i := range f {
+			if seen[i] {
+				t.Fatalf("index %d in two folds", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != len(labels) {
+		t.Fatalf("covered %d of %d samples (negative labels dropped)", len(seen), len(labels))
+	}
+
+	// Sparse labels: no sample between the class values may vanish either.
+	sparse := []int{100, -3, 100, -3, 5, 5, 100, -3}
+	folds, err = StratifiedKFold(sparse, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, f := range folds {
+		n += len(f)
+	}
+	if n != len(sparse) {
+		t.Fatalf("covered %d of %d sparse-label samples", n, len(sparse))
+	}
+
+	// Class proportions must still be preserved per fold: 3 samples of
+	// class 100 into 2 folds means each fold holds 1 or 2 of them.
+	for fi, f := range folds {
+		per := map[int]int{}
+		for _, i := range f {
+			per[sparse[i]]++
+		}
+		if per[100] < 1 || per[100] > 2 {
+			t.Fatalf("fold %d class-100 count %d", fi, per[100])
+		}
+	}
+}
+
+func TestResultEmptyFolds(t *testing.T) {
+	// Regression: MeanTrainTime divided by len(Folds) == 0 and panicked;
+	// MeanAccuracy returned NaN. All aggregates must degrade to 0.
+	r := &Result{Method: "GraphHD", Dataset: "EMPTY"}
+	if got := r.MeanAccuracy(); got != 0 {
+		t.Fatalf("MeanAccuracy = %v, want 0", got)
+	}
+	if got := r.StdAccuracy(); got != 0 {
+		t.Fatalf("StdAccuracy = %v, want 0", got)
+	}
+	if got := r.MeanTrainTime(); got != 0 {
+		t.Fatalf("MeanTrainTime = %v, want 0", got)
+	}
+	if got := r.MeanInferTimePerGraph(); got != 0 {
+		t.Fatalf("MeanInferTimePerGraph = %v, want 0", got)
+	}
+}
+
+func TestResultSingleFoldAggregates(t *testing.T) {
+	r := &Result{Folds: []FoldResult{{
+		Accuracy: 0.5, TrainTime: 2 * time.Second, InferTime: 100 * time.Millisecond, TestSize: 10,
+	}}}
+	if got := r.MeanAccuracy(); got != 0.5 {
+		t.Fatalf("MeanAccuracy = %v", got)
+	}
+	if got := r.MeanTrainTime(); got != 2*time.Second {
+		t.Fatalf("MeanTrainTime = %v", got)
+	}
+	if got := r.MeanInferTimePerGraph(); got != 10*time.Millisecond {
+		t.Fatalf("MeanInferTimePerGraph = %v", got)
+	}
+}

@@ -42,7 +42,8 @@ type ProgressiveResult struct {
 	// inside the warmup window are excluded from all statistics).
 	Correct []bool
 	// Curve[j] is the running accuracy after (j+1)*CurveStride scored
-	// samples.
+	// samples; when Scored is not a multiple of CurveStride, one final
+	// point at Scored samples closes the curve.
 	Curve       []float64
 	CurveStride int
 	// Scored is the number of predictions counted (stream length minus
@@ -104,6 +105,12 @@ func ProgressiveValidation(learner OnlineLearner, ds *graph.Dataset, warmup, str
 			return nil, fmt.Errorf("eval: online learn sample %d: %w", i, err)
 		}
 		res.LearnTime += time.Since(t0)
+	}
+	// Close the curve: when the scored stream length is not a multiple of
+	// stride, the tail since the last stride boundary would otherwise be
+	// invisible.
+	if res.Scored%stride != 0 {
+		res.Curve = append(res.Curve, float64(correctSoFar)/float64(res.Scored))
 	}
 	return res, nil
 }

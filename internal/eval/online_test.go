@@ -107,3 +107,35 @@ func TestProgressiveMatchesBatchOnFinalModel(t *testing.T) {
 		}
 	}
 }
+
+func TestProgressiveValidationFinalCurvePoint(t *testing.T) {
+	// Regression: with Scored not a multiple of stride, the tail past the
+	// last stride boundary was invisible in the accuracy curve.
+	ds := tinyDataset(11, 26) // 22 samples
+	_, learner := onlineModel(t, 2)
+	res, err := ProgressiveValidation(learner, ds, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scored != 22 {
+		t.Fatalf("scored = %d", res.Scored)
+	}
+	// 22 scored / stride 5 → 4 stride points plus the closing tail point.
+	if len(res.Curve) != 5 {
+		t.Fatalf("curve has %d points, want 5", len(res.Curve))
+	}
+	if got := res.Curve[len(res.Curve)-1]; got != res.FinalAccuracy() {
+		t.Fatalf("final curve point %v != final accuracy %v", got, res.FinalAccuracy())
+	}
+
+	// When the stream length divides evenly, no duplicate point appears.
+	ds2 := tinyDataset(10, 27) // 20 samples
+	_, learner2 := onlineModel(t, 2)
+	res2, err := ProgressiveValidation(learner2, ds2, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Curve) != 4 {
+		t.Fatalf("evenly divided curve has %d points, want 4", len(res2.Curve))
+	}
+}

@@ -59,15 +59,26 @@ func BarabasiAlbert(n, m int, rng *hdc.RNG) *Graph {
 		}
 	}
 	chosen := make(map[int]struct{}, m)
+	picked := make([]int, 0, m)
 	for v := m + 1; v < n; v++ {
 		for k := range chosen {
 			delete(chosen, k)
 		}
+		// Record the m distinct attachment targets in draw order — NOT by
+		// ranging over the map, whose randomized iteration order would make
+		// the targets list (and with it every later draw and the resulting
+		// graph) differ from run to run despite the seeded RNG, breaking the
+		// package's bit-for-bit reproducibility guarantee.
+		picked = picked[:0]
 		for len(chosen) < m {
 			t := targets[rng.Intn(len(targets))]
+			if _, dup := chosen[t]; dup {
+				continue
+			}
 			chosen[t] = struct{}{}
+			picked = append(picked, t)
 		}
-		for t := range chosen {
+		for _, t := range picked {
 			b.MustAddEdge(v, t)
 			targets = append(targets, v, t)
 		}

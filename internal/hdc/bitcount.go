@@ -206,9 +206,18 @@ func (c *BitCounter) Counts() []int32 {
 // set, -1 when fewer, and tie[i] on an exact tie. This matches
 // Accumulator.Sign under the bit↔bipolar mapping exactly.
 func (c *BitCounter) SignBipolar(tie *Bipolar) *Bipolar {
+	return c.SignBipolarInto(tie, &Bipolar{comps: make([]int8, c.d)})
+}
+
+// SignBipolarInto is SignBipolar writing the result into dst, which must
+// have the counter's dimension; every component is overwritten. It
+// performs no heap allocations, the property the scratch-reuse encoding
+// path depends on. Returns dst.
+func (c *BitCounter) SignBipolarInto(tie, dst *Bipolar) *Bipolar {
 	mustSameDim(c.d, tie.Dim())
+	mustSameDim(c.d, dst.Dim())
 	c.flush()
-	out := make([]int8, c.d)
+	out := dst.comps
 	half2 := int32(c.n) // compare 2*cnt against n
 	for i, cnt := range c.counts {
 		switch twice := 2 * cnt; {
@@ -220,7 +229,7 @@ func (c *BitCounter) SignBipolar(tie *Bipolar) *Bipolar {
 			out[i] = tie.comps[i]
 		}
 	}
-	return &Bipolar{comps: out}
+	return dst
 }
 
 // SignBinary collapses the counter to a bit-packed binary hypervector by
@@ -230,21 +239,39 @@ func (c *BitCounter) SignBipolar(tie *Bipolar) *Bipolar {
 // bit for bit, which is what lets the packed encoder skip the int8 detour
 // entirely.
 func (c *BitCounter) SignBinary(tie *Binary) *Binary {
-	if c.d != tie.d {
-		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d", c.d, tie.d))
+	return c.SignBinaryInto(tie, NewBinary(c.d))
+}
+
+// SignBinaryInto is SignBinary writing the result into dst, which must
+// have the counter's dimension; every word is overwritten. It performs no
+// heap allocations, the property the scratch-reuse encoding path depends
+// on. Each output word is assembled before being stored, so dst may alias
+// tie. Returns dst.
+func (c *BitCounter) SignBinaryInto(tie, dst *Binary) *Binary {
+	if c.d != tie.d || c.d != dst.d {
+		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d vs %d", c.d, tie.d, dst.d))
 	}
 	c.flush()
-	out := NewBinary(c.d)
 	half2 := int32(c.n) // compare 2*cnt against n
-	for i, cnt := range c.counts {
-		switch twice := 2 * cnt; {
-		case twice > half2:
-			out.words[i>>6] |= 1 << uint(i&63)
-		case twice == half2:
-			out.words[i>>6] |= tie.words[i>>6] & (1 << uint(i&63))
+	for w := 0; w < c.words; w++ {
+		var out uint64
+		tieW := tie.words[w]
+		base := w << 6
+		end := c.d - base
+		if end > 64 {
+			end = 64
 		}
+		for b, cnt := range c.counts[base : base+end] {
+			switch twice := 2 * cnt; {
+			case twice > half2:
+				out |= 1 << uint(b)
+			case twice == half2:
+				out |= tieW & (1 << uint(b))
+			}
+		}
+		dst.words[w] = out
 	}
-	return out
+	return dst
 }
 
 // Reset clears the counter.

@@ -137,3 +137,103 @@ func BenchmarkBitCounterAddXor(b *testing.B) {
 		c.AddXor(x, y, true)
 	}
 }
+
+func TestSignIntoVariantsMatchAllocatingOnes(t *testing.T) {
+	const d = 517 // odd tail exercises the mask
+	rng := NewRNG(41)
+	tieB := RandomBipolar(d, rng)
+	tie := tieB.PackBinary()
+	c := NewBitCounter(d)
+	dstBin := NewBinary(d)
+	dstBip := NewBipolar(d)
+	for round := 0; round < 3; round++ {
+		c.Reset()
+		// Even count of adds produces exact ties that exercise the tie path.
+		for i := 0; i < 4+2*round; i++ {
+			c.AddXor(RandomBinary(d, rng), RandomBinary(d, rng), i%2 == 0)
+		}
+		wantBin := c.SignBinary(tie)
+		gotBin := c.SignBinaryInto(tie, dstBin)
+		if gotBin != dstBin {
+			t.Fatal("SignBinaryInto did not return dst")
+		}
+		if !wantBin.Equal(gotBin) {
+			t.Fatalf("round %d: SignBinaryInto differs from SignBinary", round)
+		}
+		wantBip := c.SignBipolar(tieB)
+		gotBip := c.SignBipolarInto(tieB, dstBip)
+		if gotBip != dstBip {
+			t.Fatal("SignBipolarInto did not return dst")
+		}
+		if !wantBip.Equal(gotBip) {
+			t.Fatalf("round %d: SignBipolarInto differs from SignBipolar", round)
+		}
+	}
+}
+
+func TestSignBinaryIntoOverwritesStaleBits(t *testing.T) {
+	const d = 128
+	rng := NewRNG(42)
+	tie := RandomBinary(d, rng)
+	c := NewBitCounter(d)
+	// Fill dst with garbage; a correct Into must clear every word first.
+	dst := RandomBinary(d, rng)
+	c.AddXor(RandomBinary(d, rng), RandomBinary(d, rng), false)
+	c.AddXor(RandomBinary(d, rng), RandomBinary(d, rng), false)
+	c.AddXor(RandomBinary(d, rng), RandomBinary(d, rng), false)
+	if want := c.SignBinary(tie); !want.Equal(c.SignBinaryInto(tie, dst)) {
+		t.Fatal("stale dst bits leaked into SignBinaryInto result")
+	}
+}
+
+func TestSignIntoAllocationFree(t *testing.T) {
+	const d = 2048
+	rng := NewRNG(43)
+	tieB := RandomBipolar(d, rng)
+	tie := tieB.PackBinary()
+	a, b := RandomBinary(d, rng), RandomBinary(d, rng)
+	c := NewBitCounter(d)
+	dstBin := NewBinary(d)
+	dstBip := NewBipolar(d)
+	allocs := testing.AllocsPerRun(20, func() {
+		c.Reset()
+		for i := 0; i < 17; i++ {
+			c.AddXor(a, b, true)
+		}
+		c.SignBinaryInto(tie, dstBin)
+		c.SignBipolarInto(tieB, dstBip)
+	})
+	if allocs != 0 {
+		t.Fatalf("reset+accumulate+sign allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestSignIntoDimensionPanics(t *testing.T) {
+	c := NewBitCounter(64)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("SignBinaryInto dst", func() { c.SignBinaryInto(NewBinary(64), NewBinary(65)) })
+	mustPanic("SignBinaryInto tie", func() { c.SignBinaryInto(NewBinary(65), NewBinary(64)) })
+	mustPanic("SignBipolarInto dst", func() { c.SignBipolarInto(NewBipolar(64), NewBipolar(63)) })
+}
+
+func TestSignBinaryIntoAliasingTie(t *testing.T) {
+	const d = 130
+	rng := NewRNG(44)
+	c := NewBitCounter(d)
+	// Even add count forces exact ties, the only components that read tie.
+	c.AddXor(RandomBinary(d, rng), RandomBinary(d, rng), true)
+	c.AddXor(RandomBinary(d, rng), RandomBinary(d, rng), false)
+	tie := RandomBinary(d, rng)
+	want := c.SignBinary(tie)
+	dst := tie.Clone()
+	if got := c.SignBinaryInto(dst, dst); !want.Equal(got) {
+		t.Fatal("SignBinaryInto with dst aliasing tie lost tie-break bits")
+	}
+}

@@ -6,8 +6,6 @@
 package pagerank
 
 import (
-	"sort"
-
 	"graphhd/internal/graph"
 )
 
@@ -38,19 +36,56 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Scratch holds the reusable buffers of ScoresInto and RanksInto: the two
+// power-iteration score vectors and the vertex-order permutation. The zero
+// value is ready to use; buffers grow to the largest graph seen and are
+// then reused, so steady-state rank computation performs no heap
+// allocations. A Scratch is not safe for concurrent use — each goroutine
+// owns its own.
+type Scratch struct {
+	scores, next []float64
+	order        []int
+}
+
+// ensure grows the buffers to cover n vertices.
+func (s *Scratch) ensure(n int) {
+	if cap(s.scores) < n {
+		s.scores = make([]float64, n)
+	}
+	if cap(s.next) < n {
+		s.next = make([]float64, n)
+	}
+	if cap(s.order) < n {
+		s.order = make([]int, n)
+	}
+}
+
 // Scores returns the PageRank score of every vertex of g after the
 // configured number of power-iteration steps. On an undirected graph each
 // edge acts as two directed links. Vertices with no neighbors (dangling
 // vertices) distribute their mass uniformly, the standard correction, so
 // the scores always sum to 1 (up to floating-point error).
 func Scores(g *graph.Graph, opts Options) []float64 {
+	var s Scratch
+	return ScoresInto(g, opts, &s)
+}
+
+// ScoresInto is Scores writing into s's reusable buffers. The returned
+// slice is owned by s and valid until the next ScoresInto or RanksInto
+// call on it; steady state performs no heap allocations.
+func ScoresInto(g *graph.Graph, opts Options, s *Scratch) []float64 {
 	opts = opts.withDefaults()
 	n := g.NumVertices()
 	if n == 0 {
 		return nil
 	}
-	cur := make([]float64, n)
-	next := make([]float64, n)
+	s.ensure(n)
+	// Arrange the ping-pong buffers so the final swap leaves the result in
+	// s.scores, letting callers hold one stable slice across graphs.
+	cur, next := s.scores[:n], s.next[:n]
+	if opts.Iterations%2 == 1 {
+		cur, next = next, cur
+	}
 	inv := 1 / float64(n)
 	for i := range cur {
 		cur[i] = inv
@@ -83,6 +118,57 @@ func Scores(g *graph.Graph, opts Options) []float64 {
 	return cur
 }
 
+// vertexLess is the shared deterministic centrality ordering: score
+// descending, then degree descending, then vertex id ascending. The final
+// clause makes the order total, so every correct sort produces the same
+// permutation.
+func vertexLess(g *graph.Graph, scores []float64, u, v int) bool {
+	if scores[u] != scores[v] {
+		return scores[u] > scores[v]
+	}
+	if du, dv := g.Degree(u), g.Degree(v); du != dv {
+		return du > dv
+	}
+	return u < v
+}
+
+// SortByCentrality sorts order — a slice of vertex ids of g — in place
+// under the shared tie-break rule (score descending, degree descending, id
+// ascending) without allocating. Because the ordering is total, the result
+// is identical to what any stable sort under the same comparator produces.
+// Exported for package centrality, which ranks non-PageRank score vectors
+// with the same rule.
+func SortByCentrality(g *graph.Graph, scores []float64, order []int) {
+	// In-place heapsort: O(n log n), zero allocations, no recursion.
+	n := len(order)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(g, scores, order, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		order[0], order[end] = order[end], order[0]
+		siftDown(g, scores, order, 0, end)
+	}
+}
+
+// siftDown restores the max-heap property ("max" under vertexLess's
+// reversed sense, so the heap root is the vertex that sorts last).
+func siftDown(g *graph.Graph, scores []float64, order []int, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && vertexLess(g, scores, order[child], order[child+1]) {
+			child++
+		}
+		if !vertexLess(g, scores, order[root], order[child]) {
+			return
+		}
+		order[root], order[child] = order[child], order[root]
+		root = child
+	}
+}
+
 // Ranks returns, for each vertex, its centrality rank: 0 for the vertex
 // with the highest PageRank score, 1 for the next, and so on. This rank is
 // the vertex identifier GraphHD feeds to the item memory.
@@ -93,26 +179,28 @@ func Scores(g *graph.Graph, opts Options) []float64 {
 // (tied vertices are structurally interchangeable); this one is stable
 // across runs and platforms.
 func Ranks(g *graph.Graph, opts Options) []int {
+	var s Scratch
+	return RanksInto(g, opts, make([]int, g.NumVertices()), &s)
+}
+
+// RanksInto is Ranks writing into dst, using s for every intermediate
+// buffer (scores and the vertex order). dst is grown when its capacity is
+// insufficient, so callers that reuse the returned slice reach a steady
+// state with zero heap allocations per graph.
+func RanksInto(g *graph.Graph, opts Options, dst []int, s *Scratch) []int {
 	n := g.NumVertices()
-	scores := Scores(g, opts)
-	order := make([]int, n)
+	scores := ScoresInto(g, opts, s)
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dst = dst[:n]
+	order := s.order[:n]
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		va, vb := order[a], order[b]
-		if scores[va] != scores[vb] {
-			return scores[va] > scores[vb]
-		}
-		da, db := g.Degree(va), g.Degree(vb)
-		if da != db {
-			return da > db
-		}
-		return va < vb
-	})
-	ranks := make([]int, n)
+	SortByCentrality(g, scores, order)
 	for r, v := range order {
-		ranks[v] = r
+		dst[v] = r
 	}
-	return ranks
+	return dst
 }

@@ -174,3 +174,76 @@ func TestOptionsDefaults(t *testing.T) {
 		t.Fatalf("explicit options overridden: %+v", o2)
 	}
 }
+
+func TestScoresIntoMatchesScores(t *testing.T) {
+	rng := hdc.NewRNG(11)
+	var s Scratch
+	for trial := 0; trial < 20; trial++ {
+		g := graph.ErdosRenyi(5+trial*7, 0.08, rng)
+		opts := Options{Iterations: 1 + trial%13}
+		want := Scores(g, opts)
+		got := ScoresInto(g, opts, &s)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d scores, want %d", trial, len(got), len(want))
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d: score[%d] = %v, want %v", trial, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestRanksIntoMatchesRanks(t *testing.T) {
+	// The scratch path must be bit-for-bit identical to the historical
+	// sort.SliceStable implementation on graphs full of score ties.
+	rng := hdc.NewRNG(12)
+	var s Scratch
+	var dst []int
+	for trial := 0; trial < 30; trial++ {
+		var g *graph.Graph
+		switch trial % 3 {
+		case 0:
+			g = graph.ErdosRenyi(4+trial*5, 0.1, rng)
+		case 1:
+			g = graph.Complete(3 + trial) // all scores tie
+		default:
+			g = graph.Ring(3 + trial*2) // all scores tie
+		}
+		want := Ranks(g, Options{})
+		dst = RanksInto(g, Options{}, dst, &s)
+		if len(dst) != len(want) {
+			t.Fatalf("trial %d: %d ranks, want %d", trial, len(dst), len(want))
+		}
+		for v := range want {
+			if dst[v] != want[v] {
+				t.Fatalf("trial %d: rank[%d] = %d, want %d", trial, v, dst[v], want[v])
+			}
+		}
+	}
+}
+
+func TestRanksIntoAllocationFree(t *testing.T) {
+	g := graph.ErdosRenyi(200, 0.05, hdc.NewRNG(13))
+	var s Scratch
+	dst := RanksInto(g, Options{}, nil, &s) // warm the buffers
+	allocs := testing.AllocsPerRun(50, func() {
+		dst = RanksInto(g, Options{}, dst, &s)
+	})
+	if allocs != 0 {
+		t.Fatalf("RanksInto allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestScoresIntoResultStableAcrossGraphs(t *testing.T) {
+	// The returned slice must always be s.scores regardless of iteration
+	// parity, so callers can hold it across calls.
+	rng := hdc.NewRNG(14)
+	var s Scratch
+	g := graph.ErdosRenyi(40, 0.1, rng)
+	even := ScoresInto(g, Options{Iterations: 4}, &s)
+	odd := ScoresInto(g, Options{Iterations: 5}, &s)
+	if &even[0] != &odd[0] {
+		t.Fatal("ScoresInto returned different backing arrays for even and odd iteration counts")
+	}
+}

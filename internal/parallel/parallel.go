@@ -36,13 +36,24 @@ func Workers(requested, n int) int {
 // concurrently; writing to disjoint slice elements indexed by i is the
 // intended result-collection pattern.
 func ForEach(workers, n int, fn func(i int)) {
+	ForEachWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach for loop bodies that keep per-worker scratch
+// state: fn additionally receives the worker index w in
+// [0, Workers(workers, n)), and all calls sharing one w are made
+// sequentially from a single goroutine. Callers index a slice of
+// Workers(workers, n) scratch values by w to reuse buffers across items
+// without synchronization — the pattern the encoder's batch APIs use for
+// allocation-free encoding.
+func ForEachWorker(workers, n int, fn func(w, i int)) {
 	if n <= 0 {
 		return
 	}
 	w := Workers(workers, n)
 	if w == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -50,16 +61,16 @@ func ForEach(workers, n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 }

@@ -64,3 +64,45 @@ func TestForEachZeroAndNegative(t *testing.T) {
 		t.Fatal("fn ran for empty range")
 	}
 }
+
+func TestForEachWorkerCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		const n = 203
+		var hits [n]atomic.Int32
+		maxW := Workers(workers, n)
+		var outOfRange atomic.Bool
+		ForEachWorker(workers, n, func(w, i int) {
+			if w < 0 || w >= maxW {
+				outOfRange.Store(true)
+			}
+			hits[i].Add(1)
+		})
+		if outOfRange.Load() {
+			t.Fatalf("workers=%d: worker index outside [0,%d)", workers, maxW)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachWorkerSerializesPerWorker(t *testing.T) {
+	// Calls sharing a worker index must come from one goroutine at a time,
+	// so unsynchronized per-worker state is safe. Detect overlap with a
+	// non-atomic-looking check guarded by atomics.
+	const n = 500
+	w := Workers(4, n)
+	busy := make([]atomic.Bool, w)
+	var overlap atomic.Bool
+	ForEachWorker(4, n, func(wk, i int) {
+		if !busy[wk].CompareAndSwap(false, true) {
+			overlap.Store(true)
+		}
+		busy[wk].Store(false)
+	})
+	if overlap.Load() {
+		t.Fatal("two concurrent calls shared a worker index")
+	}
+}
