@@ -1,0 +1,128 @@
+// Command graphhd-serve is the online inference server: it loads a packed
+// GraphHD model artifact (GRAPHHD1 or GRAPHHD2, see cmd/graphhd -save /
+// -save-packed) and serves classifications over HTTP through the
+// micro-batching engine in internal/serve.
+//
+// Usage:
+//
+//	graphhd-serve -model model.ghdp                     # listen on :8080
+//	graphhd-serve -model model.ghdp -addr 127.0.0.1:9090
+//	graphhd-serve -model model.ghdp -workers 4 -max-batch 32 -max-delay 500us
+//	graphhd-serve -model model.ghdp -class-names mutagenic,non-mutagenic
+//
+// Endpoints:
+//
+//	POST /v1/predict        {"graph": {"num_vertices": n, "edges": [[u,v],...]}}
+//	POST /v1/predict/batch  {"graphs": [...]}
+//	GET  /v1/model          model card
+//	GET  /healthz           liveness probe
+//	GET  /metrics           Prometheus text metrics
+//	POST /admin/reload      hot-swap the model from -model
+//
+// SIGHUP also hot-swaps the model; in-flight requests never fail during a
+// swap. SIGINT/SIGTERM shut down gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"graphhd/internal/core"
+	"graphhd/internal/graph"
+	"graphhd/internal/serve"
+)
+
+func main() {
+	var (
+		model      = flag.String("model", "", "model artifact to serve (required; GRAPHHD1 or GRAPHHD2)")
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		workers    = flag.Int("workers", 0, "inference workers (0 = all cores)")
+		maxBatch   = flag.Int("max-batch", 0, "micro-batch flush size (0 = default)")
+		maxDelay   = flag.Duration("max-delay", 0, "micro-batch flush deadline (0 = default)")
+		queueSize  = flag.Int("queue", 0, "admission queue bound in graphs (0 = default)")
+		classNames = flag.String("class-names", "", "comma-separated class names echoed in responses")
+		maxVerts   = flag.Int("max-vertices", 0, "per-request vertex cap (0 = default; bounds server-side basis-vector memory)")
+		maxEdges   = flag.Int("max-edges", 0, "per-request edge cap (0 = default)")
+	)
+	flag.Parse()
+	if *model == "" {
+		fmt.Fprintln(os.Stderr, "graphhd-serve: -model is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pred, err := core.LoadPredictorFile(*model)
+	if err != nil {
+		log.Fatalf("graphhd-serve: %v", err)
+	}
+	engine, err := serve.NewEngine(pred, serve.Options{
+		Workers:   *workers,
+		MaxBatch:  *maxBatch,
+		MaxDelay:  *maxDelay,
+		QueueSize: *queueSize,
+	})
+	if err != nil {
+		log.Fatalf("graphhd-serve: %v", err)
+	}
+	defer engine.Close()
+
+	var names []string
+	if *classNames != "" {
+		names = strings.Split(*classNames, ",")
+	}
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: serve.NewHandler(engine, serve.HandlerOptions{
+			ModelPath:  *model,
+			ClassNames: names,
+			Limits:     graph.CodecLimits{MaxVertices: *maxVerts, MaxEdges: *maxEdges},
+		}),
+	}
+
+	// SIGHUP hot-swaps the model; SIGINT/SIGTERM drain and exit.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := engine.SwapFromFile(*model); err != nil {
+				log.Printf("graphhd-serve: SIGHUP reload failed: %v", err)
+				continue
+			}
+			log.Printf("graphhd-serve: reloaded %s (%d classes, d=%d)",
+				*model, engine.Predictor().NumClasses(), engine.Predictor().Encoder().Dimension())
+		}
+	}()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	shutdownDone := make(chan struct{})
+	go func() {
+		<-stop
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("graphhd-serve: shutdown: %v", err)
+		}
+		close(shutdownDone)
+	}()
+
+	opts := engine.Options()
+	log.Printf("graphhd-serve: serving %s on %s (d=%d, %d classes, %d bytes packed; workers=%d max-batch=%d max-delay=%v queue=%d)",
+		*model, *addr, pred.Encoder().Dimension(), pred.NumClasses(), pred.MemoryBytes(),
+		opts.Workers, opts.MaxBatch, opts.MaxDelay, opts.QueueSize)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("graphhd-serve: %v", err)
+	}
+	// ListenAndServe returns as soon as the listener closes; wait for
+	// Shutdown to finish draining in-flight responses before Close tears
+	// the engine down.
+	<-shutdownDone
+}

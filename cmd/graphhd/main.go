@@ -10,10 +10,14 @@
 //	graphhd -data ./data -name MUTAG -predict ./data2 -predict-name TEST
 //	graphhd -data ./data -name MUTAG -save-packed model.ghdp   # packed deployment artifact
 //	graphhd -data ./data -name MUTAG -load model.ghdp          # packed-path inference
+//	graphhd -data ./data -name MUTAG -load model.ghdp -workers -1  # parallel batch inference
 //	graphhd -data ./data -name MUTAG -cv-workers -1            # parallel CV folds
 //
 // The directory layout is <data>/<name>/<name>_*.txt as produced by
 // cmd/datagen or an unzipped TUDataset archive.
+//
+// For online inference over HTTP — micro-batching, hot model reload and
+// metrics — serve a saved artifact with cmd/graphhd-serve instead.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 
 	"graphhd"
 	"graphhd/internal/eval"
+	"graphhd/internal/parallel"
 )
 
 func main() {
@@ -43,6 +48,7 @@ func main() {
 		savePacked  = flag.String("save-packed", "", "train on the full dataset and save the packed query predictor to this path")
 		loadModel   = flag.String("load", "", "load a saved model or packed predictor and classify -data/-name with it")
 		cvWorkers   = flag.Int("cv-workers", 1, "concurrent CV folds (-1 = all cores; timings are contended unless 1)")
+		workers     = flag.Int("workers", 1, "-load classification workers (-1 = all cores; per-graph timing is contended unless 1)")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -73,7 +79,7 @@ func main() {
 			fatal(err)
 		}
 		t0 := time.Now()
-		preds := pred.PredictAll(ds.Graphs)
+		preds := pred.PredictAllWorkers(ds.Graphs, *workers)
 		elapsed := time.Since(t0)
 		correct := 0
 		for i, p := range preds {
@@ -83,8 +89,8 @@ func main() {
 		}
 		fmt.Printf("loaded model accuracy on %s: %.4f (%d graphs)\n",
 			*name, float64(correct)/float64(len(preds)), len(preds))
-		fmt.Printf("batch inference: %v total, %v per graph (scratch-reuse path, zero allocations per graph)\n",
-			elapsed, elapsed/time.Duration(len(preds)))
+		fmt.Printf("batch inference (%d workers): %v total, %v per graph (scratch-reuse path, zero allocations per graph)\n",
+			parallel.Workers(*workers, len(preds)), elapsed, elapsed/time.Duration(len(preds)))
 		fmt.Println("inference: packed majority-voted class vectors (full-model records are snapshotted on load)")
 		fmt.Printf("query memory: %d bytes packed (int32 accumulators would use %d bytes, %.1f× more)\n",
 			pred.MemoryBytes(), pred.NumClasses()*pred.Encoder().Dimension()*4,

@@ -74,16 +74,34 @@ func (p *Predictor) PredictEncoded(hv *hdc.Binary) int {
 	return p.pm.Classify(hv)
 }
 
+// PredictWith classifies g through a caller-owned scratch, the serving
+// primitive: a long-lived worker holds one scratch for its lifetime and
+// predicts with zero per-request heap allocations and zero pool traffic.
+// s must have been vended by p.Encoder().NewScratch(); the result is
+// written into s's buffers, so s must not be shared across goroutines.
+func (p *Predictor) PredictWith(s *EncoderScratch, g *graph.Graph) int {
+	return p.pm.Classify(s.EncodeGraphPacked(g))
+}
+
 // PredictAll classifies a batch of graphs across the shared worker pool,
 // preserving order. Each worker owns one pooled EncoderScratch, so the
 // whole batch encodes and classifies without per-graph heap allocations.
 func (p *Predictor) PredictAll(graphs []*graph.Graph) []int {
+	return p.PredictAllWorkers(graphs, 0)
+}
+
+// PredictAllWorkers is PredictAll with an explicit worker count, following
+// the parallel.Workers convention: non-positive uses all cores, and
+// workers == 1 classifies sequentially on the calling goroutine (timing
+// fidelity). Note this differs from CrossValidateOptions.Workers, whose
+// zero value stays sequential.
+func (p *Predictor) PredictAllWorkers(graphs []*graph.Graph, workers int) []int {
 	p.enc.reserveFor(graphs)
 	out := make([]int, len(graphs))
-	workers := parallel.Workers(0, len(graphs))
-	scratches := p.enc.newBatchScratches(workers)
+	w := parallel.Workers(workers, len(graphs))
+	scratches := p.enc.newBatchScratches(w)
 	defer scratches.release()
-	parallel.ForEachWorker(workers, len(graphs), func(w, i int) {
+	parallel.ForEachWorker(w, len(graphs), func(w, i int) {
 		out[i] = p.pm.Classify(scratches.get(w).EncodeGraphPacked(graphs[i]))
 	})
 	return out

@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON wire codec for graphs, the request format of the serving subsystem
+// (internal/serve). The wire form is deliberately minimal — a vertex count,
+// an edge list, and optional categorical vertex labels — because that is
+// exactly the information Enc_G consumes; everything else (CSR adjacency,
+// sorted edge order) is derived on decode by the ordinary Builder, so a
+// decoded graph is indistinguishable from one built in-process and the
+// duplicate-edge / self-loop normalization rules are identical.
+//
+//	{"num_vertices": 4, "edges": [[0,1],[1,2],[2,3]], "vertex_labels": [0,1,0,1]}
+
+// GraphJSON is the wire representation of a Graph.
+type GraphJSON struct {
+	// NumVertices is |V|; vertices are the integers [0, NumVertices).
+	NumVertices int `json:"num_vertices"`
+	// Edges lists undirected edges as [u, v] pairs. Order is free;
+	// duplicates and self-loops are dropped on decode, matching Builder.
+	Edges [][2]int `json:"edges"`
+	// VertexLabels optionally carries one categorical label per vertex
+	// (the labeled-graph extension). Omitted for unlabeled graphs.
+	VertexLabels []int `json:"vertex_labels,omitempty"`
+}
+
+// CodecLimits bounds what a decoded graph may look like, protecting a
+// server from hostile or accidental oversized payloads. The zero value
+// applies DefaultCodecLimits. The vertex and label caps matter beyond
+// payload size: an Encoder lazily materializes and permanently caches one
+// basis hypervector per centrality rank (bounded by the largest vertex
+// count ever seen) and per (rank, label) pair, so unbounded wire graphs
+// would translate into unbounded server memory.
+type CodecLimits struct {
+	// MaxVertices caps NumVertices; non-positive selects the default.
+	MaxVertices int
+	// MaxEdges caps len(Edges); non-positive selects the default.
+	MaxEdges int
+	// MaxVertexLabel caps each vertex label value (labels are also
+	// required to be non-negative); non-positive selects the default.
+	MaxVertexLabel int
+}
+
+// DefaultCodecLimits are generous for graph-classification workloads —
+// Table-I graphs average a few hundred vertices, and the Figure 4 scaling
+// study tops out at ~10^4 — while keeping the worst-case basis-vector
+// cache a server can be forced to populate modest (at d = 10,000,
+// MaxVertices rank vectors cost ~d·9/8 bytes each, ~184 MB total).
+var DefaultCodecLimits = CodecLimits{MaxVertices: 1 << 14, MaxEdges: 1 << 20, MaxVertexLabel: 1 << 16}
+
+func (l CodecLimits) resolve() CodecLimits {
+	if l.MaxVertices <= 0 {
+		l.MaxVertices = DefaultCodecLimits.MaxVertices
+	}
+	if l.MaxEdges <= 0 {
+		l.MaxEdges = DefaultCodecLimits.MaxEdges
+	}
+	if l.MaxVertexLabel <= 0 {
+		l.MaxVertexLabel = DefaultCodecLimits.MaxVertexLabel
+	}
+	return l
+}
+
+// ToJSON converts g to its wire representation. The edge and label slices
+// are freshly allocated; g is not retained.
+func ToJSON(g *Graph) *GraphJSON {
+	w := &GraphJSON{NumVertices: g.NumVertices(), Edges: make([][2]int, g.NumEdges())}
+	for i, e := range g.Edges() {
+		w.Edges[i] = [2]int{int(e.U), int(e.V)}
+	}
+	if g.Labeled() {
+		w.VertexLabels = make([]int, g.NumVertices())
+		for v := range w.VertexLabels {
+			w.VertexLabels[v] = g.VertexLabel(v)
+		}
+	}
+	return w
+}
+
+// Graph validates the wire form against limits and builds the immutable
+// in-memory graph. Errors name the offending field so a server can return
+// them to the client verbatim.
+func (w *GraphJSON) Graph(limits CodecLimits) (*Graph, error) {
+	limits = limits.resolve()
+	if w.NumVertices < 0 {
+		return nil, fmt.Errorf("graph: negative num_vertices %d", w.NumVertices)
+	}
+	if w.NumVertices > limits.MaxVertices {
+		return nil, fmt.Errorf("graph: num_vertices %d exceeds limit %d", w.NumVertices, limits.MaxVertices)
+	}
+	if len(w.Edges) > limits.MaxEdges {
+		return nil, fmt.Errorf("graph: %d edges exceed limit %d", len(w.Edges), limits.MaxEdges)
+	}
+	if w.VertexLabels != nil && len(w.VertexLabels) != w.NumVertices {
+		return nil, fmt.Errorf("graph: %d vertex_labels for %d vertices", len(w.VertexLabels), w.NumVertices)
+	}
+	for v, l := range w.VertexLabels {
+		if l < 0 || l > limits.MaxVertexLabel {
+			return nil, fmt.Errorf("graph: vertex_labels[%d] = %d outside [0, %d]", v, l, limits.MaxVertexLabel)
+		}
+	}
+	b := NewBuilder(w.NumVertices)
+	for i, e := range w.Edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("graph: edges[%d]: %w", i, err)
+		}
+	}
+	if w.VertexLabels != nil {
+		if err := b.SetVertexLabels(w.VertexLabels); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// MarshalGraph writes g's wire form as JSON.
+func MarshalGraph(g *Graph) ([]byte, error) {
+	return json.Marshal(ToJSON(g))
+}
+
+// UnmarshalGraph parses a wire-form JSON document and builds the graph.
+func UnmarshalGraph(data []byte, limits CodecLimits) (*Graph, error) {
+	var w GraphJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("graph: decode JSON: %w", err)
+	}
+	return w.Graph(limits)
+}
+
+// DecodeGraph reads one wire-form JSON document from r and builds the
+// graph.
+func DecodeGraph(r io.Reader, limits CodecLimits) (*Graph, error) {
+	var w GraphJSON
+	if err := json.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("graph: decode JSON: %w", err)
+	}
+	return w.Graph(limits)
+}

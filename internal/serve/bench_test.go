@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"graphhd/internal/core"
+	"graphhd/internal/dataset"
+)
+
+// The serving benchmarks run at paper scale (d = 10,000) on a synthetic
+// MUTAG model; the ROADMAP server-side baseline quotes these numbers.
+
+// BenchmarkServePredict measures the steady-state single-request path
+// through the full engine — admission, micro-batching, worker encode +
+// classify, completion signal — from one client goroutine. The interesting
+// number besides ns/op is allocs/op: the engine itself must add zero.
+func BenchmarkServePredict(b *testing.B) {
+	ds := dataset.MustGenerate("MUTAG", dataset.Options{Seed: 7, GraphCount: 48})
+	cfg := core.DefaultConfig()
+	m, err := core.Train(cfg, ds.Graphs, ds.Labels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred := m.Snapshot()
+	e, err := NewEngine(pred, Options{Workers: 2, MaxBatch: 16, MaxDelay: 50 * time.Microsecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	g := ds.Graphs[0]
+	ctx := context.Background()
+	if _, err := e.Predict(ctx, g); err != nil { // warm scratches and pools
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Predict(ctx, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServePredictParallel is the throughput shape: many client
+// goroutines keep the queue busy, so the dispatcher forms real batches
+// and all workers stay hot.
+func BenchmarkServePredictParallel(b *testing.B) {
+	ds := dataset.MustGenerate("MUTAG", dataset.Options{Seed: 7, GraphCount: 48})
+	cfg := core.DefaultConfig()
+	m, err := core.Train(cfg, ds.Graphs, ds.Labels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred := m.Snapshot()
+	e, err := NewEngine(pred, Options{MaxBatch: 64, MaxDelay: 200 * time.Microsecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	ctx := context.Background()
+	if _, err := e.Predict(ctx, ds.Graphs[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := e.Predict(ctx, ds.Graphs[i%len(ds.Graphs)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkServePredictBatch measures the amortized per-graph cost of the
+// batch endpoint's engine path (one call, 32 graphs).
+func BenchmarkServePredictBatch(b *testing.B) {
+	ds := dataset.MustGenerate("MUTAG", dataset.Options{Seed: 7, GraphCount: 48})
+	cfg := core.DefaultConfig()
+	m, err := core.Train(cfg, ds.Graphs, ds.Labels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred := m.Snapshot()
+	e, err := NewEngine(pred, Options{MaxBatch: 64, MaxDelay: 200 * time.Microsecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	ctx := context.Background()
+	graphs := ds.Graphs[:32]
+	out := make([]int, len(graphs))
+	if err := e.PredictBatchInto(ctx, graphs, out); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.PredictBatchInto(ctx, graphs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

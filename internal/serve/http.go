@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"graphhd/internal/graph"
+)
+
+// HTTP front end for the Engine: the wire protocol of cmd/graphhd-serve.
+//
+//	POST /v1/predict        {"graph": {...}}            → {"class": c}
+//	POST /v1/predict/batch  {"graphs": [{...}, ...]}    → {"classes": [...]}
+//	GET  /v1/model          model card (dimension, classes, footprint, config)
+//	GET  /healthz           liveness probe
+//	GET  /metrics           Prometheus text exposition
+//	POST /admin/reload      re-read the model artifact and hot-swap it
+//
+// Graphs travel in the internal/graph JSON wire form. Admission-control
+// rejections map to 429, malformed or config-incompatible graphs to 400.
+
+// HandlerOptions configures NewHandler.
+type HandlerOptions struct {
+	// ModelPath is the artifact /admin/reload re-reads. Empty disables the
+	// reload endpoint.
+	ModelPath string
+	// ClassNames optionally maps class indices to names echoed in predict
+	// responses (e.g. Dataset.ClassNames).
+	ClassNames []string
+	// Limits bounds decoded request graphs; the zero value applies
+	// graph.DefaultCodecLimits.
+	Limits graph.CodecLimits
+	// MaxBodyBytes caps request bodies; non-positive means 32 MiB.
+	MaxBodyBytes int64
+}
+
+// PredictRequest is the body of POST /v1/predict.
+type PredictRequest struct {
+	Graph *graph.GraphJSON `json:"graph"`
+}
+
+// PredictResponse is the body of a successful POST /v1/predict.
+type PredictResponse struct {
+	Class     int    `json:"class"`
+	ClassName string `json:"class_name,omitempty"`
+}
+
+// PredictBatchRequest is the body of POST /v1/predict/batch.
+type PredictBatchRequest struct {
+	Graphs []*graph.GraphJSON `json:"graphs"`
+}
+
+// PredictBatchResponse is the body of a successful POST /v1/predict/batch.
+type PredictBatchResponse struct {
+	Classes    []int    `json:"classes"`
+	ClassNames []string `json:"class_names,omitempty"`
+}
+
+// ModelInfo is the body of GET /v1/model: the model card of the currently
+// installed predictor.
+type ModelInfo struct {
+	Dimension          int    `json:"dimension"`
+	Classes            int    `json:"classes"`
+	MemoryBytes        int    `json:"memory_bytes"`
+	Centrality         string `json:"centrality"`
+	PageRankIterations int    `json:"page_rank_iterations"`
+	Seed               uint64 `json:"seed"`
+	UseVertexLabels    bool   `json:"use_vertex_labels"`
+	Reloads            uint64 `json:"reloads"`
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type handler struct {
+	e    *Engine
+	opts HandlerOptions
+}
+
+// NewHandler wraps an engine in the HTTP API described above.
+func NewHandler(e *Engine, opts HandlerOptions) http.Handler {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 32 << 20
+	}
+	h := &handler{e: e, opts: opts}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", h.predict)
+	mux.HandleFunc("POST /v1/predict/batch", h.predictBatch)
+	mux.HandleFunc("GET /v1/model", h.model)
+	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /metrics", h.metrics)
+	mux.HandleFunc("POST /admin/reload", h.reload)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// writeEngineError maps engine admission errors onto HTTP status codes.
+func writeEngineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// decodeGraph validates one wire graph against the codec limits and the
+// installed encoder's configuration.
+func (h *handler) decodeGraph(w *graph.GraphJSON) (*graph.Graph, error) {
+	if w == nil {
+		return nil, errors.New("serve: missing graph")
+	}
+	g, err := w.Graph(h.opts.Limits)
+	if err != nil {
+		return nil, err
+	}
+	if g.Labeled() && !h.e.Predictor().Encoder().Config().UseVertexLabels {
+		return nil, errors.New("serve: vertex_labels supplied but the loaded model does not use vertex labels")
+	}
+	return g, nil
+}
+
+func (h *handler) className(c int) string {
+	if c >= 0 && c < len(h.opts.ClassNames) {
+		return h.opts.ClassNames[c]
+	}
+	return ""
+}
+
+func (h *handler) predict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode request: %w", err))
+		return
+	}
+	g, err := h.decodeGraph(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	class, err := h.e.Predict(r.Context(), g)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{Class: class, ClassName: h.className(class)})
+}
+
+func (h *handler) predictBatch(w http.ResponseWriter, r *http.Request) {
+	var req PredictBatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode request: %w", err))
+		return
+	}
+	graphs := make([]*graph.Graph, len(req.Graphs))
+	for i, wg := range req.Graphs {
+		g, err := h.decodeGraph(wg)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("graphs[%d]: %w", i, err))
+			return
+		}
+		graphs[i] = g
+	}
+	classes, err := h.e.PredictBatch(r.Context(), graphs)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	resp := PredictBatchResponse{Classes: classes}
+	if len(h.opts.ClassNames) > 0 {
+		resp.ClassNames = make([]string, len(classes))
+		for i, c := range classes {
+			resp.ClassNames[i] = h.className(c)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *handler) model(w http.ResponseWriter, r *http.Request) {
+	p := h.e.Predictor()
+	cfg := p.Encoder().Config()
+	writeJSON(w, http.StatusOK, ModelInfo{
+		Dimension:          cfg.Dimension,
+		Classes:            p.NumClasses(),
+		MemoryBytes:        p.MemoryBytes(),
+		Centrality:         cfg.Centrality.String(),
+		PageRankIterations: cfg.PageRankIterations,
+		Seed:               cfg.Seed,
+		UseVertexLabels:    cfg.UseVertexLabels,
+		Reloads:            h.e.Reloads(),
+	})
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteMetrics(w, h.e.Metrics(), h.e.Predictor())
+}
+
+func (h *handler) reload(w http.ResponseWriter, r *http.Request) {
+	if h.opts.ModelPath == "" {
+		writeError(w, http.StatusNotFound, errors.New("serve: no model path configured for reload"))
+		return
+	}
+	if err := h.e.SwapFromFile(h.opts.ModelPath); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	p := h.e.Predictor()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"reloaded":     true,
+		"classes":      p.NumClasses(),
+		"dimension":    p.Encoder().Dimension(),
+		"memory_bytes": p.MemoryBytes(),
+	})
+}

@@ -1,0 +1,343 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphhd/internal/core"
+	"graphhd/internal/graph"
+)
+
+// startTestServer stands up the full HTTP stack over a fresh engine.
+func startTestServer(t *testing.T, pred *core.Predictor, opts HandlerOptions) (*httptest.Server, *Engine) {
+	t.Helper()
+	e, err := NewEngine(pred, Options{Workers: 2, MaxBatch: 8, MaxDelay: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(e, opts))
+	t.Cleanup(func() { srv.Close(); e.Close() })
+	return srv, e
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestHTTPPredictMatchesOffline is the end-to-end acceptance test: train
+// on a synthetic dataset, save the packed predictor, serve the saved
+// artifact, and require single and batch predictions over the wire to be
+// bit-identical to Predictor.PredictAll on the same graphs.
+func TestHTTPPredictMatchesOffline(t *testing.T) {
+	trained, ds := testModel(t, 2048, 1)
+	path := filepath.Join(t.TempDir(), "model.ghdp")
+	if err := trained.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := core.LoadPredictorFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pred.PredictAll(ds.Graphs)
+	srv, _ := startTestServer(t, pred, HandlerOptions{ClassNames: ds.ClassNames})
+
+	for i, g := range ds.Graphs[:12] {
+		resp, body := postJSON(t, srv.URL+"/v1/predict", PredictRequest{Graph: graph.ToJSON(g)})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("graph %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var pr PredictResponse
+		if err := json.Unmarshal(body, &pr); err != nil {
+			t.Fatal(err)
+		}
+		if pr.Class != want[i] {
+			t.Fatalf("graph %d: HTTP class %d, offline class %d", i, pr.Class, want[i])
+		}
+		if pr.ClassName != ds.ClassNames[pr.Class] {
+			t.Fatalf("graph %d: class name %q, want %q", i, pr.ClassName, ds.ClassNames[pr.Class])
+		}
+	}
+
+	wire := make([]*graph.GraphJSON, len(ds.Graphs))
+	for i, g := range ds.Graphs {
+		wire[i] = graph.ToJSON(g)
+	}
+	resp, body := postJSON(t, srv.URL+"/v1/predict/batch", PredictBatchRequest{Graphs: wire})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", resp.StatusCode, body)
+	}
+	var br PredictBatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Classes) != len(want) {
+		t.Fatalf("batch returned %d classes, want %d", len(br.Classes), len(want))
+	}
+	for i := range want {
+		if br.Classes[i] != want[i] {
+			t.Fatalf("batch graph %d: HTTP class %d, offline class %d", i, br.Classes[i], want[i])
+		}
+	}
+}
+
+func TestHTTPModelAndHealth(t *testing.T) {
+	pred, _ := testModel(t, 2048, 1)
+	srv, _ := startTestServer(t, pred, HandlerOptions{})
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info ModelInfo
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Dimension != 2048 || info.Classes != pred.NumClasses() || info.MemoryBytes != pred.MemoryBytes() {
+		t.Fatalf("model card %+v disagrees with predictor (d=2048, k=%d, %d bytes)",
+			info, pred.NumClasses(), pred.MemoryBytes())
+	}
+	if info.Centrality != "pagerank" {
+		t.Fatalf("model card centrality %q", info.Centrality)
+	}
+}
+
+func TestHTTPMetricsEndpoint(t *testing.T) {
+	pred, ds := testModel(t, 1024, 1)
+	srv, _ := startTestServer(t, pred, HandlerOptions{})
+	postJSON(t, srv.URL+"/v1/predict", PredictRequest{Graph: graph.ToJSON(ds.Graphs[0])})
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	for _, want := range []string{"graphhd_requests_total 1", "graphhd_request_latency_seconds_count 1", "graphhd_model_classes"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	pred, _ := testModel(t, 1024, 1)
+	srv, _ := startTestServer(t, pred, HandlerOptions{Limits: graph.CodecLimits{MaxVertices: 50}})
+
+	cases := []struct {
+		name, path, body string
+		status           int
+	}{
+		{"not json", "/v1/predict", "{", http.StatusBadRequest},
+		{"missing graph", "/v1/predict", `{}`, http.StatusBadRequest},
+		{"edge out of range", "/v1/predict", `{"graph":{"num_vertices":2,"edges":[[0,5]]}}`, http.StatusBadRequest},
+		{"over vertex limit", "/v1/predict", `{"graph":{"num_vertices":100,"edges":[]}}`, http.StatusBadRequest},
+		{"labels to unlabeled model", "/v1/predict", `{"graph":{"num_vertices":2,"edges":[[0,1]],"vertex_labels":[1,2]}}`, http.StatusBadRequest},
+		{"bad batch element", "/v1/predict/batch", `{"graphs":[{"num_vertices":2,"edges":[[0,9]]}]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(srv.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error body %q is not an error JSON", tc.name, body)
+		}
+	}
+
+	// Wrong method / unknown route.
+	resp, err := http.Get(srv.URL + "/v1/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/predict: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestHTTPHotReload saves two different models to the same path and flips
+// between them through POST /admin/reload while request goroutines stream
+// predictions; the acceptance bar is zero failed in-flight requests, with
+// every response valid under one of the two models.
+func TestHTTPHotReload(t *testing.T) {
+	predA, ds := testModel(t, 2048, 1)
+	predB, _ := testModel(t, 1024, 99)
+	wantA := predA.PredictAll(ds.Graphs)
+	wantB := predB.PredictAll(ds.Graphs)
+
+	path := filepath.Join(t.TempDir(), "model.ghdp")
+	if err := predA.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	srv, e := startTestServer(t, predA, HandlerOptions{ModelPath: path})
+
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	stop := make(chan struct{})
+	const clients = 4
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; ; r++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := (c + r) % len(ds.Graphs)
+				resp, body := postJSON(t, srv.URL+"/v1/predict", PredictRequest{Graph: graph.ToJSON(ds.Graphs[i])})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("in-flight request failed during reload: %d %s", resp.StatusCode, body)
+					failures.Add(1)
+					return
+				}
+				var pr PredictResponse
+				if err := json.Unmarshal(body, &pr); err != nil {
+					t.Error(err)
+					failures.Add(1)
+					return
+				}
+				if pr.Class != wantA[i] && pr.Class != wantB[i] {
+					t.Errorf("graph %d: class %d matches neither model", i, pr.Class)
+					failures.Add(1)
+					return
+				}
+			}
+		}(c)
+	}
+
+	// Alternate the artifact on disk and reload it over HTTP.
+	for swap := 0; swap < 6; swap++ {
+		p := predA
+		if swap%2 == 0 {
+			p = predB
+		}
+		if err := p.SaveFile(path); err != nil {
+			t.Fatal(err)
+		}
+		resp, body := postJSON(t, srv.URL+"/admin/reload", struct{}{})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reload %d: status %d: %s", swap, resp.StatusCode, body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d in-flight requests failed across hot reloads", failures.Load())
+	}
+	if got := e.Metrics().Reloads; got != 6 {
+		t.Fatalf("reloads %d, want 6", got)
+	}
+
+	// The last reload (swap 5) installed predA; the model card must
+	// reflect the final artifact.
+	resp, err := http.Get(srv.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info ModelInfo
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Dimension != predA.Encoder().Dimension() {
+		t.Fatalf("final model dimension %d, want %d", info.Dimension, predA.Encoder().Dimension())
+	}
+}
+
+func TestHTTPReloadErrors(t *testing.T) {
+	pred, _ := testModel(t, 1024, 1)
+	srv, _ := startTestServer(t, pred, HandlerOptions{})
+	resp, body := postJSON(t, srv.URL+"/admin/reload", struct{}{})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("reload without model path: status %d: %s", resp.StatusCode, body)
+	}
+
+	srv2, _ := startTestServer(t, pred, HandlerOptions{ModelPath: filepath.Join(t.TempDir(), "missing.ghdp")})
+	resp, body = postJSON(t, srv2.URL+"/admin/reload", struct{}{})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("reload of missing file: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestHTTPOverloadMaps429 drives requests at an engine whose queue is
+// pre-filled (unstarted worker pool) and checks the HTTP mapping.
+func TestHTTPOverloadMaps429(t *testing.T) {
+	pred, ds := testModel(t, 1024, 1)
+	e, err := newEngine(pred, Options{Workers: 1, QueueSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(e, HandlerOptions{}))
+	defer srv.Close()
+
+	done := make(chan struct{})
+	go func() { // occupies the single queue slot until the engine starts
+		e.Predict(context.Background(), ds.Graphs[0])
+		close(done)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for e.depth.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, body := postJSON(t, srv.URL+"/v1/predict", PredictRequest{Graph: graph.ToJSON(ds.Graphs[1])})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded predict: status %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	e.start()
+	<-done
+	e.Close()
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the engine's internal instrumentation: plain atomics and
+// fixed-bucket histograms, observed lock-free and allocation-free on the
+// hot path. Snapshot them with Engine.Metrics; the HTTP front end renders
+// them as Prometheus text exposition via WriteMetrics.
+type metrics struct {
+	requests  atomic.Uint64 // accepted Predict/PredictBatch calls
+	rejected  atomic.Uint64 // calls refused by admission control
+	processed atomic.Uint64 // graphs classified
+	reloads   atomic.Uint64 // successful model swaps
+
+	latency   histogram // per-call latency, seconds
+	batchSize histogram // dispatched micro-batch sizes
+}
+
+func (m *metrics) init(maxBatch int) {
+	// Latency buckets: 16 powers of two from 16µs to ~0.5s, a range that
+	// spans a cache-hot single predict through a deeply queued burst.
+	bounds := make([]float64, 16)
+	b := 16e-6
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	m.latency.init(bounds)
+
+	// Batch-size buckets: powers of two up to MaxBatch.
+	var sizes []float64
+	for s := 1; s < maxBatch; s *= 2 {
+		sizes = append(sizes, float64(s))
+	}
+	m.batchSize.init(append(sizes, float64(maxBatch)))
+}
+
+func (m *metrics) observeRequest(d time.Duration) {
+	m.requests.Add(1)
+	m.latency.observe(d.Seconds())
+}
+
+func (m *metrics) observeBatch(n int) {
+	m.batchSize.observe(float64(n))
+}
+
+// histogram is a fixed-bound Prometheus-style histogram. counts[i] holds
+// observations ≤ bounds[i]; counts[len(bounds)] is the +Inf bucket. The
+// sum is kept as float64 bits behind a CAS loop so observe stays
+// allocation-free.
+type histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func (h *histogram) init(bounds []float64) {
+	h.bounds = bounds
+	h.counts = make([]atomic.Uint64, len(bounds)+1)
+}
+
+func (h *histogram) observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Counts are
+// per-bucket (not cumulative); the last entry is the +Inf bucket.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Metrics is a point-in-time snapshot of the engine's instrumentation.
+type Metrics struct {
+	// Requests counts accepted Predict/PredictBatch calls; Rejected counts
+	// calls refused by admission control; Processed counts graphs
+	// classified; Reloads counts successful model swaps.
+	Requests, Rejected, Processed, Reloads uint64
+	// QueueDepth is the number of graphs admitted but not yet dispatched.
+	QueueDepth int
+	// Latency is the per-call latency distribution in seconds; BatchSize
+	// is the dispatched micro-batch size distribution.
+	Latency, BatchSize HistogramSnapshot
+}
+
+// Reloads returns the number of successful model swaps without the cost
+// of a full Metrics snapshot.
+func (e *Engine) Reloads() uint64 { return e.m.reloads.Load() }
+
+// Metrics snapshots the engine's counters and histograms.
+func (e *Engine) Metrics() Metrics {
+	return Metrics{
+		Requests:   e.m.requests.Load(),
+		Rejected:   e.m.rejected.Load(),
+		Processed:  e.m.processed.Load(),
+		Reloads:    e.m.reloads.Load(),
+		QueueDepth: int(e.depth.Load()),
+		Latency:    e.m.latency.snapshot(),
+		BatchSize:  e.m.batchSize.snapshot(),
+	}
+}
+
+// WriteMetrics renders a snapshot in Prometheus text exposition format
+// (version 0.0.4), stdlib only. The model gauges describe the predictor
+// currently installed.
+func WriteMetrics(w io.Writer, m Metrics, pred interface {
+	NumClasses() int
+	MemoryBytes() int
+}) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	counter := func(name, help string, v uint64) {
+		p("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("graphhd_requests_total", "Accepted predict calls.", m.Requests)
+	counter("graphhd_rejected_total", "Predict calls refused by admission control.", m.Rejected)
+	counter("graphhd_graphs_processed_total", "Graphs classified.", m.Processed)
+	counter("graphhd_model_reloads_total", "Successful hot model swaps.", m.Reloads)
+	p("# HELP graphhd_queue_depth Graphs admitted but not yet dispatched.\n# TYPE graphhd_queue_depth gauge\ngraphhd_queue_depth %d\n", m.QueueDepth)
+	if pred != nil {
+		p("# HELP graphhd_model_classes Classes in the installed model.\n# TYPE graphhd_model_classes gauge\ngraphhd_model_classes %d\n", pred.NumClasses())
+		p("# HELP graphhd_model_memory_bytes Packed class-vector bytes of the installed model.\n# TYPE graphhd_model_memory_bytes gauge\ngraphhd_model_memory_bytes %d\n", pred.MemoryBytes())
+	}
+	writeHistogram(p, "graphhd_request_latency_seconds", "Per-call latency from admission to response.", m.Latency)
+	writeHistogram(p, "graphhd_batch_size", "Dispatched micro-batch sizes.", m.BatchSize)
+	return err
+}
+
+func writeHistogram(p func(string, ...any), name, help string, h HistogramSnapshot) {
+	p("# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := uint64(0)
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		p("%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	if n := len(h.Counts); n > 0 {
+		cum += h.Counts[n-1]
+	}
+	p("%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	p("%s_sum %g\n%s_count %d\n", name, h.Sum, name, h.Count)
+}

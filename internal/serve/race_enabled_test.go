@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector instruments this build;
+// sync.Pool intentionally drops puts under the detector, so pooled-path
+// allocation assertions are skipped there.
+const raceEnabled = true
