@@ -1,0 +1,82 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON array on stdout, one object per benchmark result:
+//
+//	{"package": "graphhd/internal/core", "name": "BenchmarkEncodeScratchPacked-4",
+//	 "ns_per_op": 34357, "b_per_op": 0, "allocs_per_op": 0}
+//
+// b_per_op / allocs_per_op are -1 when the benchmark did not report
+// allocations. The CI benchmark-smoke job pipes the Encode/Predict/
+// ServePredict benchmarks through this tool into BENCH_<pr>.json so the
+// perf trajectory of the hot paths is tracked as an artifact from every
+// run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+	pkgLine   = regexp.MustCompile(`^pkg:\s+(\S+)$`)
+	bPerOp    = regexp.MustCompile(`([\d.]+) B/op`)
+	allocsOp  = regexp.MustCompile(`(\d+) allocs/op`)
+)
+
+func main() {
+	var results []Result
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if m := pkgLine.FindStringSubmatch(line); m != nil {
+			pkg = m[1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{Package: pkg, Name: m[1], Iterations: iters, NsPerOp: ns, BPerOp: -1, AllocsPerOp: -1}
+		rest := m[4]
+		if bm := bPerOp.FindStringSubmatch(rest); bm != nil {
+			b, _ := strconv.ParseFloat(bm[1], 64)
+			r.BPerOp = int64(b)
+		}
+		if am := allocsOp.FindStringSubmatch(rest); am != nil {
+			r.AllocsPerOp, _ = strconv.ParseInt(am[1], 10, 64)
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if results == nil {
+		results = []Result{}
+	}
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"graphhd/internal/dataset"
+	"graphhd/internal/graph"
+	"graphhd/internal/hdc"
+)
+
+// encodePackedScalarReference is the pre-blocking edge loop: per-edge
+// AddXor in edge order, no grouping, no carry-save front end. It is the
+// oracle the blocked path must match bit for bit.
+func encodePackedScalarReference(enc *Encoder, g *graph.Graph) *hdc.Binary {
+	ranks := enc.Ranks(g)
+	packed := enc.packedSlice(g.NumVertices())
+	c := hdc.NewBitCounter(enc.Dimension())
+	for _, ed := range g.Edges() {
+		c.AddXor(packed[ranks[ed.U]], packed[ranks[ed.V]], true)
+	}
+	return c.SignBinary(enc.packedTie)
+}
+
+// TestBlockedEncodeMatchesScalarAllDatasets pins the tentpole acceptance
+// criterion: on every synthetic Table-I dataset the rank-pair-grouped,
+// carry-save-blocked edge accumulation produces encodings bit-for-bit
+// identical to the per-edge scalar AddXor path, and the packed output
+// equals the bipolar output packed.
+func TestBlockedEncodeMatchesScalarAllDatasets(t *testing.T) {
+	for _, name := range dataset.Names() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			count := 12
+			if name == "DD" { // DD graphs are ~25× larger than the rest
+				count = 4
+			}
+			ds, err := dataset.Generate(name, dataset.Options{Seed: 11, GraphCount: count})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := testConfig()
+			cfg.Dimension = 1024
+			enc := MustNewEncoder(cfg)
+			s := enc.NewScratch()
+			for i, g := range ds.Graphs {
+				if g.NumEdges() == 0 {
+					continue // edgeless graphs bypass the counter entirely
+				}
+				want := encodePackedScalarReference(enc, g)
+				if got := s.EncodeGraphPacked(g); !got.Equal(want) {
+					t.Fatalf("graph %d: blocked packed encode differs from scalar AddXor reference", i)
+				}
+				if got := s.EncodeGraph(g).PackBinary(); !got.Equal(want) {
+					t.Fatalf("graph %d: blocked bipolar encode differs from scalar AddXor reference", i)
+				}
+			}
+		})
+	}
+}
+
+// TestBlockedEncodeAllocationFree asserts the other half of the
+// acceptance criterion on every dataset shape: once the scratch's
+// grouping buffers have grown, steady-state encoding and serving-style
+// prediction (PredictWith, no pool involved) allocate nothing — including
+// under the race detector, which is why this test takes no raceEnabled
+// skip.
+func TestBlockedEncodeAllocationFree(t *testing.T) {
+	gs, ys := twoClassDataset(12, 77)
+	m, err := Train(testConfig(), gs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.Snapshot()
+	s := pred.Encoder().NewScratch()
+	for _, g := range gs {
+		pred.PredictWith(s, g) // grow scratch buffers and the basis table
+	}
+	if allocs := testing.AllocsPerRun(30, func() {
+		for _, g := range gs {
+			s.EncodeGraphPacked(g)
+		}
+	}); allocs != 0 {
+		t.Fatalf("blocked EncodeGraphPacked allocated %v times per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(30, func() {
+		for _, g := range gs {
+			pred.PredictWith(s, g)
+		}
+	}); allocs != 0 {
+		t.Fatalf("PredictWith allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestFillCounterGroupsMultiplicity exercises AddXorWeighted through the
+// encoder: with centrality ranks forming a bijection, every rank pair is
+// distinct on simple graphs, so the weighted branch is reached via a
+// crafted rank collision — two edges whose endpoint rank pairs coincide
+// after the unordered normalization (u,v) and (v,u).
+func TestFillCounterGroupsMultiplicity(t *testing.T) {
+	// A 4-cycle: edges (0,1),(1,2),(2,3),(0,3). Whatever the rank
+	// bijection, all four unordered rank pairs are distinct — the grouped
+	// path must reproduce the scalar reference exactly (multiplicities all
+	// 1). This guards the run-length grouping logic itself: off-by-one
+	// grouping would double- or drop-count an edge.
+	g, err := graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Dimension = 512
+	enc := MustNewEncoder(cfg)
+	s := enc.NewScratch()
+	want := encodePackedScalarReference(enc, g)
+	if !s.EncodeGraphPacked(g).Equal(want) {
+		t.Fatal("grouped encode of 4-cycle differs from scalar reference")
+	}
+}

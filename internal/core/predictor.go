@@ -77,8 +77,11 @@ func (p *Predictor) PredictEncoded(hv *hdc.Binary) int {
 // PredictWith classifies g through a caller-owned scratch, the serving
 // primitive: a long-lived worker holds one scratch for its lifetime and
 // predicts with zero per-request heap allocations and zero pool traffic.
-// s must have been vended by p.Encoder().NewScratch(); the result is
-// written into s's buffers, so s must not be shared across goroutines.
+// Encoding runs the blocked carry-save edge accumulation (rank-pair
+// grouping + hdc.BitCounter.AddXorPairs), so the scratch's grouping
+// buffers amortize across the worker's whole request stream. s must have
+// been vended by p.Encoder().NewScratch(); the result is written into s's
+// buffers, so s must not be shared across goroutines.
 func (p *Predictor) PredictWith(s *EncoderScratch, g *graph.Graph) int {
 	return p.pm.Classify(s.EncodeGraphPacked(g))
 }

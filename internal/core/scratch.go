@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"graphhd/internal/centrality"
 	"graphhd/internal/graph"
 	"graphhd/internal/hdc"
@@ -27,6 +29,13 @@ type EncoderScratch struct {
 	counter *hdc.BitCounter
 	packed  *hdc.Binary
 	bipolar *hdc.Bipolar
+	// Rank-pair grouping buffers for the blocked edge accumulation:
+	// edgeKeys holds one packed (minRank, maxRank) key per edge and pairs
+	// holds the deduplicated XNOR operand list handed to
+	// BitCounter.AddXorPairs. Both grow to the largest edge count seen and
+	// are then reused, keeping the blocked path at zero allocations.
+	edgeKeys []uint64
+	pairs    []hdc.XorPair
 }
 
 // NewScratch returns a fresh scratch bound to e, for callers that manage
@@ -65,6 +74,17 @@ func (s *EncoderScratch) Ranks(g *graph.Graph) []int {
 // fillCounter runs the bit-sliced edge accumulation of Enc_G into the
 // scratch's counter, reporting whether the fast path applies (it does not
 // for the labeled extension or edgeless graphs — see Encoder.EncodeGraph).
+//
+// The edge loop exploits the paper's structure instead of walking edges
+// one by one: an edge's bind vector depends only on the unordered
+// (rank_u, rank_v) pair of its endpoints (XNOR is commutative), so edges
+// are grouped by rank pair, each distinct pair's vector is accumulated
+// once with its multiplicity (BitCounter.AddXorWeighted), and the
+// multiplicity-1 pairs — all of them, for simple graphs under bijective
+// centrality ranks — stream through the blocked carry-save front end
+// (BitCounter.AddXorPairs) in sorted rank order. Bundling counts are
+// exact integer sums, so regrouping and reordering leave the encoding
+// bit-for-bit identical to the per-edge scalar path.
 func (s *EncoderScratch) fillCounter(g *graph.Graph) bool {
 	e := s.enc
 	if e.cfg.UseVertexLabels && g.Labeled() {
@@ -78,11 +98,33 @@ func (s *EncoderScratch) fillCounter(g *graph.Graph) bool {
 	packed := e.packedSlice(g.NumVertices())
 	c := s.counter
 	c.Reset()
+	keys := s.edgeKeys[:0]
 	for _, ed := range edges {
+		ru, rv := ranks[ed.U], ranks[ed.V]
+		if ru > rv {
+			ru, rv = rv, ru
+		}
+		keys = append(keys, uint64(ru)<<32|uint64(uint32(rv)))
+	}
+	slices.Sort(keys)
+	pairs := s.pairs[:0]
+	for i := 0; i < len(keys); {
+		j := i + 1
+		for j < len(keys) && keys[j] == keys[i] {
+			j++
+		}
 		// XNOR of the packed endpoints is exactly the bipolar product
 		// under the bit 1 ↔ +1 mapping.
-		c.AddXor(packed[ranks[ed.U]], packed[ranks[ed.V]], true)
+		ru, rv := int(keys[i]>>32), int(uint32(keys[i]))
+		if j-i == 1 {
+			pairs = append(pairs, hdc.XorPair{A: packed[ru], B: packed[rv], Invert: true})
+		} else {
+			c.AddXorWeighted(packed[ru], packed[rv], true, j-i)
+		}
+		i = j
 	}
+	c.AddXorPairs(pairs)
+	s.edgeKeys, s.pairs = keys, pairs
 	return true
 }
 

@@ -2,6 +2,8 @@ package hdc
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 )
 
 // BitCounter counts, per component, how many of the added binary
@@ -10,13 +12,29 @@ import (
 // nibble-packed SWAR lanes: lane j of word w holds 4-bit counters for the
 // 16 components {64w + 4k + j}, so one Add costs a handful of branchless
 // word operations per 64 components instead of 64 integer additions.
-// Nibble lanes fold into byte lanes every 15 adds and byte lanes flush
-// into full int32 counters every 240 adds, keeping the per-component work
-// amortized far below one operation per add.
+// Nibble lanes fold into byte lanes whenever their accumulated weight
+// would exceed 15 and byte lanes flush into full int32 counters before
+// their weight can exceed 255, keeping the per-component work amortized
+// far below one operation per add.
+//
+// The batch entry points (AddXorPairs, AddWordsBlock) put a Harley–Seal
+// carry-save front end ahead of the lanes: groups of eight vectors are
+// reduced per 64-bit word through a cascade of carry-save adders into
+// persistent bit-sliced partial sums of weight 1/2/4/8, and only the
+// weight-16 overflow of the top slice reaches a counter lane (the byte
+// lanes, which absorb it directly) — one lane update per ~16 vectors
+// instead of one per vector, with no nibble folding on the blocked path
+// at all. AddXorWeighted accumulates one vector with an integer
+// multiplicity, feeding the lanes the multiplicity directly instead of
+// re-adding the vector.
 //
 // This is the software analogue of the "binarized bundling" hardware
 // optimization of Schmuck et al. (JETC 2019) and is what makes GraphHD's
 // packed encoder fast on CPUs.
+//
+// The total accumulated weight (Count) is capped at MaxAdds so that no
+// per-component count can ever overflow its int32 storage; the add entry
+// points panic past the cap.
 //
 // BitCounter is not safe for concurrent use; each encoding goroutine owns
 // its own counter.
@@ -26,19 +44,35 @@ type BitCounter struct {
 	// nib[j][w]: 16 nibble counters for components 64w + 4k + j.
 	nib [4][]uint64
 	// byteLo[j]/byteHi[j]: byte counters absorbing the even/odd nibbles of
-	// lane j, so the expensive per-component flush runs every 240 adds
-	// instead of every 15.
+	// lane j, so the expensive per-component flush runs every ~255 units
+	// of weight instead of every 15.
 	byteLo, byteHi [4][]uint64
-	pendingNib     int // adds since the last nibble fold, <= 15
-	pendingByte    int // nibble folds since the last full flush, <= 16
-	counts         []int32
-	n              int
+	// csaOnes/csaTwos/csaFours/csaEights: bit-sliced carry-save partial
+	// sums of weight 1, 2, 4 and 8 used by the blocked front end. They are
+	// nonzero only while a batch call is running; the call drains them
+	// into the nibble lanes before returning.
+	csaOnes, csaTwos, csaFours, csaEights []uint64
+	pendingNib                            int // weight added to nibble lanes since the last fold, <= 15
+	pendingByte                           int // weight folded into byte lanes since the last flush, <= 255
+	// countsDirty records whether the int32 counters hold any weight; when
+	// they do not and n fits a byte, Sign* can run its SWAR fast path
+	// straight off the byte lanes.
+	countsDirty bool
+	counts      []int32
+	n           int
 }
 
 const (
 	nibbleLaneMask = 0x1111111111111111
 	byteLaneMask   = 0x0F0F0F0F0F0F0F0F
+	byteStride     = 0x0101010101010101
+	byteHighBits   = 0x8080808080808080
 )
+
+// MaxAdds is the maximum total weight a BitCounter accepts. Every
+// per-component count is bounded by the total weight, so this cap is
+// exactly what keeps the int32 counters from overflowing silently.
+const MaxAdds = math.MaxInt32
 
 // NewBitCounter returns an empty counter for dimension d.
 func NewBitCounter(d int) *BitCounter {
@@ -52,40 +86,74 @@ func NewBitCounter(d int) *BitCounter {
 		c.byteLo[j] = make([]uint64, w)
 		c.byteHi[j] = make([]uint64, w)
 	}
+	c.csaOnes = make([]uint64, w)
+	c.csaTwos = make([]uint64, w)
+	c.csaFours = make([]uint64, w)
+	c.csaEights = make([]uint64, w)
 	return c
 }
 
 // Dim returns the dimensionality.
 func (c *BitCounter) Dim() int { return c.d }
 
-// Count returns the number of hypervectors added so far.
+// Count returns the total weight added so far (the number of hypervectors
+// for unit-weight adds).
 func (c *BitCounter) Count() int { return c.n }
+
+// checkAdds panics if accepting weight more units would push the counter
+// past MaxAdds, the documented overflow cap.
+func (c *BitCounter) checkAdds(weight int) {
+	if weight > MaxAdds-c.n {
+		panic(fmt.Sprintf("hdc: BitCounter overflow: %d more adds on top of %d exceeds the %d cap", weight, c.n, MaxAdds))
+	}
+}
+
+// tailMask returns the mask of valid bits in the final word.
+func (c *BitCounter) tailMask() uint64 {
+	if r := c.d & 63; r != 0 {
+		return (1 << uint(r)) - 1
+	}
+	return ^uint64(0)
+}
 
 // Add accumulates one binary hypervector.
 func (c *BitCounter) Add(b *Binary) {
 	if b.d != c.d {
 		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d", b.d, c.d))
 	}
-	c.addWords(b.words)
+	c.checkAdds(1)
+	c.n++
+	c.addWordsLanes(b.words)
 }
 
 // AddXor accumulates the XOR (or, with invert, the XNOR) of two binary
-// hypervectors without materializing it — the hot path of the packed
-// GraphHD encoder, where an edge hypervector is the XNOR of its endpoint
-// vectors. The tail beyond d bits is masked so complemented garbage never
-// reaches the counters.
+// hypervectors without materializing it — the per-edge scalar path of the
+// packed GraphHD encoder, where an edge hypervector is the XNOR of its
+// endpoint vectors. The tail beyond d bits is masked so complemented
+// garbage never reaches the counters. Batches of edges go faster through
+// AddXorPairs.
 func (c *BitCounter) AddXor(a, b *Binary, invert bool) {
 	if a.d != c.d || b.d != c.d {
 		panic("hdc: dimension mismatch")
 	}
+	c.checkAdds(1)
 	c.n++
+	c.addXorLanes(a.words, b.words, invert)
+}
+
+// addXorLanes feeds one XOR/XNOR vector into the nibble lanes (weight 1,
+// no count accounting).
+func (c *BitCounter) addXorLanes(aw, bw []uint64, invert bool) {
+	// Fold BEFORE feeding: weighted feeds may leave pendingNib at exactly
+	// 15, and a nibble at 15 would wrap to 0 and carry into its neighbor
+	// if one more unit landed first.
+	if c.pendingNib+1 > 15 {
+		c.foldNibbles()
+	}
+	c.pendingNib++
 	n0, n1, n2, n3 := c.nib[0], c.nib[1], c.nib[2], c.nib[3]
-	aw, bw := a.words, b.words
 	if invert {
-		tailMask := ^uint64(0)
-		if r := c.d & 63; r != 0 {
-			tailMask = (1 << uint(r)) - 1
-		}
+		tailMask := c.tailMask()
 		last := c.words - 1
 		for w := 0; w < c.words; w++ {
 			x := ^(aw[w] ^ bw[w])
@@ -106,14 +174,16 @@ func (c *BitCounter) AddXor(a, b *Binary, invert bool) {
 			n3[w] += (x >> 3) & nibbleLaneMask
 		}
 	}
-	if c.pendingNib++; c.pendingNib == 15 {
-		c.foldNibbles()
-	}
 }
 
-// addWords accumulates a raw word vector.
-func (c *BitCounter) addWords(x []uint64) {
-	c.n++
+// addWordsLanes feeds one raw word vector into the nibble lanes (weight 1,
+// no count accounting).
+func (c *BitCounter) addWordsLanes(x []uint64) {
+	// Fold before feeding — same capacity argument as addXorLanes.
+	if c.pendingNib+1 > 15 {
+		c.foldNibbles()
+	}
+	c.pendingNib++
 	n0, n1, n2, n3 := c.nib[0], c.nib[1], c.nib[2], c.nib[3]
 	for w := 0; w < c.words; w++ {
 		v := x[w]
@@ -122,15 +192,277 @@ func (c *BitCounter) addWords(x []uint64) {
 		n2[w] += (v >> 2) & nibbleLaneMask
 		n3[w] += (v >> 3) & nibbleLaneMask
 	}
-	if c.pendingNib++; c.pendingNib == 15 {
-		c.foldNibbles()
+}
+
+// csa is a 3:2 carry-save adder: it compresses three bit-sliced summands
+// of equal weight into a same-weight sum slice and a double-weight carry
+// slice.
+func csa(a, b, cin uint64) (sum, carry uint64) {
+	u := a ^ b
+	return u ^ cin, (a & b) | (u & cin)
+}
+
+// XorPair names one AddXorPairs operand pair: the XOR of A and B, or the
+// XNOR when Invert is set.
+type XorPair struct {
+	A, B   *Binary
+	Invert bool
+}
+
+// AddXorPairs accumulates a block of XOR/XNOR edge vectors — equivalent to
+// calling AddXor for each pair in order, but routed through the
+// carry-save front end: groups of eight pairs are reduced per word by a
+// Harley–Seal CSA cascade into the persistent weight-1/2/4/8 slices, and
+// only the weight-16 overflow of the top tier touches a counter lane (the
+// byte lanes, which absorb it directly). A full block therefore costs one
+// lane update per ~16 edges instead of one per edge, and the inner loop
+// is a single cache-friendly sweep over the d/64 words of the block's
+// operands. Leftover pairs beyond the last full block take the scalar
+// lane path.
+func (c *BitCounter) AddXorPairs(pairs []XorPair) {
+	for _, p := range pairs {
+		if p.A.d != c.d || p.B.d != c.d {
+			panic("hdc: dimension mismatch")
+		}
+	}
+	c.checkAdds(len(pairs))
+	c.n += len(pairs)
+	nw := c.words
+	last := nw - 1
+	tail := c.tailMask()
+	i := 0
+	if len(pairs) >= 8 {
+		ones, twos, fours, eights := c.csaOnes, c.csaTwos, c.csaFours, c.csaEights
+		for ; i+8 <= len(pairs); i += 8 {
+			// The sixteens overflow carries up to 16 units per component
+			// into the byte lanes.
+			if c.pendingByte+16 > 255 {
+				c.flushBytes()
+			}
+			c.pendingByte += 16
+			p0, p1, p2, p3 := &pairs[i], &pairs[i+1], &pairs[i+2], &pairs[i+3]
+			p4, p5, p6, p7 := &pairs[i+4], &pairs[i+5], &pairs[i+6], &pairs[i+7]
+			a0, b0, v0 := p0.A.words[:nw], p0.B.words[:nw], invMask(p0.Invert)
+			a1, b1, v1 := p1.A.words[:nw], p1.B.words[:nw], invMask(p1.Invert)
+			a2, b2, v2 := p2.A.words[:nw], p2.B.words[:nw], invMask(p2.Invert)
+			a3, b3, v3 := p3.A.words[:nw], p3.B.words[:nw], invMask(p3.Invert)
+			a4, b4, v4 := p4.A.words[:nw], p4.B.words[:nw], invMask(p4.Invert)
+			a5, b5, v5 := p5.A.words[:nw], p5.B.words[:nw], invMask(p5.Invert)
+			a6, b6, v6 := p6.A.words[:nw], p6.B.words[:nw], invMask(p6.Invert)
+			a7, b7, v7 := p7.A.words[:nw], p7.B.words[:nw], invMask(p7.Invert)
+			l0, l1, l2, l3 := c.byteLo[0], c.byteLo[1], c.byteLo[2], c.byteLo[3]
+			h0, h1, h2, h3 := c.byteHi[0], c.byteHi[1], c.byteHi[2], c.byteHi[3]
+			for w := 0; w < nw; w++ {
+				m := ^uint64(0)
+				if w == last {
+					m = tail
+				}
+				x0 := (a0[w] ^ b0[w] ^ v0) & m
+				x1 := (a1[w] ^ b1[w] ^ v1) & m
+				x2 := (a2[w] ^ b2[w] ^ v2) & m
+				x3 := (a3[w] ^ b3[w] ^ v3) & m
+				x4 := (a4[w] ^ b4[w] ^ v4) & m
+				x5 := (a5[w] ^ b5[w] ^ v5) & m
+				x6 := (a6[w] ^ b6[w] ^ v6) & m
+				x7 := (a7[w] ^ b7[w] ^ v7) & m
+				o, twosA := csa(ones[w], x0, x1)
+				o, twosB := csa(o, x2, x3)
+				t, foursA := csa(twos[w], twosA, twosB)
+				o, twosA = csa(o, x4, x5)
+				o, twosB = csa(o, x6, x7)
+				t, foursB := csa(t, twosA, twosB)
+				f, e8 := csa(fours[w], foursA, foursB)
+				e := eights[w]
+				s16 := e & e8
+				ones[w], twos[w], fours[w], eights[w] = o, t, f, e^e8
+				if s16 != 0 {
+					l0[w] += (s16 & byteStride) << 4
+					l1[w] += ((s16 >> 1) & byteStride) << 4
+					l2[w] += ((s16 >> 2) & byteStride) << 4
+					l3[w] += ((s16 >> 3) & byteStride) << 4
+					h0[w] += ((s16 >> 4) & byteStride) << 4
+					h1[w] += ((s16 >> 5) & byteStride) << 4
+					h2[w] += ((s16 >> 6) & byteStride) << 4
+					h3[w] += ((s16 >> 7) & byteStride) << 4
+				}
+			}
+		}
+		c.drainCarrySave()
+	}
+	for ; i < len(pairs); i++ {
+		p := &pairs[i]
+		c.addXorLanes(p.A.words, p.B.words, p.Invert)
 	}
 }
 
-// foldNibbles drains the nibble lanes into the byte lanes.
+// invMask maps an invert flag to the XOR mask that applies it.
+func invMask(invert bool) uint64 {
+	if invert {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// AddWordsBlock accumulates a block of raw packed word vectors through the
+// same carry-save front end as AddXorPairs — equivalent to adding each
+// vector in order. Every vector must have the counter's word length and,
+// as with Binary.Words, zero bits beyond dimension d.
+func (c *BitCounter) AddWordsBlock(vecs [][]uint64) {
+	for _, v := range vecs {
+		if len(v) != c.words {
+			panic(fmt.Sprintf("hdc: word vector length %d, want %d", len(v), c.words))
+		}
+	}
+	c.checkAdds(len(vecs))
+	c.n += len(vecs)
+	nw := c.words
+	i := 0
+	if len(vecs) >= 8 {
+		ones, twos, fours, eights := c.csaOnes, c.csaTwos, c.csaFours, c.csaEights
+		for ; i+8 <= len(vecs); i += 8 {
+			if c.pendingByte+16 > 255 {
+				c.flushBytes()
+			}
+			c.pendingByte += 16
+			x0s, x1s, x2s, x3s := vecs[i][:nw], vecs[i+1][:nw], vecs[i+2][:nw], vecs[i+3][:nw]
+			x4s, x5s, x6s, x7s := vecs[i+4][:nw], vecs[i+5][:nw], vecs[i+6][:nw], vecs[i+7][:nw]
+			l0, l1, l2, l3 := c.byteLo[0], c.byteLo[1], c.byteLo[2], c.byteLo[3]
+			h0, h1, h2, h3 := c.byteHi[0], c.byteHi[1], c.byteHi[2], c.byteHi[3]
+			for w := 0; w < nw; w++ {
+				o, twosA := csa(ones[w], x0s[w], x1s[w])
+				o, twosB := csa(o, x2s[w], x3s[w])
+				t, foursA := csa(twos[w], twosA, twosB)
+				o, twosA = csa(o, x4s[w], x5s[w])
+				o, twosB = csa(o, x6s[w], x7s[w])
+				t, foursB := csa(t, twosA, twosB)
+				f, e8 := csa(fours[w], foursA, foursB)
+				e := eights[w]
+				s16 := e & e8
+				ones[w], twos[w], fours[w], eights[w] = o, t, f, e^e8
+				if s16 != 0 {
+					l0[w] += (s16 & byteStride) << 4
+					l1[w] += ((s16 >> 1) & byteStride) << 4
+					l2[w] += ((s16 >> 2) & byteStride) << 4
+					l3[w] += ((s16 >> 3) & byteStride) << 4
+					h0[w] += ((s16 >> 4) & byteStride) << 4
+					h1[w] += ((s16 >> 5) & byteStride) << 4
+					h2[w] += ((s16 >> 6) & byteStride) << 4
+					h3[w] += ((s16 >> 7) & byteStride) << 4
+				}
+			}
+		}
+		c.drainCarrySave()
+	}
+	for ; i < len(vecs); i++ {
+		c.addWordsLanes(vecs[i])
+	}
+}
+
+// drainCarrySave feeds the parked weight-1/2/4/8 carry-save slices into
+// the nibble lanes and zeroes them, restoring the invariant that all
+// accumulated weight lives in the lane/counter tiers between calls.
+func (c *BitCounter) drainCarrySave() {
+	// A bit can be set in all four slices at once, so the drain carries up
+	// to 1+2+4+8 = 15 units of weight per nibble — the full capacity, so
+	// any prior pending weight folds out first.
+	if c.pendingNib > 0 {
+		c.foldNibbles()
+	}
+	c.pendingNib = 15
+	ones, twos, fours, eights := c.csaOnes, c.csaTwos, c.csaFours, c.csaEights
+	n0, n1, n2, n3 := c.nib[0], c.nib[1], c.nib[2], c.nib[3]
+	for w := 0; w < c.words; w++ {
+		o, t, f, e := ones[w], twos[w], fours[w], eights[w]
+		if o|t|f|e == 0 {
+			continue
+		}
+		ones[w], twos[w], fours[w], eights[w] = 0, 0, 0, 0
+		n0[w] += (o & nibbleLaneMask) + ((t&nibbleLaneMask)<<1 + ((f&nibbleLaneMask)<<2 + ((e & nibbleLaneMask) << 3)))
+		n1[w] += ((o >> 1) & nibbleLaneMask) + (((t>>1)&nibbleLaneMask)<<1 + (((f>>1)&nibbleLaneMask)<<2 + (((e >> 1) & nibbleLaneMask) << 3)))
+		n2[w] += ((o >> 2) & nibbleLaneMask) + (((t>>2)&nibbleLaneMask)<<1 + (((f>>2)&nibbleLaneMask)<<2 + (((e >> 2) & nibbleLaneMask) << 3)))
+		n3[w] += ((o >> 3) & nibbleLaneMask) + (((t>>3)&nibbleLaneMask)<<1 + (((f>>3)&nibbleLaneMask)<<2 + (((e >> 3) & nibbleLaneMask) << 3)))
+	}
+}
+
+// AddXorWeighted accumulates the XOR (or, with invert, the XNOR) of a and
+// b with integer multiplicity weight — exactly equivalent to calling
+// AddXor weight times, in O(weight/15) lane sweeps for small weights and
+// one direct pass over the int32 counters for large ones. This is what
+// lets the encoder accumulate each distinct rank-pair bind vector once,
+// however many edges map to it. A zero weight is a no-op; negative
+// weights panic.
+func (c *BitCounter) AddXorWeighted(a, b *Binary, invert bool, weight int) {
+	if a.d != c.d || b.d != c.d {
+		panic("hdc: dimension mismatch")
+	}
+	if weight < 0 {
+		panic(fmt.Sprintf("hdc: negative weight %d", weight))
+	}
+	if weight == 0 {
+		return
+	}
+	c.checkAdds(weight)
+	c.n += weight
+	aw, bw := a.words, b.words
+	last := c.words - 1
+	tail := c.tailMask()
+	if weight > 64 {
+		// Large multiplicities skip the SWAR tiers: weight is added
+		// straight to the int32 counters per set bit. The counters and the
+		// lanes are independent addends, so no flush is needed first.
+		c.countsDirty = true
+		for w := 0; w < c.words; w++ {
+			x := aw[w] ^ bw[w]
+			if invert {
+				x = ^x
+			}
+			if w == last {
+				x &= tail
+			}
+			base := w << 6
+			for x != 0 {
+				c.counts[base+bits.TrailingZeros64(x)] += int32(weight)
+				x &= x - 1
+			}
+		}
+		return
+	}
+	n0, n1, n2, n3 := c.nib[0], c.nib[1], c.nib[2], c.nib[3]
+	for weight > 0 {
+		chunk := weight
+		if chunk > 15 {
+			chunk = 15
+		}
+		weight -= chunk
+		if c.pendingNib+chunk > 15 {
+			c.foldNibbles()
+		}
+		c.pendingNib += chunk
+		cw := uint64(chunk)
+		for w := 0; w < c.words; w++ {
+			x := aw[w] ^ bw[w]
+			if invert {
+				x = ^x
+			}
+			if w == last {
+				x &= tail
+			}
+			n0[w] += (x & nibbleLaneMask) * cw
+			n1[w] += ((x >> 1) & nibbleLaneMask) * cw
+			n2[w] += ((x >> 2) & nibbleLaneMask) * cw
+			n3[w] += ((x >> 3) & nibbleLaneMask) * cw
+		}
+	}
+}
+
+// foldNibbles drains the nibble lanes into the byte lanes, flushing the
+// byte lanes first if the incoming weight could overflow a byte counter.
 func (c *BitCounter) foldNibbles() {
 	if c.pendingNib == 0 {
 		return
+	}
+	if c.pendingByte+c.pendingNib > 255 {
+		c.flushBytes()
 	}
 	for j := 0; j < 4; j++ {
 		lane, lo, hi := c.nib[j], c.byteLo[j], c.byteHi[j]
@@ -144,31 +476,54 @@ func (c *BitCounter) foldNibbles() {
 			hi[w] += (v >> 4) & byteLaneMask
 		}
 	}
+	c.pendingByte += c.pendingNib
 	c.pendingNib = 0
-	if c.pendingByte++; c.pendingByte == 16 {
-		c.flushBytes()
-	}
 }
 
 // flushBytes drains the byte lanes into the int32 counters. Byte k of
 // byteLo[j][w] counts component 64w + 8k + j; byteHi[j][w] counts
-// component 64w + 8k + 4 + j.
+// component 64w + 8k + 4 + j. Full words unpack all eight bytes
+// unconditionally (branchless, the lanes are dense by flush time); only a
+// partial final word pays per-component range checks.
 func (c *BitCounter) flushBytes() {
+	if c.pendingByte == 0 {
+		return
+	}
+	c.countsDirty = true
+	full := c.words
+	if c.d&63 != 0 {
+		full--
+	}
+	counts := c.counts
 	for j := 0; j < 4; j++ {
 		for half, lane := range [2][]uint64{c.byteLo[j], c.byteHi[j]} {
 			off := j + 4*half
-			for w := 0; w < c.words; w++ {
+			for w := 0; w < full; w++ {
 				v := lane[w]
 				if v == 0 {
 					continue
 				}
+				lane[w] = 0
+				dst := counts[w<<6+off:]
+				dst[0] += int32(v & 0xFF)
+				dst[8] += int32((v >> 8) & 0xFF)
+				dst[16] += int32((v >> 16) & 0xFF)
+				dst[24] += int32((v >> 24) & 0xFF)
+				dst[32] += int32((v >> 32) & 0xFF)
+				dst[40] += int32((v >> 40) & 0xFF)
+				dst[48] += int32((v >> 48) & 0xFF)
+				dst[56] += int32(v >> 56)
+			}
+			if full < c.words {
+				w := full
+				v := lane[w]
 				lane[w] = 0
 				base := w << 6
 				for k := 0; v != 0; k++ {
 					if bv := v & 0xFF; bv != 0 {
 						dim := base + k<<3 + off
 						if dim < c.d {
-							c.counts[dim] += int32(bv)
+							counts[dim] += int32(bv)
 						}
 					}
 					v >>= 8
@@ -194,11 +549,18 @@ func (c *BitCounter) CountAt(i int) int {
 	return int(c.counts[i])
 }
 
-// Counts flushes and returns the full per-component count slice (shared;
-// callers must not modify it).
-func (c *BitCounter) Counts() []int32 {
+// CountsInto flushes the intermediate lanes and copies the per-component
+// counts into dst, which must have length d; returns dst. The copy keeps
+// the counter's carry state private — the former Counts accessor handed
+// out the internal slice, and a caller writing through it would have
+// silently corrupted every later fold.
+func (c *BitCounter) CountsInto(dst []int32) []int32 {
+	if len(dst) != c.d {
+		panic(fmt.Sprintf("hdc: destination length %d, want %d", len(dst), c.d))
+	}
 	c.flush()
-	return c.counts
+	copy(dst, c.counts)
+	return dst
 }
 
 // SignBipolar collapses the counter to a bipolar hypervector by majority:
@@ -218,16 +580,18 @@ func (c *BitCounter) SignBipolarInto(tie, dst *Bipolar) *Bipolar {
 	mustSameDim(c.d, dst.Dim())
 	c.flush()
 	out := dst.comps
-	half2 := int32(c.n) // compare 2*cnt against n
+	ties := tie.comps
+	// The comparison runs in 64-bit: 2*cnt would wrap int32 once n
+	// reached 2³⁰, silently inverting the majority of saturated
+	// components. The select is branchless — count-vs-n is a coin flip
+	// per component, so data-dependent branches would mispredict half the
+	// time across all d components.
+	n := int64(c.n)
 	for i, cnt := range c.counts {
-		switch twice := 2 * cnt; {
-		case twice > half2:
-			out[i] = 1
-		case twice < half2:
-			out[i] = -1
-		default:
-			out[i] = tie.comps[i]
-		}
+		twice := 2 * int64(cnt)
+		gt := int8(uint64(n-twice) >> 63) // 1 iff twice > n
+		lt := int8(uint64(twice-n) >> 63) // 1 iff twice < n
+		out[i] = gt - lt + (1-(gt|lt))*ties[i]
 	}
 	return dst
 }
@@ -251,8 +615,11 @@ func (c *BitCounter) SignBinaryInto(tie, dst *Binary) *Binary {
 	if c.d != tie.d || c.d != dst.d {
 		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d vs %d", c.d, tie.d, dst.d))
 	}
+	if c.signBinarySWAR(tie, dst) {
+		return dst
+	}
 	c.flush()
-	half2 := int32(c.n) // compare 2*cnt against n
+	n := int64(c.n) // 64-bit majority comparison, as in SignBipolarInto
 	for w := 0; w < c.words; w++ {
 		var out uint64
 		tieW := tie.words[w]
@@ -261,17 +628,65 @@ func (c *BitCounter) SignBinaryInto(tie, dst *Binary) *Binary {
 		if end > 64 {
 			end = 64
 		}
+		// Branchless select, same rationale as SignBipolarInto.
 		for b, cnt := range c.counts[base : base+end] {
-			switch twice := 2 * cnt; {
-			case twice > half2:
-				out |= 1 << uint(b)
-			case twice == half2:
-				out |= tieW & (1 << uint(b))
-			}
+			twice := 2 * int64(cnt)
+			gt := (uint64(n-twice) >> 63) // 1 iff twice > n
+			lt := (uint64(twice-n) >> 63) // 1 iff twice < n
+			bit := gt | (1 &^ (gt | lt) & (tieW >> uint(b)))
+			out |= bit << uint(b)
 		}
 		dst.words[w] = out
 	}
 	return dst
+}
+
+// signBinarySWAR is the fast majority path: when every per-component
+// count still lives in the byte lanes (nothing has been flushed to the
+// int32 tier) and n fits in 7 bits, the majority compare runs eight
+// components per word operation directly on the byte lanes — no flush,
+// no per-component loop. Reports whether it handled the sign.
+//
+// The byte arithmetic is exact because every byte operand stays ≤ 127:
+// per-byte sums with a bias < 128 cannot carry into the neighboring byte.
+func (c *BitCounter) signBinarySWAR(tie, dst *Binary) bool {
+	if c.countsDirty || c.n > 127 {
+		return false
+	}
+	c.foldNibbles() // move all remaining weight into the byte lanes
+	if c.countsDirty {
+		// The fold's conservative byte-weight accounting can trigger a
+		// flush even though the true per-byte weight (≤ n ≤ 127) fits; if
+		// it did, part of the weight now lives in the int32 tier.
+		return false
+	}
+	n := uint64(c.n)
+	// bit set  ⟺ 2v > n ⟺ v ≥ n/2+1:  (v + bias) has its high bit set.
+	bias := (128 - (n/2 + 1)) * byteStride
+	// tie     ⟺ 2v = n — possible only for even n, where it means v = n/2.
+	half := (n / 2) * byteStride
+	tieable := uint64(0)
+	if n%2 == 0 {
+		tieable = ^uint64(0)
+	}
+	for w := 0; w < c.words; w++ {
+		var out uint64
+		tieW := tie.words[w]
+		for j := 0; j < 4; j++ {
+			lo := c.byteLo[j][w] // byte k counts component 64w + 8k + j
+			hi := c.byteHi[j][w] // byte k counts component 64w + 8k + 4 + j
+			out |= (((lo + bias) & byteHighBits) >> 7) << uint(j)
+			out |= (((hi + bias) & byteHighBits) >> 7) << uint(j+4)
+			// Zero-byte test of v ^ half: with all bytes ≤ 127, adding
+			// 0x7F saturates the high bit exactly when the byte is nonzero.
+			eqLo := ^(((lo ^ half) + 0x7F*byteStride) & byteHighBits) & byteHighBits
+			eqHi := ^(((hi ^ half) + 0x7F*byteStride) & byteHighBits) & byteHighBits
+			out |= ((eqLo >> 7) << uint(j)) & tieable & tieW
+			out |= ((eqHi >> 7) << uint(j+4)) & tieable & tieW
+		}
+		dst.words[w] = out
+	}
+	return true
 }
 
 // Reset clears the counter.
@@ -283,11 +698,20 @@ func (c *BitCounter) Reset() {
 			c.byteHi[j][w] = 0
 		}
 	}
+	// The carry-save slices are already zero between calls; clear them
+	// anyway so Reset restores a pristine counter unconditionally.
+	for w := range c.csaOnes {
+		c.csaOnes[w] = 0
+		c.csaTwos[w] = 0
+		c.csaFours[w] = 0
+		c.csaEights[w] = 0
+	}
 	for i := range c.counts {
 		c.counts[i] = 0
 	}
 	c.pendingNib = 0
 	c.pendingByte = 0
+	c.countsDirty = false
 	c.n = 0
 }
 

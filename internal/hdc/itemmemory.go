@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // ItemMemory is a lazily grown table of basis hypervectors indexed by
@@ -77,14 +78,19 @@ func (m *ItemMemory) Reserve(n int) {
 // pred(y) = argmax_i δ(Enc(y), C_i). Queries measure cosine similarity
 // either against the raw integer sums (the default, more precise) or
 // against the majority-voted bipolar class vectors.
+//
+// Training calls (Learn/Unlearn/Reinforce) require a single writer, but
+// read-only queries are safe to run concurrently with each other: the
+// lazily built query snapshots are published through atomic pointers, so
+// two goroutines racing on a cold cache at worst both build the same
+// deterministic snapshot.
 type AssociativeMemory struct {
-	dim      int
-	classes  []*Accumulator
-	tie      *Bipolar
-	bipolar  bool // if true, compare against Sign(tie) class vectors
-	signed   []*Bipolar
-	signedOK bool
-	packed   *PackedMemory // lazy bit-packed query snapshot
+	dim     int
+	classes []*Accumulator
+	tie     *Bipolar
+	bipolar bool                         // if true, compare against Sign(tie) class vectors
+	signed  atomic.Pointer[[]*Bipolar]   // lazy majority-voted class vectors
+	packed  atomic.Pointer[PackedMemory] // lazy bit-packed query snapshot
 }
 
 // NewAssociativeMemory returns a memory for k classes of dimension dim.
@@ -120,8 +126,8 @@ func (am *AssociativeMemory) Tie() *Bipolar { return am.tie }
 
 // invalidate drops all cached query snapshots after a class update.
 func (am *AssociativeMemory) invalidate() {
-	am.signedOK = false
-	am.packed = nil
+	am.signed.Store(nil)
+	am.packed.Store(nil)
 }
 
 // Learn bundles the encoded sample v into class c's accumulator.
@@ -154,15 +160,19 @@ func (am *AssociativeMemory) ClassAccumulator(c int) *Accumulator {
 	return am.classes[c]
 }
 
-func (am *AssociativeMemory) refreshSigned() {
-	if am.signedOK {
-		return
+// refreshSigned returns the cached majority-voted class vectors,
+// rebuilding them after any class update. Concurrent cold-cache callers
+// may build twice; the snapshots are identical, so either store wins.
+func (am *AssociativeMemory) refreshSigned() []*Bipolar {
+	if sv := am.signed.Load(); sv != nil {
+		return *sv
 	}
-	am.signed = make([]*Bipolar, len(am.classes))
+	sv := make([]*Bipolar, len(am.classes))
 	for i, acc := range am.classes {
-		am.signed[i] = acc.Sign(am.tie)
+		sv[i] = acc.Sign(am.tie)
 	}
-	am.signedOK = true
+	am.signed.Store(&sv)
+	return sv
 }
 
 // Snapshot majority-votes every class accumulator down to a bit-packed
@@ -182,12 +192,15 @@ func (am *AssociativeMemory) Snapshot() *PackedMemory {
 }
 
 // refreshPacked returns the cached packed snapshot, rebuilding it after
-// any class update.
+// any class update. Concurrent cold-cache callers may build twice; the
+// snapshots are identical, so either store wins.
 func (am *AssociativeMemory) refreshPacked() *PackedMemory {
-	if am.packed == nil {
-		am.packed = am.Snapshot()
+	if pm := am.packed.Load(); pm != nil {
+		return pm
 	}
-	return am.packed
+	pm := am.Snapshot()
+	am.packed.Store(pm)
+	return pm
 }
 
 // ClassifyPacked classifies a bit-packed query against the (lazily
@@ -208,8 +221,7 @@ func (am *AssociativeMemory) SimilaritiesPacked(v *Binary) []float64 {
 func (am *AssociativeMemory) Similarities(v *Bipolar) []float64 {
 	sims := make([]float64, len(am.classes))
 	if am.bipolar {
-		am.refreshSigned()
-		for i, cv := range am.signed {
+		for i, cv := range am.refreshSigned() {
 			sims[i] = v.Cosine(cv)
 		}
 		return sims

@@ -106,12 +106,12 @@ func TestClassifyPackedTracksLearning(t *testing.T) {
 	v := RandomBipolar(256, rng)
 	am.ClassifyPacked(v.PackBinary()) // populate cache
 	am.Unlearn(0, v)
-	if am.packed != nil {
+	if am.packed.Load() != nil {
 		t.Fatal("Unlearn did not invalidate the packed snapshot")
 	}
 	am.ClassifyPacked(v.PackBinary())
 	am.Reinforce(1, v, 2)
-	if am.packed != nil {
+	if am.packed.Load() != nil {
 		t.Fatal("Reinforce did not invalidate the packed snapshot")
 	}
 }

@@ -387,7 +387,10 @@ func (e *Engine) fill(b *batch, timer *time.Timer) bool {
 
 // worker is one inference goroutine. It owns a single EncoderScratch,
 // re-vended only when a hot swap installs a model with a different
-// encoder, so the steady-state per-graph path allocates nothing.
+// encoder, so the steady-state per-graph path allocates nothing — the
+// scratch's rank-pair grouping buffers for the blocked carry-save encode
+// (core.EncoderScratch) amortize across the worker's lifetime along with
+// the rest of its state.
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	var enc *core.Encoder
