@@ -5,16 +5,21 @@
 //	 "ns_per_op": 34357, "b_per_op": 0, "allocs_per_op": 0}
 //
 // b_per_op / allocs_per_op are -1 when the benchmark did not report
-// allocations. The CI benchmark-smoke job pipes the Encode/Predict/
+// allocations. Malformed numeric fields and benchmark lines appearing
+// before any `pkg:` header are reported as errors (exit status 1) rather
+// than silently producing zeroed or unattributed results — CI consumes
+// this output as an artifact, and a silently wrong artifact is worse
+// than a failed job. The CI benchmark-smoke job pipes the Encode/Predict/
 // ServePredict benchmarks through this tool into BENCH_<pr>.json so the
-// perf trajectory of the hot paths is tracked as an artifact from every
-// run.
+// perf trajectory of the hot paths is tracked from every run.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"regexp"
 	"strconv"
@@ -38,12 +43,15 @@ var (
 	allocsOp  = regexp.MustCompile(`(\d+) allocs/op`)
 )
 
-func main() {
-	var results []Result
+// run parses benchmark output from r and writes the JSON array to w.
+func run(r io.Reader, w io.Writer) error {
+	results := []Result{}
 	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
+	lineNo := 0
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if m := pkgLine.FindStringSubmatch(line); m != nil {
 			pkg = m[1]
@@ -53,29 +61,46 @@ func main() {
 		if m == nil {
 			continue
 		}
-		iters, _ := strconv.ParseInt(m[2], 10, 64)
-		ns, _ := strconv.ParseFloat(m[3], 64)
-		r := Result{Package: pkg, Name: m[1], Iterations: iters, NsPerOp: ns, BPerOp: -1, AllocsPerOp: -1}
+		if pkg == "" {
+			return fmt.Errorf("line %d: benchmark %q before any pkg: header; results would be unattributed", lineNo, m[1])
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: iterations %q: %w", lineNo, m[2], err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return fmt.Errorf("line %d: ns/op %q: %w", lineNo, m[3], err)
+		}
+		res := Result{Package: pkg, Name: m[1], Iterations: iters, NsPerOp: ns, BPerOp: -1, AllocsPerOp: -1}
 		rest := m[4]
 		if bm := bPerOp.FindStringSubmatch(rest); bm != nil {
-			b, _ := strconv.ParseFloat(bm[1], 64)
-			r.BPerOp = int64(b)
+			// B/op can legitimately be fractional (amortized bytes);
+			// round to the nearest byte rather than truncating.
+			b, err := strconv.ParseFloat(bm[1], 64)
+			if err != nil {
+				return fmt.Errorf("line %d: B/op %q: %w", lineNo, bm[1], err)
+			}
+			res.BPerOp = int64(math.Round(b))
 		}
 		if am := allocsOp.FindStringSubmatch(rest); am != nil {
-			r.AllocsPerOp, _ = strconv.ParseInt(am[1], 10, 64)
+			res.AllocsPerOp, err = strconv.ParseInt(am[1], 10, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: allocs/op %q: %w", lineNo, am[1], err)
+			}
 		}
-		results = append(results, r)
+		results = append(results, res)
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return err
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if results == nil {
-		results = []Result{}
-	}
-	if err := enc.Encode(results); err != nil {
+	return enc.Encode(results)
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

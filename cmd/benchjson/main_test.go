@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunGolden pins the tool's stdin→stdout behavior against checked-in
+// fixtures: <name>.txt is raw `go test -bench` output, <name>.golden the
+// exact JSON the tool must emit. Regenerate a golden with
+// `go run ./cmd/benchjson < testdata/<name>.txt` after a reviewed change.
+func TestRunGolden(t *testing.T) {
+	fixtures, err := filepath.Glob(filepath.Join("testdata", "*.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) == 0 {
+		t.Fatal("no fixtures found")
+	}
+	for _, fixture := range fixtures {
+		name := strings.TrimSuffix(filepath.Base(fixture), ".txt")
+		t.Run(name, func(t *testing.T) {
+			in, err := os.ReadFile(fixture)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", name+".golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out bytes.Buffer
+			if err := run(bytes.NewReader(in), &out); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Fatalf("output differs from %s.golden:\ngot:\n%s\nwant:\n%s", name, out.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestRunErrors pins the failure modes that previously produced silently
+// wrong artifacts: unattributed benchmark lines and malformed numerics
+// must error instead of emitting zeroed or empty-package results.
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{
+			name:    "bench line before pkg header",
+			in:      "goos: linux\nBenchmarkOrphan-4   100   5 ns/op\n",
+			wantErr: "before any pkg: header",
+		},
+		{
+			name:    "malformed B/op",
+			in:      "pkg: example\nBenchmarkX-4   100   5 ns/op   1.2.3 B/op   0 allocs/op\n",
+			wantErr: "B/op",
+		},
+		{
+			name:    "iteration count overflow",
+			in:      "pkg: example\nBenchmarkX-4   99999999999999999999   5 ns/op\n",
+			wantErr: "iterations",
+		},
+		{
+			name:    "malformed ns/op",
+			in:      "pkg: example\nBenchmarkX-4   100   5.5.5 ns/op\n",
+			wantErr: "ns/op",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(strings.NewReader(tc.in), &out)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got none; output:\n%s", tc.wantErr, out.Bytes())
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunEmptyInput keeps the empty-array contract: no results is valid
+// output (an empty JSON array), not an error — CI treats a missing
+// benchmark as a separate failure.
+func TestRunEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("goos: linux\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Fatalf("empty input produced %q, want []", got)
+	}
+}

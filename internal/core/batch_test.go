@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+
+	"graphhd/internal/dataset"
+	"graphhd/internal/graph"
+)
+
+// TestBatchEncodeMatchesSingleAllDatasets pins the tentpole acceptance
+// criterion for the cross-graph batch pipeline: on every synthetic
+// Table-I dataset, EncodeBatch — one shared, deduplicated operand plan
+// per batch — produces encodings bit-for-bit identical to the per-graph
+// EncodeGraphPacked path, for batch sizes that exercise a lone graph,
+// partial carry-save blocks, full micro-batches, and ragged tails, and
+// PredictBatchWith classifies identically to per-graph Predict.
+func TestBatchEncodeMatchesSingleAllDatasets(t *testing.T) {
+	for _, name := range dataset.Names() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			count := 33 // a full 32-batch plus a ragged tail of 1
+			if name == "DD" {
+				count = 9 // DD graphs are ~25× larger than the rest
+			}
+			ds, err := dataset.Generate(name, dataset.Options{Seed: 19, GraphCount: count})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := testConfig()
+			cfg.Dimension = 1024
+			enc := MustNewEncoder(cfg)
+			single := enc.NewScratch()
+			bs := enc.NewBatchScratch()
+			for _, size := range []int{1, 7, 32} {
+				for lo := 0; lo < len(ds.Graphs); lo += size {
+					hi := min(lo+size, len(ds.Graphs))
+					batch := ds.Graphs[lo:hi]
+					outs := bs.EncodeBatch(batch)
+					if len(outs) != len(batch) {
+						t.Fatalf("size %d: %d outputs for %d graphs", size, len(outs), len(batch))
+					}
+					for i, g := range batch {
+						if want := single.EncodeGraphPacked(g); !outs[i].Equal(want) {
+							t.Fatalf("size %d: graph %d batch encoding differs from per-graph path", size, lo+i)
+						}
+					}
+				}
+			}
+
+			// The pooled public API returns retained clones with the same bits.
+			outs := enc.EncodeBatch(ds.Graphs[:min(7, len(ds.Graphs))])
+			for i, o := range outs {
+				if want := single.EncodeGraphPacked(ds.Graphs[i]); !o.Equal(want) {
+					t.Fatalf("Encoder.EncodeBatch graph %d differs from per-graph path", i)
+				}
+			}
+
+			// Batch classification matches per-graph prediction exactly.
+			m, err := Train(cfg, ds.Graphs, ds.Labels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pred := m.Snapshot()
+			pbs := pred.Encoder().NewBatchScratch()
+			got := make([]int, len(ds.Graphs))
+			pred.PredictBatchWith(pbs, ds.Graphs, got)
+			for i, g := range ds.Graphs {
+				if want := pred.Predict(g); got[i] != want {
+					t.Fatalf("PredictBatchWith[%d] = %d, want %d", i, got[i], want)
+				}
+			}
+			if all := pred.PredictAll(ds.Graphs); !equalInts(all, got) {
+				t.Fatalf("PredictAll disagrees with PredictBatchWith")
+			}
+		})
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBatchEncodeMixedFallbacks checks the plan's exclusion path: a batch
+// mixing fast-path graphs with edgeless graphs (and, under the labeled
+// extension, labeled graphs) still matches the per-graph encoder on every
+// slot.
+func TestBatchEncodeMixedFallbacks(t *testing.T) {
+	edgeless, err := graph.FromEdges(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := graph.FromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := graph.NewBuilder(4)
+	lb.MustAddEdge(0, 1)
+	lb.MustAddEdge(1, 2)
+	lb.MustAddEdge(2, 3)
+	if err := lb.SetVertexLabels([]int{0, 1, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	labeled := lb.Build()
+
+	for _, useLabels := range []bool{false, true} {
+		cfg := testConfig()
+		cfg.Dimension = 512
+		cfg.UseVertexLabels = useLabels
+		enc := MustNewEncoder(cfg)
+		batch := []*graph.Graph{ring, edgeless, labeled, ring, edgeless}
+		outs := enc.NewBatchScratch().EncodeBatch(batch)
+		for i, g := range batch {
+			if want := enc.EncodeGraphPacked(g); !outs[i].Equal(want) {
+				t.Fatalf("useLabels=%v: batch slot %d differs from per-graph path", useLabels, i)
+			}
+		}
+	}
+}
+
+// TestBatchEncodeAllocationFree asserts the batch scratch tier's
+// steady-state property: once plan, key and output buffers have grown,
+// EncodeBatch and PredictBatchWith perform zero heap allocations per
+// batch — including under the race detector (the scratch is caller-owned,
+// no pool involved).
+func TestBatchEncodeAllocationFree(t *testing.T) {
+	gs, ys := twoClassDataset(16, 41)
+	m, err := Train(testConfig(), gs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.Snapshot()
+	enc := pred.Encoder()
+	bs := enc.NewBatchScratch()
+	out := make([]int, len(gs))
+	bs.EncodeBatch(gs) // grow scratch buffers and the basis table
+	pred.PredictBatchWith(bs, gs, out)
+	if allocs := testing.AllocsPerRun(30, func() {
+		bs.EncodeBatch(gs)
+	}); allocs != 0 {
+		t.Fatalf("EncodeBatch allocated %v times per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(30, func() {
+		pred.PredictBatchWith(bs, gs, out)
+	}); allocs != 0 {
+		t.Fatalf("PredictBatchWith allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestBatchScratchReuseAcrossBatchSizes guards buffer-reset bugs: a
+// scratch that has planned a large batch must still encode smaller and
+// differently shaped batches correctly (stale offsets or slab contents
+// would surface as wrong encodings).
+func TestBatchScratchReuseAcrossBatchSizes(t *testing.T) {
+	gs, _ := twoClassDataset(20, 5)
+	cfg := testConfig()
+	cfg.Dimension = 768
+	enc := MustNewEncoder(cfg)
+	single := enc.NewScratch()
+	bs := enc.NewBatchScratch()
+	for _, batch := range [][]*graph.Graph{gs, gs[:3], gs[7:9], gs, gs[:1]} {
+		outs := bs.EncodeBatch(batch)
+		for i, g := range batch {
+			if want := single.EncodeGraphPacked(g); !outs[i].Equal(want) {
+				t.Fatalf("reused scratch: slot %d differs from per-graph path", i)
+			}
+		}
+	}
+}
+
+// TestPredictBatchWithPanics pins the misuse contracts of the serving
+// batch primitive.
+func TestPredictBatchWithPanics(t *testing.T) {
+	gs, ys := twoClassDataset(4, 9)
+	m, err := Train(testConfig(), gs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.Snapshot()
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("length mismatch", func() {
+		pred.PredictBatchWith(pred.Encoder().NewBatchScratch(), gs, make([]int, 1))
+	})
+	other := MustNewEncoder(testConfig())
+	expectPanic("foreign scratch", func() {
+		pred.PredictBatchWith(other.NewBatchScratch(), gs, make([]int, len(gs)))
+	})
+}

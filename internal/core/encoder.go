@@ -95,6 +95,9 @@ type Encoder struct {
 	// encode/rank APIs run allocation-free in steady state; the batch APIs
 	// check scratches out for a whole worker lifetime instead.
 	scratch sync.Pool
+	// batchScratch pools BatchScratch values for the cross-graph batch
+	// encoding tier (EncodeBatch, the chunked Fit/PredictAll adopters).
+	batchScratch sync.Pool
 }
 
 type rankLabelKey struct {
@@ -120,6 +123,7 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 	}
 	e.packedTie = e.tie.PackBinary()
 	e.scratch.New = func() any { return e.NewScratch() }
+	e.batchScratch.New = func() any { return e.NewBatchScratch() }
 	return e, nil
 }
 

@@ -74,17 +74,20 @@ func (m *Model) Fit(graphs []*graph.Graph, labels []int) error {
 }
 
 // encodeAll encodes graphs across the shared worker pool, preserving
-// order. Each worker owns one pooled EncoderScratch for its whole
-// lifetime, so ranks, counters and sort buffers are reused across graphs;
-// only the retained output hypervectors are allocated.
+// order. Work is distributed in contiguous chunks of encodeBatchChunk
+// graphs, each encoded through one shared cross-graph operand plan
+// (BatchScratch), so basis-table words are loaded once per chunk rather
+// than once per graph; only the retained output hypervectors are
+// allocated.
 func (m *Model) encodeAll(graphs []*graph.Graph) []*hdc.Bipolar {
 	m.enc.reserveFor(graphs)
 	encoded := make([]*hdc.Bipolar, len(graphs))
-	workers := parallel.Workers(0, len(graphs))
-	scratches := m.enc.newBatchScratches(workers)
+	chunks := (len(graphs) + encodeBatchChunk - 1) / encodeBatchChunk
+	workers := parallel.Workers(0, chunks)
+	scratches := m.enc.newBatchScratchSet(workers)
 	defer scratches.release()
-	parallel.ForEachWorker(workers, len(graphs), func(w, i int) {
-		encoded[i] = scratches.get(w).encodeGraphNew(graphs[i])
+	parallel.ForEachChunk(workers, len(graphs), encodeBatchChunk, func(w, lo, hi int) {
+		scratches.get(w).encodeBipolarNew(graphs[lo:hi], encoded[lo:hi])
 	})
 	return encoded
 }

@@ -101,11 +101,12 @@ func (p *Predictor) PredictAll(graphs []*graph.Graph) []int {
 func (p *Predictor) PredictAllWorkers(graphs []*graph.Graph, workers int) []int {
 	p.enc.reserveFor(graphs)
 	out := make([]int, len(graphs))
-	w := parallel.Workers(workers, len(graphs))
-	scratches := p.enc.newBatchScratches(w)
+	chunks := (len(graphs) + encodeBatchChunk - 1) / encodeBatchChunk
+	w := parallel.Workers(workers, chunks)
+	scratches := p.enc.newBatchScratchSet(w)
 	defer scratches.release()
-	parallel.ForEachWorker(w, len(graphs), func(w, i int) {
-		out[i] = p.pm.Classify(scratches.get(w).EncodeGraphPacked(graphs[i]))
+	parallel.ForEachChunk(w, len(graphs), encodeBatchChunk, func(w, lo, hi int) {
+		p.PredictBatchWith(scratches.get(w), graphs[lo:hi], out[lo:hi])
 	})
 	return out
 }

@@ -30,12 +30,16 @@ type EncoderScratch struct {
 	packed  *hdc.Binary
 	bipolar *hdc.Bipolar
 	// Rank-pair grouping buffers for the blocked edge accumulation:
-	// edgeKeys holds one packed (minRank, maxRank) key per edge and pairs
-	// holds the deduplicated XNOR operand list handed to
-	// BitCounter.AddXorPairs. Both grow to the largest edge count seen and
-	// are then reused, keeping the blocked path at zero allocations.
+	// edgeKeys holds one packed (minRank, maxRank) key per edge, pairs
+	// holds the multiplicity-1 XNOR operand list handed to
+	// BitCounter.AddXorPairs, and wPairs/wMults hold the rare
+	// multiplicity-grouped operands. All grow to the largest edge count
+	// seen and are then reused, keeping the blocked path at zero
+	// allocations.
 	edgeKeys []uint64
 	pairs    []hdc.XorPair
+	wPairs   []hdc.XorPair
+	wMults   []int32
 }
 
 // NewScratch returns a fresh scratch bound to e, for callers that manage
@@ -71,21 +75,21 @@ func (s *EncoderScratch) Ranks(g *graph.Graph) []int {
 	return s.ranks
 }
 
-// fillCounter runs the bit-sliced edge accumulation of Enc_G into the
-// scratch's counter, reporting whether the fast path applies (it does not
-// for the labeled extension or edgeless graphs — see Encoder.EncodeGraph).
+// prepareGroups runs the rank-pair grouping of Enc_G's edge loop without
+// touching the counter, reporting whether the packed fast path applies
+// (it does not for the labeled extension or edgeless graphs — see
+// Encoder.EncodeGraph).
 //
-// The edge loop exploits the paper's structure instead of walking edges
+// The grouping exploits the paper's structure instead of walking edges
 // one by one: an edge's bind vector depends only on the unordered
 // (rank_u, rank_v) pair of its endpoints (XNOR is commutative), so edges
-// are grouped by rank pair, each distinct pair's vector is accumulated
-// once with its multiplicity (BitCounter.AddXorWeighted), and the
-// multiplicity-1 pairs — all of them, for simple graphs under bijective
-// centrality ranks — stream through the blocked carry-save front end
-// (BitCounter.AddXorPairs) in sorted rank order. Bundling counts are
-// exact integer sums, so regrouping and reordering leave the encoding
-// bit-for-bit identical to the per-edge scalar path.
-func (s *EncoderScratch) fillCounter(g *graph.Graph) bool {
+// are grouped by rank pair in sorted rank order. Multiplicity-1 pairs —
+// all of them, for simple graphs under bijective centrality ranks — land
+// in s.pairs for the blocked carry-save kernels; the rare
+// multiplicity-grouped pairs land in s.wPairs/s.wMults. Bundling counts
+// are exact integer sums, so regrouping and reordering leave the
+// encoding bit-for-bit identical to the per-edge scalar path.
+func (s *EncoderScratch) prepareGroups(g *graph.Graph) bool {
 	e := s.enc
 	if e.cfg.UseVertexLabels && g.Labeled() {
 		return false
@@ -96,8 +100,6 @@ func (s *EncoderScratch) fillCounter(g *graph.Graph) bool {
 	}
 	ranks := s.Ranks(g)
 	packed := e.packedSlice(g.NumVertices())
-	c := s.counter
-	c.Reset()
 	keys := s.edgeKeys[:0]
 	for _, ed := range edges {
 		ru, rv := ranks[ed.U], ranks[ed.V]
@@ -108,6 +110,8 @@ func (s *EncoderScratch) fillCounter(g *graph.Graph) bool {
 	}
 	slices.Sort(keys)
 	pairs := s.pairs[:0]
+	wPairs := s.wPairs[:0]
+	wMults := s.wMults[:0]
 	for i := 0; i < len(keys); {
 		j := i + 1
 		for j < len(keys) && keys[j] == keys[i] {
@@ -119,13 +123,43 @@ func (s *EncoderScratch) fillCounter(g *graph.Graph) bool {
 		if j-i == 1 {
 			pairs = append(pairs, hdc.XorPair{A: packed[ru], B: packed[rv], Invert: true})
 		} else {
-			c.AddXorWeighted(packed[ru], packed[rv], true, j-i)
+			wPairs = append(wPairs, hdc.XorPair{A: packed[ru], B: packed[rv], Invert: true})
+			wMults = append(wMults, int32(j-i))
 		}
 		i = j
 	}
-	c.AddXorPairs(pairs)
-	s.edgeKeys, s.pairs = keys, pairs
+	s.edgeKeys, s.pairs, s.wPairs, s.wMults = keys, pairs, wPairs, wMults
 	return true
+}
+
+// feedCounter streams the prepared groups into the scratch counter: the
+// multiplicity-1 pairs through the blocked carry-save front end, the
+// grouped ones with their multiplicities.
+func (s *EncoderScratch) feedCounter() {
+	c := s.counter
+	c.Reset()
+	c.AddXorPairs(s.pairs)
+	for i, p := range s.wPairs {
+		c.AddXorWeighted(p.A, p.B, p.Invert, int(s.wMults[i]))
+	}
+}
+
+// fillCounter is prepareGroups + feedCounter, the general accumulation
+// path for callers that need the counter filled (bipolar outputs).
+func (s *EncoderScratch) fillCounter(g *graph.Graph) bool {
+	if !s.prepareGroups(g) {
+		return false
+	}
+	s.feedCounter()
+	return true
+}
+
+// smallSignReady reports whether the prepared groups qualify for the
+// one-shot bit-sliced majority kernel: unit multiplicities only (always
+// true for simple graphs under bijective ranks) and a bundle small
+// enough to count in six planes.
+func (s *EncoderScratch) smallSignReady() bool {
+	return len(s.wPairs) == 0 && len(s.pairs) > 0 && len(s.pairs) <= hdc.MaxSmallSign
 }
 
 // EncodeGraph is Encoder.EncodeGraph writing into the scratch's reusable
@@ -141,9 +175,15 @@ func (s *EncoderScratch) EncodeGraph(g *graph.Graph) *hdc.Bipolar {
 
 // EncodeGraphPacked is Encoder.EncodeGraphPacked writing into the
 // scratch's reusable packed hypervector on the fast path; the result is
-// valid until the next call on s.
+// valid until the next call on s. Bundles of up to hdc.MaxSmallSign
+// unit-multiplicity edges — the common serving case — skip the counter
+// tiers entirely via the one-shot bit-sliced majority kernel.
 func (s *EncoderScratch) EncodeGraphPacked(g *graph.Graph) *hdc.Binary {
-	if s.fillCounter(g) {
+	if s.prepareGroups(g) {
+		if s.smallSignReady() {
+			return s.counter.SignXorPairsSmallInto(s.pairs, s.enc.packedTie, s.packed)
+		}
+		s.feedCounter()
 		return s.counter.SignBinaryInto(s.enc.packedTie, s.packed)
 	}
 	return s.enc.encodeGraphSlow(g).PackBinary()
@@ -162,36 +202,13 @@ func (s *EncoderScratch) encodeGraphNew(g *graph.Graph) *hdc.Bipolar {
 // encodeGraphPackedNew is EncodeGraphPacked with a freshly allocated
 // output, for callers that retain the packed vector.
 func (s *EncoderScratch) encodeGraphPackedNew(g *graph.Graph) *hdc.Binary {
-	if s.fillCounter(g) {
+	if s.prepareGroups(g) {
+		if s.smallSignReady() {
+			return s.counter.SignXorPairsSmallInto(s.pairs, s.enc.packedTie, hdc.NewBinary(s.enc.cfg.Dimension))
+		}
+		s.feedCounter()
 		return s.counter.SignBinary(s.enc.packedTie)
 	}
 	return s.enc.encodeGraphSlow(g).PackBinary()
 }
 
-// batchScratches lazily vends one pooled scratch per batch worker. Workers
-// initialize their slot on first use — safe because ForEachWorker serves
-// each worker index from a single goroutine — and release returns all
-// scratches to the encoder's pool.
-type batchScratches struct {
-	enc *Encoder
-	s   []*EncoderScratch
-}
-
-func (e *Encoder) newBatchScratches(workers int) *batchScratches {
-	return &batchScratches{enc: e, s: make([]*EncoderScratch, workers)}
-}
-
-func (b *batchScratches) get(w int) *EncoderScratch {
-	if b.s[w] == nil {
-		b.s[w] = b.enc.getScratch()
-	}
-	return b.s[w]
-}
-
-func (b *batchScratches) release() {
-	for _, s := range b.s {
-		if s != nil {
-			b.enc.putScratch(s)
-		}
-	}
-}

@@ -63,6 +63,17 @@ func (b *Binary) Flip(i int) {
 	b.words[i>>6] ^= 1 << uint(i&63)
 }
 
+// CopyFrom overwrites b with src's components. Dimensions must match.
+// Returns b. This is the reuse analogue of Clone for scratch-owned
+// output vectors.
+func (b *Binary) CopyFrom(src *Binary) *Binary {
+	if b.d != src.d {
+		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d", b.d, src.d))
+	}
+	copy(b.words, src.words)
+	return b
+}
+
 // Words exposes the underlying word array (64 components per word, little
 // endian within the word). The slice is shared with b and must be treated
 // as read-only; it exists for serialization and SWAR consumers.

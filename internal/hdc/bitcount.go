@@ -52,6 +52,18 @@ type BitCounter struct {
 	// nonzero only while a batch call is running; the call drains them
 	// into the nibble lanes before returning.
 	csaOnes, csaTwos, csaFours, csaEights []uint64
+	// csaSixteens/csaThirtyTwos extend the plane stack for the small-n
+	// sign kernels (SignXorPairsSmallInto, SignPlannedSmallInto), which
+	// keep counts of up to 63 vectors entirely bit-sliced and never touch
+	// the nibble/byte/int32 tiers. Zero between calls, like the others.
+	csaSixteens, csaThirtyTwos []uint64
+	// zeroWords is an all-zero operand used to pad the final partial block
+	// of the carry-save kernels: feeding zeros through the CSA cascade
+	// contributes nothing to any count, so a short tail costs one extra
+	// block sweep instead of per-vector scalar lane updates. zeroPair is
+	// the same padding in XorPair form (zero XOR zero, uninverted).
+	zeroWords []uint64
+	zeroPair  XorPair
 	pendingNib                            int // weight added to nibble lanes since the last fold, <= 15
 	pendingByte                           int // weight folded into byte lanes since the last flush, <= 255
 	// countsDirty records whether the int32 counters hold any weight; when
@@ -90,6 +102,11 @@ func NewBitCounter(d int) *BitCounter {
 	c.csaTwos = make([]uint64, w)
 	c.csaFours = make([]uint64, w)
 	c.csaEights = make([]uint64, w)
+	c.csaSixteens = make([]uint64, w)
+	c.csaThirtyTwos = make([]uint64, w)
+	c.zeroWords = make([]uint64, w)
+	zero := &Binary{d: d, words: c.zeroWords}
+	c.zeroPair = XorPair{A: zero, B: zero}
 	return c
 }
 
@@ -217,8 +234,8 @@ type XorPair struct {
 // byte lanes, which absorb it directly). A full block therefore costs one
 // lane update per ~16 edges instead of one per edge, and the inner loop
 // is a single cache-friendly sweep over the d/64 words of the block's
-// operands. Leftover pairs beyond the last full block take the scalar
-// lane path.
+// operands. A short final block is padded with zero operands, which flow
+// through the CSA cascade without contributing to any count.
 func (c *BitCounter) AddXorPairs(pairs []XorPair) {
 	for _, p := range pairs {
 		if p.A.d != c.d || p.B.d != c.d {
@@ -227,72 +244,83 @@ func (c *BitCounter) AddXorPairs(pairs []XorPair) {
 	}
 	c.checkAdds(len(pairs))
 	c.n += len(pairs)
+	if len(pairs) == 0 {
+		return
+	}
 	nw := c.words
 	last := nw - 1
 	tail := c.tailMask()
+	ones, twos, fours, eights := c.csaOnes, c.csaTwos, c.csaFours, c.csaEights
 	i := 0
-	if len(pairs) >= 8 {
-		ones, twos, fours, eights := c.csaOnes, c.csaTwos, c.csaFours, c.csaEights
-		for ; i+8 <= len(pairs); i += 8 {
-			// The sixteens overflow carries up to 16 units per component
-			// into the byte lanes.
-			if c.pendingByte+16 > 255 {
-				c.flushBytes()
+	for ; i < len(pairs); i += 8 {
+		var p0, p1, p2, p3, p4, p5, p6, p7 *XorPair
+		if i+8 <= len(pairs) {
+			p0, p1, p2, p3 = &pairs[i], &pairs[i+1], &pairs[i+2], &pairs[i+3]
+			p4, p5, p6, p7 = &pairs[i+4], &pairs[i+5], &pairs[i+6], &pairs[i+7]
+		} else {
+			// A short final block is padded with the zero pair: XOR of two
+			// zero streams contributes nothing to any count, so the tail
+			// costs one block sweep instead of per-vector lane updates.
+			// The pad branch sits outside the hot full-block case.
+			zp := &c.zeroPair
+			ps := [8]*XorPair{zp, zp, zp, zp, zp, zp, zp, zp}
+			for k := i; k < len(pairs); k++ {
+				ps[k-i] = &pairs[k]
 			}
-			c.pendingByte += 16
-			p0, p1, p2, p3 := &pairs[i], &pairs[i+1], &pairs[i+2], &pairs[i+3]
-			p4, p5, p6, p7 := &pairs[i+4], &pairs[i+5], &pairs[i+6], &pairs[i+7]
-			a0, b0, v0 := p0.A.words[:nw], p0.B.words[:nw], invMask(p0.Invert)
-			a1, b1, v1 := p1.A.words[:nw], p1.B.words[:nw], invMask(p1.Invert)
-			a2, b2, v2 := p2.A.words[:nw], p2.B.words[:nw], invMask(p2.Invert)
-			a3, b3, v3 := p3.A.words[:nw], p3.B.words[:nw], invMask(p3.Invert)
-			a4, b4, v4 := p4.A.words[:nw], p4.B.words[:nw], invMask(p4.Invert)
-			a5, b5, v5 := p5.A.words[:nw], p5.B.words[:nw], invMask(p5.Invert)
-			a6, b6, v6 := p6.A.words[:nw], p6.B.words[:nw], invMask(p6.Invert)
-			a7, b7, v7 := p7.A.words[:nw], p7.B.words[:nw], invMask(p7.Invert)
-			l0, l1, l2, l3 := c.byteLo[0], c.byteLo[1], c.byteLo[2], c.byteLo[3]
-			h0, h1, h2, h3 := c.byteHi[0], c.byteHi[1], c.byteHi[2], c.byteHi[3]
-			for w := 0; w < nw; w++ {
-				m := ^uint64(0)
-				if w == last {
-					m = tail
-				}
-				x0 := (a0[w] ^ b0[w] ^ v0) & m
-				x1 := (a1[w] ^ b1[w] ^ v1) & m
-				x2 := (a2[w] ^ b2[w] ^ v2) & m
-				x3 := (a3[w] ^ b3[w] ^ v3) & m
-				x4 := (a4[w] ^ b4[w] ^ v4) & m
-				x5 := (a5[w] ^ b5[w] ^ v5) & m
-				x6 := (a6[w] ^ b6[w] ^ v6) & m
-				x7 := (a7[w] ^ b7[w] ^ v7) & m
-				o, twosA := csa(ones[w], x0, x1)
-				o, twosB := csa(o, x2, x3)
-				t, foursA := csa(twos[w], twosA, twosB)
-				o, twosA = csa(o, x4, x5)
-				o, twosB = csa(o, x6, x7)
-				t, foursB := csa(t, twosA, twosB)
-				f, e8 := csa(fours[w], foursA, foursB)
-				e := eights[w]
-				s16 := e & e8
-				ones[w], twos[w], fours[w], eights[w] = o, t, f, e^e8
-				if s16 != 0 {
-					l0[w] += (s16 & byteStride) << 4
-					l1[w] += ((s16 >> 1) & byteStride) << 4
-					l2[w] += ((s16 >> 2) & byteStride) << 4
-					l3[w] += ((s16 >> 3) & byteStride) << 4
-					h0[w] += ((s16 >> 4) & byteStride) << 4
-					h1[w] += ((s16 >> 5) & byteStride) << 4
-					h2[w] += ((s16 >> 6) & byteStride) << 4
-					h3[w] += ((s16 >> 7) & byteStride) << 4
-				}
+			p0, p1, p2, p3, p4, p5, p6, p7 = ps[0], ps[1], ps[2], ps[3], ps[4], ps[5], ps[6], ps[7]
+		}
+		// The sixteens overflow carries up to 16 units per component
+		// into the byte lanes.
+		if c.pendingByte+16 > 255 {
+			c.flushBytes()
+		}
+		c.pendingByte += 16
+		a0, b0, v0 := p0.A.words[:nw], p0.B.words[:nw], invMask(p0.Invert)
+		a1, b1, v1 := p1.A.words[:nw], p1.B.words[:nw], invMask(p1.Invert)
+		a2, b2, v2 := p2.A.words[:nw], p2.B.words[:nw], invMask(p2.Invert)
+		a3, b3, v3 := p3.A.words[:nw], p3.B.words[:nw], invMask(p3.Invert)
+		a4, b4, v4 := p4.A.words[:nw], p4.B.words[:nw], invMask(p4.Invert)
+		a5, b5, v5 := p5.A.words[:nw], p5.B.words[:nw], invMask(p5.Invert)
+		a6, b6, v6 := p6.A.words[:nw], p6.B.words[:nw], invMask(p6.Invert)
+		a7, b7, v7 := p7.A.words[:nw], p7.B.words[:nw], invMask(p7.Invert)
+		l0, l1, l2, l3 := c.byteLo[0], c.byteLo[1], c.byteLo[2], c.byteLo[3]
+		h0, h1, h2, h3 := c.byteHi[0], c.byteHi[1], c.byteHi[2], c.byteHi[3]
+		for w := 0; w < nw; w++ {
+			m := ^uint64(0)
+			if w == last {
+				m = tail
+			}
+			x0 := (a0[w] ^ b0[w] ^ v0) & m
+			x1 := (a1[w] ^ b1[w] ^ v1) & m
+			x2 := (a2[w] ^ b2[w] ^ v2) & m
+			x3 := (a3[w] ^ b3[w] ^ v3) & m
+			x4 := (a4[w] ^ b4[w] ^ v4) & m
+			x5 := (a5[w] ^ b5[w] ^ v5) & m
+			x6 := (a6[w] ^ b6[w] ^ v6) & m
+			x7 := (a7[w] ^ b7[w] ^ v7) & m
+			o, twosA := csa(ones[w], x0, x1)
+			o, twosB := csa(o, x2, x3)
+			t, foursA := csa(twos[w], twosA, twosB)
+			o, twosA = csa(o, x4, x5)
+			o, twosB = csa(o, x6, x7)
+			t, foursB := csa(t, twosA, twosB)
+			f, e8 := csa(fours[w], foursA, foursB)
+			e := eights[w]
+			s16 := e & e8
+			ones[w], twos[w], fours[w], eights[w] = o, t, f, e^e8
+			if s16 != 0 {
+				l0[w] += (s16 & byteStride) << 4
+				l1[w] += ((s16 >> 1) & byteStride) << 4
+				l2[w] += ((s16 >> 2) & byteStride) << 4
+				l3[w] += ((s16 >> 3) & byteStride) << 4
+				h0[w] += ((s16 >> 4) & byteStride) << 4
+				h1[w] += ((s16 >> 5) & byteStride) << 4
+				h2[w] += ((s16 >> 6) & byteStride) << 4
+				h3[w] += ((s16 >> 7) & byteStride) << 4
 			}
 		}
-		c.drainCarrySave()
 	}
-	for ; i < len(pairs); i++ {
-		p := &pairs[i]
-		c.addXorLanes(p.A.words, p.B.words, p.Invert)
-	}
+	c.drainCarrySave()
 }
 
 // invMask maps an invert flag to the XOR mask that applies it.
@@ -306,7 +334,8 @@ func invMask(invert bool) uint64 {
 // AddWordsBlock accumulates a block of raw packed word vectors through the
 // same carry-save front end as AddXorPairs — equivalent to adding each
 // vector in order. Every vector must have the counter's word length and,
-// as with Binary.Words, zero bits beyond dimension d.
+// as with Binary.Words, zero bits beyond dimension d. As in AddXorPairs,
+// a short final block is padded with the zero operand.
 func (c *BitCounter) AddWordsBlock(vecs [][]uint64) {
 	for _, v := range vecs {
 		if len(v) != c.words {
@@ -315,61 +344,101 @@ func (c *BitCounter) AddWordsBlock(vecs [][]uint64) {
 	}
 	c.checkAdds(len(vecs))
 	c.n += len(vecs)
-	nw := c.words
-	i := 0
-	if len(vecs) >= 8 {
-		ones, twos, fours, eights := c.csaOnes, c.csaTwos, c.csaFours, c.csaEights
-		for ; i+8 <= len(vecs); i += 8 {
-			if c.pendingByte+16 > 255 {
-				c.flushBytes()
-			}
-			c.pendingByte += 16
-			x0s, x1s, x2s, x3s := vecs[i][:nw], vecs[i+1][:nw], vecs[i+2][:nw], vecs[i+3][:nw]
-			x4s, x5s, x6s, x7s := vecs[i+4][:nw], vecs[i+5][:nw], vecs[i+6][:nw], vecs[i+7][:nw]
-			l0, l1, l2, l3 := c.byteLo[0], c.byteLo[1], c.byteLo[2], c.byteLo[3]
-			h0, h1, h2, h3 := c.byteHi[0], c.byteHi[1], c.byteHi[2], c.byteHi[3]
-			for w := 0; w < nw; w++ {
-				o, twosA := csa(ones[w], x0s[w], x1s[w])
-				o, twosB := csa(o, x2s[w], x3s[w])
-				t, foursA := csa(twos[w], twosA, twosB)
-				o, twosA = csa(o, x4s[w], x5s[w])
-				o, twosB = csa(o, x6s[w], x7s[w])
-				t, foursB := csa(t, twosA, twosB)
-				f, e8 := csa(fours[w], foursA, foursB)
-				e := eights[w]
-				s16 := e & e8
-				ones[w], twos[w], fours[w], eights[w] = o, t, f, e^e8
-				if s16 != 0 {
-					l0[w] += (s16 & byteStride) << 4
-					l1[w] += ((s16 >> 1) & byteStride) << 4
-					l2[w] += ((s16 >> 2) & byteStride) << 4
-					l3[w] += ((s16 >> 3) & byteStride) << 4
-					h0[w] += ((s16 >> 4) & byteStride) << 4
-					h1[w] += ((s16 >> 5) & byteStride) << 4
-					h2[w] += ((s16 >> 6) & byteStride) << 4
-					h3[w] += ((s16 >> 7) & byteStride) << 4
-				}
-			}
-		}
-		c.drainCarrySave()
+	if len(vecs) == 0 {
+		return
 	}
-	for ; i < len(vecs); i++ {
-		c.addWordsLanes(vecs[i])
+	nw := c.words
+	var ops [8][]uint64
+	for i := 0; i < len(vecs); i += 8 {
+		n := len(vecs) - i
+		if n > 8 {
+			n = 8
+		}
+		for k := 0; k < n; k++ {
+			ops[k] = vecs[i+k][:nw]
+		}
+		for k := n; k < 8; k++ {
+			ops[k] = c.zeroWords
+		}
+		c.addBlock8(&ops)
+	}
+	c.drainCarrySave()
+}
+
+// addBlock8 feeds one Harley–Seal block of exactly eight word streams
+// (zero-padded by the caller if fewer are live) through the carry-save
+// cascade. Streams must be tail-masked; count accounting is the caller's.
+func (c *BitCounter) addBlock8(ops *[8][]uint64) {
+	if c.pendingByte+16 > 255 {
+		c.flushBytes()
+	}
+	c.pendingByte += 16
+	nw := c.words
+	ones, twos, fours, eights := c.csaOnes, c.csaTwos, c.csaFours, c.csaEights
+	x0s, x1s, x2s, x3s := ops[0], ops[1], ops[2], ops[3]
+	x4s, x5s, x6s, x7s := ops[4], ops[5], ops[6], ops[7]
+	l0, l1, l2, l3 := c.byteLo[0], c.byteLo[1], c.byteLo[2], c.byteLo[3]
+	h0, h1, h2, h3 := c.byteHi[0], c.byteHi[1], c.byteHi[2], c.byteHi[3]
+	for w := 0; w < nw; w++ {
+		o, twosA := csa(ones[w], x0s[w], x1s[w])
+		o, twosB := csa(o, x2s[w], x3s[w])
+		t, foursA := csa(twos[w], twosA, twosB)
+		o, twosA = csa(o, x4s[w], x5s[w])
+		o, twosB = csa(o, x6s[w], x7s[w])
+		t, foursB := csa(t, twosA, twosB)
+		f, e8 := csa(fours[w], foursA, foursB)
+		e := eights[w]
+		s16 := e & e8
+		ones[w], twos[w], fours[w], eights[w] = o, t, f, e^e8
+		if s16 != 0 {
+			l0[w] += (s16 & byteStride) << 4
+			l1[w] += ((s16 >> 1) & byteStride) << 4
+			l2[w] += ((s16 >> 2) & byteStride) << 4
+			l3[w] += ((s16 >> 3) & byteStride) << 4
+			h0[w] += ((s16 >> 4) & byteStride) << 4
+			h1[w] += ((s16 >> 5) & byteStride) << 4
+			h2[w] += ((s16 >> 6) & byteStride) << 4
+			h3[w] += ((s16 >> 7) & byteStride) << 4
+		}
 	}
 }
 
 // drainCarrySave feeds the parked weight-1/2/4/8 carry-save slices into
-// the nibble lanes and zeroes them, restoring the invariant that all
+// the counter lanes and zeroes them, restoring the invariant that all
 // accumulated weight lives in the lane/counter tiers between calls.
 func (c *BitCounter) drainCarrySave() {
 	// A bit can be set in all four slices at once, so the drain carries up
-	// to 1+2+4+8 = 15 units of weight per nibble — the full capacity, so
-	// any prior pending weight folds out first.
-	if c.pendingNib > 0 {
-		c.foldNibbles()
-	}
-	c.pendingNib = 15
+	// to 1+2+4+8 = 15 units of weight per component.
 	ones, twos, fours, eights := c.csaOnes, c.csaTwos, c.csaFours, c.csaEights
+	if c.pendingNib == 0 {
+		// Common case on the blocked path: the nibble lanes are empty, so
+		// the assembled 4-bit values can split straight into the byte
+		// lanes — one conversion instead of the CSA→nibble→byte double
+		// round trip (the nibble tier's whole job is batching scalar adds,
+		// and there is nothing to batch with here).
+		if c.pendingByte+15 > 255 {
+			c.flushBytes()
+		}
+		c.pendingByte += 15
+		for w := 0; w < c.words; w++ {
+			o, t, f, e := ones[w], twos[w], fours[w], eights[w]
+			if o|t|f|e == 0 {
+				continue
+			}
+			ones[w], twos[w], fours[w], eights[w] = 0, 0, 0, 0
+			for j := 0; j < 4; j++ {
+				v := ((o >> j) & nibbleLaneMask) + (((t>>j)&nibbleLaneMask)<<1 + (((f>>j)&nibbleLaneMask)<<2 + (((e>>j)&nibbleLaneMask)<<3)))
+				c.byteLo[j][w] += v & byteLaneMask
+				c.byteHi[j][w] += (v >> 4) & byteLaneMask
+			}
+		}
+		return
+	}
+	// Scalar adds are pending in the nibble tier: the drain's up-to-15
+	// units fill a nibble's full capacity, so prior weight folds out
+	// first and the drain lands in the nibble lanes.
+	c.foldNibbles()
+	c.pendingNib = 15
 	n0, n1, n2, n3 := c.nib[0], c.nib[1], c.nib[2], c.nib[3]
 	for w := 0; w < c.words; w++ {
 		o, t, f, e := ones[w], twos[w], fours[w], eights[w]
@@ -663,12 +732,23 @@ func (c *BitCounter) signBinarySWAR(tie, dst *Binary) bool {
 	n := uint64(c.n)
 	// bit set  ⟺ 2v > n ⟺ v ≥ n/2+1:  (v + bias) has its high bit set.
 	bias := (128 - (n/2 + 1)) * byteStride
-	// tie     ⟺ 2v = n — possible only for even n, where it means v = n/2.
-	half := (n / 2) * byteStride
-	tieable := uint64(0)
-	if n%2 == 0 {
-		tieable = ^uint64(0)
+	if n%2 == 1 {
+		// Odd n cannot tie, so the majority is just the biased-add high
+		// bit — no tie word loads, no zero-byte tests.
+		for w := 0; w < c.words; w++ {
+			var out uint64
+			for j := 0; j < 4; j++ {
+				lo := c.byteLo[j][w]
+				hi := c.byteHi[j][w]
+				out |= (((lo + bias) & byteHighBits) >> 7) << uint(j)
+				out |= (((hi + bias) & byteHighBits) >> 7) << uint(j+4)
+			}
+			dst.words[w] = out
+		}
+		return true
 	}
+	// Even n from here on. tie ⟺ 2v = n, i.e. v = n/2.
+	half := (n / 2) * byteStride
 	for w := 0; w < c.words; w++ {
 		var out uint64
 		tieW := tie.words[w]
@@ -681,34 +761,47 @@ func (c *BitCounter) signBinarySWAR(tie, dst *Binary) bool {
 			// 0x7F saturates the high bit exactly when the byte is nonzero.
 			eqLo := ^(((lo ^ half) + 0x7F*byteStride) & byteHighBits) & byteHighBits
 			eqHi := ^(((hi ^ half) + 0x7F*byteStride) & byteHighBits) & byteHighBits
-			out |= ((eqLo >> 7) << uint(j)) & tieable & tieW
-			out |= ((eqHi >> 7) << uint(j+4)) & tieable & tieW
+			out |= ((eqLo >> 7) << uint(j)) & tieW
+			out |= ((eqHi >> 7) << uint(j+4)) & tieW
 		}
 		dst.words[w] = out
 	}
 	return true
 }
 
-// Reset clears the counter.
+// Reset clears the counter. Each storage tier is cleared only when the
+// counter's own accounting says it can hold weight — pendingNib/
+// pendingByte conservatively over-approximate lane occupancy and
+// countsDirty tracks the int32 tier — so resetting after a small
+// accumulation signed through the SWAR fast path touches a few KB of
+// lanes instead of memclearing the d-sized count array. This is what
+// keeps per-graph Reset cheap on the batch encoding path, where one
+// counter is reset once per graph.
 func (c *BitCounter) Reset() {
-	for j := range c.nib {
-		for w := range c.nib[j] {
-			c.nib[j][w] = 0
-			c.byteLo[j][w] = 0
-			c.byteHi[j][w] = 0
+	if c.pendingNib > 0 {
+		for j := range c.nib {
+			clear(c.nib[j])
 		}
 	}
-	// The carry-save slices are already zero between calls; clear them
-	// anyway so Reset restores a pristine counter unconditionally.
-	for w := range c.csaOnes {
-		c.csaOnes[w] = 0
-		c.csaTwos[w] = 0
-		c.csaFours[w] = 0
-		c.csaEights[w] = 0
+	if c.pendingByte > 0 {
+		for j := range c.byteLo {
+			clear(c.byteLo[j])
+			clear(c.byteHi[j])
+		}
 	}
-	for i := range c.counts {
-		c.counts[i] = 0
+	if c.countsDirty {
+		clear(c.counts)
 	}
+	// The carry-save planes are already zero between calls (every batch
+	// entry point drains them and the small-sign kernels consume them
+	// before returning); clear all six anyway so Reset restores a
+	// pristine counter unconditionally — they are small.
+	clear(c.csaOnes)
+	clear(c.csaTwos)
+	clear(c.csaFours)
+	clear(c.csaEights)
+	clear(c.csaSixteens)
+	clear(c.csaThirtyTwos)
 	c.pendingNib = 0
 	c.pendingByte = 0
 	c.countsDirty = false

@@ -40,7 +40,7 @@ func FuzzBitCounter(f *testing.F) {
 			}
 		}
 		for _, op := range ops {
-			switch op % 8 {
+			switch op % 10 {
 			case 0:
 				v := RandomBinary(d, rng)
 				c.Add(v)
@@ -87,6 +87,28 @@ func FuzzBitCounter(f *testing.F) {
 					}
 				}
 			case 7:
+				// Planned operands through the gather-free kernel, with
+				// repeated indices to model cross-graph operand sharing.
+				var plan OperandPlan
+				plan.Reset(d)
+				type pp struct{ a, b *Binary }
+				ops := make([]pp, 1+rng.Intn(6))
+				for i := range ops {
+					ops[i] = pp{RandomBinary(d, rng), RandomBinary(d, rng)}
+					plan.AppendXnor(ops[i].a, ops[i].b)
+				}
+				idxs := make([]int32, rng.Intn(24))
+				for i := range idxs {
+					idxs[i] = int32(rng.Intn(len(ops)))
+					addNaive(xorBit(ops[idxs[i]].a, ops[idxs[i]].b, true), 1)
+				}
+				c.AddPlanned(&plan, idxs)
+			case 8:
+				v := RandomBinary(d, rng)
+				w := rng.Intn(100)
+				c.AddWordsWeighted(v.Words(), w)
+				addNaive(v.Bit, w)
+			case 9:
 				tie := RandomBinary(d, rng)
 				sign := c.SignBinary(tie)
 				for i := 0; i < d; i++ {

@@ -1,0 +1,181 @@
+package hdc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// OperandPlan is a gather-free operand stream for blocked accumulation:
+// a contiguous slab of pre-materialized bit vectors, each occupying
+// exactly (d+63)/64 words, consumed by BitCounter.AddPlanned. Where
+// AddXorPairs chases two basis-table pointers per operand and XORs them
+// inside the hot loop, a plan materializes each operand once — tail bits
+// beyond d already masked to zero — so the accumulation kernel streams
+// sequential words with no pointer indirection and no masking.
+//
+// The payoff is cross-graph sharing: a batch encoder plans one operand
+// per *distinct* (rank_u, rank_v) pair across all graphs in a batch, so
+// basis-table words are loaded (and XNORed) once per batch instead of
+// once per graph, and every graph's accumulation pass reads the compact
+// slab instead of the scattered basis table.
+//
+// A plan is reusable scratch state: Reset keeps the slab's capacity, so
+// steady-state planning performs no heap allocations once the slab has
+// grown to the largest batch seen. It is not safe for concurrent use.
+type OperandPlan struct {
+	d, nw int
+	n     int
+	words []uint64 // operand i occupies words[i*nw : (i+1)*nw]
+}
+
+// Reset prepares the plan for dimension d, discarding all operands but
+// keeping the underlying slab capacity.
+func (p *OperandPlan) Reset(d int) {
+	if d <= 0 {
+		panic("hdc: non-positive dimension")
+	}
+	p.d = d
+	p.nw = (d + 63) / 64
+	p.n = 0
+	p.words = p.words[:0]
+}
+
+// Dim returns the dimensionality the plan was Reset for (0 before the
+// first Reset).
+func (p *OperandPlan) Dim() int { return p.d }
+
+// Len returns the number of planned operands.
+func (p *OperandPlan) Len() int { return p.n }
+
+// AppendXnor materializes XNOR(a, b) — the packed edge bind — as the next
+// operand and returns its index. Tail bits beyond d are masked to zero.
+func (p *OperandPlan) AppendXnor(a, b *Binary) int {
+	if p.d == 0 {
+		panic("hdc: OperandPlan used before Reset")
+	}
+	if a.d != p.d || b.d != p.d {
+		panic(fmt.Sprintf("hdc: dimension mismatch %d/%d vs plan %d", a.d, b.d, p.d))
+	}
+	base := p.n * p.nw
+	if cap(p.words) < base+p.nw {
+		grown := make([]uint64, base, max(2*cap(p.words), base+p.nw))
+		copy(grown, p.words)
+		p.words = grown
+	}
+	p.words = p.words[:base+p.nw]
+	dst := p.words[base:]
+	aw, bw := a.words, b.words
+	for w := range dst {
+		dst[w] = ^(aw[w] ^ bw[w])
+	}
+	if r := p.d & 63; r != 0 {
+		dst[p.nw-1] &= (1 << uint(r)) - 1
+	}
+	p.n++
+	return p.n - 1
+}
+
+// Operand returns the word vector of operand i. The slice aliases the
+// plan's slab and is invalidated by the next Reset or AppendXnor.
+func (p *OperandPlan) Operand(i int) []uint64 {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("hdc: operand %d out of range [0,%d)", i, p.n))
+	}
+	return p.words[i*p.nw : (i+1)*p.nw]
+}
+
+// AddPlanned accumulates the planned operands plan.Operand(idx) for every
+// idx in idxs, each with weight 1 — equivalent to calling Add on each
+// operand in order, but routed through the same Harley–Seal carry-save
+// front end as AddXorPairs. Unlike AddXorPairs, the inner loop performs
+// one sequential load per operand word: no per-pair pointer chase, no
+// XOR, no tail masking (the plan materialized all of that once). As in
+// AddXorPairs, a short final block is padded with the zero operand.
+func (c *BitCounter) AddPlanned(plan *OperandPlan, idxs []int32) {
+	if plan.d != c.d {
+		panic(fmt.Sprintf("hdc: plan dimension %d vs counter %d", plan.d, c.d))
+	}
+	for _, idx := range idxs {
+		if int(idx) < 0 || int(idx) >= plan.n {
+			panic(fmt.Sprintf("hdc: planned operand %d out of range [0,%d)", idx, plan.n))
+		}
+	}
+	c.checkAdds(len(idxs))
+	c.n += len(idxs)
+	if len(idxs) == 0 {
+		return
+	}
+	nw := c.words
+	slab := plan.words
+	var ops [8][]uint64
+	for i := 0; i < len(idxs); i += 8 {
+		n := len(idxs) - i
+		if n > 8 {
+			n = 8
+		}
+		for k := 0; k < n; k++ {
+			ops[k] = slab[int(idxs[i+k])*nw:][:nw]
+		}
+		for k := n; k < 8; k++ {
+			ops[k] = c.zeroWords
+		}
+		c.addBlock8(&ops)
+	}
+	c.drainCarrySave()
+}
+
+// AddWordsWeighted accumulates one raw packed word vector with integer
+// multiplicity weight — exactly equivalent to adding the vector weight
+// times, in O(weight/15) lane sweeps for small weights and one direct
+// pass over the int32 counters for large ones. It is the planned-operand
+// analogue of AddXorWeighted: v must have the counter's word length and
+// zero bits beyond dimension d (both hold for OperandPlan operands). A
+// zero weight is a no-op; negative weights panic.
+func (c *BitCounter) AddWordsWeighted(v []uint64, weight int) {
+	if len(v) != c.words {
+		panic(fmt.Sprintf("hdc: word vector length %d, want %d", len(v), c.words))
+	}
+	if weight < 0 {
+		panic(fmt.Sprintf("hdc: negative weight %d", weight))
+	}
+	if weight == 0 {
+		return
+	}
+	c.checkAdds(weight)
+	c.n += weight
+	if weight > 64 {
+		// Large multiplicities go straight to the int32 counters per set
+		// bit, as in AddXorWeighted: counters and lanes are independent
+		// addends, so no flush is needed first.
+		c.countsDirty = true
+		for w := 0; w < c.words; w++ {
+			x := v[w]
+			base := w << 6
+			for x != 0 {
+				c.counts[base+bits.TrailingZeros64(x)] += int32(weight)
+				x &= x - 1
+			}
+		}
+		return
+	}
+	n0, n1, n2, n3 := c.nib[0], c.nib[1], c.nib[2], c.nib[3]
+	for weight > 0 {
+		chunk := weight
+		if chunk > 15 {
+			chunk = 15
+		}
+		weight -= chunk
+		if c.pendingNib+chunk > 15 {
+			c.foldNibbles()
+		}
+		c.pendingNib += chunk
+		cw := uint64(chunk)
+		for w := 0; w < c.words; w++ {
+			x := v[w]
+			n0[w] += (x & nibbleLaneMask) * cw
+			n1[w] += ((x >> 1) & nibbleLaneMask) * cw
+			n2[w] += ((x >> 2) & nibbleLaneMask) * cw
+			n3[w] += ((x >> 3) & nibbleLaneMask) * cw
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package hdc
+
+import (
+	"testing"
+)
+
+// TestAddPlannedMatchesAddXor pins the planned kernel's contract: feeding
+// a counter planned XNOR operands by index produces exactly the counts —
+// and therefore exactly the majority sign — of the pointer-chasing
+// AddXor path over the same pairs, across sizes that exercise the
+// carry-save blocks, the scalar leftover path, and repeated-index reuse.
+func TestAddPlannedMatchesAddXor(t *testing.T) {
+	rng := NewRNG(99)
+	for _, d := range []int{1, 63, 64, 65, 200, 1024} {
+		for _, nOps := range []int{0, 1, 7, 8, 9, 16, 33, 100} {
+			vecs := make([]*Binary, 12)
+			for i := range vecs {
+				vecs[i] = RandomBinary(d, rng)
+			}
+			var plan OperandPlan
+			plan.Reset(d)
+			type pair struct{ a, b int }
+			pairs := make([]pair, 6)
+			idxOf := make([]int, len(pairs))
+			for i := range pairs {
+				pairs[i] = pair{rng.Intn(len(vecs)), rng.Intn(len(vecs))}
+				idxOf[i] = plan.AppendXnor(vecs[pairs[i].a], vecs[pairs[i].b])
+			}
+			idxs := make([]int32, nOps)
+			ref := NewBitCounter(d)
+			for i := range idxs {
+				p := rng.Intn(len(pairs))
+				idxs[i] = int32(idxOf[p])
+				ref.AddXor(vecs[pairs[p].a], vecs[pairs[p].b], true)
+			}
+			got := NewBitCounter(d)
+			got.AddPlanned(&plan, idxs)
+			if got.Count() != ref.Count() {
+				t.Fatalf("d=%d n=%d: count %d, want %d", d, nOps, got.Count(), ref.Count())
+			}
+			gc := got.CountsInto(make([]int32, d))
+			rc := ref.CountsInto(make([]int32, d))
+			for i := range gc {
+				if gc[i] != rc[i] {
+					t.Fatalf("d=%d n=%d: count[%d] = %d, want %d", d, nOps, i, gc[i], rc[i])
+				}
+			}
+			tie := RandomBinary(d, rng)
+			if !got.SignBinary(tie).Equal(ref.SignBinary(tie)) {
+				t.Fatalf("d=%d n=%d: planned sign differs from AddXor reference", d, nOps)
+			}
+		}
+	}
+}
+
+// TestAddWordsWeightedMatchesRepeatedAdd covers both weight regimes (lane
+// chunks ≤ 64 and the direct int32 path above it) against repeated Add.
+func TestAddWordsWeightedMatchesRepeatedAdd(t *testing.T) {
+	rng := NewRNG(7)
+	for _, d := range []int{5, 64, 130, 999} {
+		for _, weight := range []int{0, 1, 14, 15, 16, 31, 64, 65, 200} {
+			v := RandomBinary(d, rng)
+			ref := NewBitCounter(d)
+			for i := 0; i < weight; i++ {
+				ref.Add(v)
+			}
+			got := NewBitCounter(d)
+			got.AddWordsWeighted(v.Words(), weight)
+			if got.Count() != ref.Count() {
+				t.Fatalf("d=%d w=%d: count %d, want %d", d, weight, got.Count(), ref.Count())
+			}
+			gc := got.CountsInto(make([]int32, d))
+			rc := ref.CountsInto(make([]int32, d))
+			for i := range gc {
+				if gc[i] != rc[i] {
+					t.Fatalf("d=%d w=%d: count[%d] = %d, want %d", d, weight, i, gc[i], rc[i])
+				}
+			}
+		}
+	}
+}
+
+// TestOperandPlanMaterialization checks the slab layout directly: each
+// operand is the tail-masked XNOR of its pair, retrievable by index even
+// after slab growth reallocates the backing array.
+func TestOperandPlanMaterialization(t *testing.T) {
+	rng := NewRNG(3)
+	d := 130
+	var plan OperandPlan
+	plan.Reset(d)
+	type rec struct{ a, b *Binary }
+	var recs []rec
+	for i := 0; i < 40; i++ {
+		a, b := RandomBinary(d, rng), RandomBinary(d, rng)
+		if idx := plan.AppendXnor(a, b); idx != i {
+			t.Fatalf("operand %d got index %d", i, idx)
+		}
+		recs = append(recs, rec{a, b})
+	}
+	if plan.Len() != len(recs) {
+		t.Fatalf("Len = %d, want %d", plan.Len(), len(recs))
+	}
+	tailMask := uint64(1)<<uint(d&63) - 1
+	for i, r := range recs {
+		got := plan.Operand(i)
+		for w, gw := range got {
+			want := ^(r.a.Words()[w] ^ r.b.Words()[w])
+			if w == len(got)-1 {
+				want &= tailMask
+			}
+			if gw != want {
+				t.Fatalf("operand %d word %d = %#x, want %#x", i, w, gw, want)
+			}
+		}
+	}
+	// Reset keeps capacity but drops operands.
+	plan.Reset(d)
+	if plan.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", plan.Len())
+	}
+}
+
+// TestOperandPlanPanics pins the misuse contracts.
+func TestOperandPlanPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	var unreset OperandPlan
+	a, b := RandomBinary(64, NewRNG(1)), RandomBinary(64, NewRNG(2))
+	expectPanic("append before Reset", func() { unreset.AppendXnor(a, b) })
+
+	var plan OperandPlan
+	plan.Reset(64)
+	expectPanic("dimension mismatch", func() { plan.AppendXnor(RandomBinary(65, NewRNG(3)), b) })
+	plan.AppendXnor(a, b)
+	expectPanic("operand out of range", func() { plan.Operand(1) })
+	c := NewBitCounter(64)
+	expectPanic("planned index out of range", func() { c.AddPlanned(&plan, []int32{1}) })
+	expectPanic("plan dimension mismatch", func() {
+		NewBitCounter(128).AddPlanned(&plan, nil)
+	})
+	expectPanic("negative weight", func() { c.AddWordsWeighted(a.Words(), -1) })
+	expectPanic("bad word length", func() { c.AddWordsWeighted(make([]uint64, 2), 1) })
+}

@@ -74,3 +74,29 @@ func ForEachWorker(workers, n int, fn func(w, i int)) {
 	}
 	wg.Wait()
 }
+
+// ForEachChunk is ForEachWorker for loop bodies that amortize work across
+// a *range* of items: fn(w, lo, hi) is called for contiguous index ranges
+// [lo, hi) of size up to chunk covering [0, n), ranges are handed out
+// dynamically across up to workers goroutines, and all calls sharing one
+// worker index w run sequentially on a single goroutine. This is the
+// distribution primitive behind the cross-graph batch encoder, whose
+// operand-plan dedup only pays off when each call sees many graphs at
+// once. A non-positive chunk selects a single range per call.
+func ForEachChunk(workers, n, chunk int, fn func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 || chunk > n {
+		chunk = n
+	}
+	chunks := (n + chunk - 1) / chunk
+	ForEachWorker(workers, chunks, func(w, i int) {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(w, lo, hi)
+	})
+}

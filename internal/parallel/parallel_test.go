@@ -106,3 +106,51 @@ func TestForEachWorkerSerializesPerWorker(t *testing.T) {
 		t.Fatal("two concurrent calls shared a worker index")
 	}
 }
+
+func TestForEachChunkCoversAllRanges(t *testing.T) {
+	for _, tc := range []struct{ n, chunk, workers int }{
+		{0, 4, 2}, {1, 4, 2}, {7, 3, 2}, {32, 32, 4}, {33, 32, 4},
+		{100, 7, 3}, {10, 0, 2}, {10, -1, 1}, {10, 100, 4},
+	} {
+		var hits []atomic.Int32
+		hits = make([]atomic.Int32, tc.n)
+		maxChunk := tc.chunk
+		if maxChunk <= 0 || maxChunk > tc.n {
+			maxChunk = tc.n
+		}
+		var badRange atomic.Bool
+		ForEachChunk(tc.workers, tc.n, tc.chunk, func(w, lo, hi int) {
+			if lo < 0 || hi > tc.n || lo >= hi || hi-lo > maxChunk {
+				badRange.Store(true)
+				return
+			}
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+		})
+		if badRange.Load() {
+			t.Fatalf("n=%d chunk=%d: malformed range", tc.n, tc.chunk)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("n=%d chunk=%d: index %d covered %d times", tc.n, tc.chunk, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachChunkSerializesPerWorker(t *testing.T) {
+	const n = 400
+	w := Workers(4, (n+6)/7)
+	busy := make([]atomic.Bool, w)
+	var overlap atomic.Bool
+	ForEachChunk(4, n, 7, func(wk, lo, hi int) {
+		if !busy[wk].CompareAndSwap(false, true) {
+			overlap.Store(true)
+		}
+		busy[wk].Store(false)
+	})
+	if overlap.Load() {
+		t.Fatal("two concurrent chunks shared a worker index")
+	}
+}

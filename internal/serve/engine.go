@@ -10,9 +10,10 @@
 //     pays no batching delay at all.
 //   - Hot model swap. The predictor sits behind an atomic pointer; Swap
 //     installs a new one with zero downtime and zero failed in-flight
-//     requests. Workers notice the swap between graphs and re-bind their
-//     encoder scratch, so every response is computed coherently under
-//     exactly one model.
+//     requests. Workers notice the swap between dispatched batches and
+//     re-bind their encoder scratch, so every response — and every batch,
+//     which is encoded through one shared operand plan — is computed
+//     coherently under exactly one model.
 //   - Admission control. The queue is bounded; when it is full, Predict
 //     and PredictBatch fail fast with ErrOverloaded instead of letting
 //     latency collapse (the HTTP front end maps this to 429).
@@ -81,14 +82,26 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// task is one graph waiting to be classified. Tasks are pooled; a worker
-// recycles the task as soon as its slot in out is written, then signals
-// the owning call.
+// task is one unit of queued work: a single graph (g) or a whole
+// contiguous segment of a batch call (graphs, with out aligned index for
+// index). Batch calls enqueue one task per MaxBatch-sized segment instead
+// of one per graph, so admission and dispatch touch the queue O(n/MaxBatch)
+// times per call. Tasks are pooled; a worker recycles the task as soon as
+// its results are written, then signals the owning call.
 type task struct {
-	g    *graph.Graph
-	out  []int
-	idx  int
-	call *call
+	g      *graph.Graph   // single-request graph; nil for batch segments
+	graphs []*graph.Graph // batch-call segment; nil for single requests
+	out    []int
+	idx    int
+	call   *call
+}
+
+// size returns the number of graphs the task carries.
+func (t *task) size() int {
+	if t.graphs != nil {
+		return len(t.graphs)
+	}
+	return 1
 }
 
 // call is the completion state shared by every task of one Predict or
@@ -105,9 +118,11 @@ var (
 	callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}, 1)} }}
 )
 
-// batch is the dispatcher→worker unit of work. Pooled.
+// batch is the dispatcher→worker unit of work. size counts graphs across
+// all tasks (batch-segment tasks carry several). Pooled.
 type batch struct {
 	tasks []*task
+	size  int
 }
 
 var batchPool = sync.Pool{New: func() any { return new(batch) }}
@@ -178,7 +193,7 @@ func (e *Engine) Options() Options { return e.opts }
 
 // Swap atomically installs a new predictor. In-flight requests finish
 // under whichever model their worker loads; none fail. Workers re-bind
-// their encoder scratch on the next graph they process, so a swap to a
+// their encoder scratch on the next batch they dispatch, so a swap to a
 // model with a different dimension or configuration is safe.
 func (e *Engine) Swap(pred *core.Predictor) error {
 	if pred == nil {
@@ -256,8 +271,13 @@ func (e *Engine) PredictBatchInto(ctx context.Context, graphs []*graph.Graph, ou
 		return fmt.Errorf("%w: batch of %d exceeds queue size %d", ErrOverloaded, n, e.opts.QueueSize)
 	}
 	t0 := time.Now()
+	// The batch is enqueued as MaxBatch-sized contiguous segments, one
+	// task each: workers encode a whole segment through one shared
+	// cross-graph operand plan, and the queue is touched once per segment
+	// instead of once per graph.
+	segs := (n + e.opts.MaxBatch - 1) / e.opts.MaxBatch
 	c := callPool.Get().(*call)
-	c.pending.Store(int32(n))
+	c.pending.Store(int32(segs))
 
 	e.mu.RLock()
 	if e.closed {
@@ -271,9 +291,13 @@ func (e *Engine) PredictBatchInto(ctx context.Context, graphs []*graph.Graph, ou
 		return ErrOverloaded
 	}
 	// Capacity is reserved: none of these sends can block.
-	for i, g := range graphs {
+	for lo := 0; lo < n; lo += e.opts.MaxBatch {
+		hi := lo + e.opts.MaxBatch
+		if hi > n {
+			hi = n
+		}
 		t := taskPool.Get().(*task)
-		t.g, t.out, t.idx, t.call = g, out, i, c
+		t.graphs, t.out, t.idx, t.call = graphs[lo:hi], out[lo:hi], 0, c
 		e.queue <- t
 	}
 	e.mu.RUnlock()
@@ -299,7 +323,9 @@ func (e *Engine) enqueue(t *task) error {
 }
 
 // admit reserves n slots in the bounded queue, reporting false (and
-// counting a rejection) when they are not available.
+// counting a rejection) when they are not available. Admitted graphs are
+// counted the moment capacity is reserved, so
+// accepted == processed + in-flight holds at every instant.
 func (e *Engine) admit(n int64) bool {
 	for {
 		d := e.depth.Load()
@@ -308,6 +334,7 @@ func (e *Engine) admit(n int64) bool {
 			return false
 		}
 		if e.depth.CompareAndSwap(d, d+n) {
+			e.m.accepted.Add(uint64(n))
 			return true
 		}
 	}
@@ -328,9 +355,10 @@ func (e *Engine) dispatch() {
 		if !ok {
 			return
 		}
-		e.depth.Add(-1)
+		e.depth.Add(-int64(t.size()))
 		b := batchPool.Get().(*batch)
 		b.tasks = append(b.tasks[:0], t)
+		b.size = t.size()
 		if !e.fill(b, timer) {
 			return
 		}
@@ -341,22 +369,24 @@ func (e *Engine) dispatch() {
 // It reports false when the queue has been closed (b is still flushed).
 func (e *Engine) fill(b *batch, timer *time.Timer) bool {
 	for {
-		// Greedily take whatever is already queued.
-		for len(b.tasks) < e.opts.MaxBatch {
+		// Greedily take whatever is already queued, counting graphs (a
+		// batch-segment task carries up to MaxBatch of them).
+		for b.size < e.opts.MaxBatch {
 			select {
 			case t, ok := <-e.queue:
 				if !ok {
 					e.batches <- b
 					return false
 				}
-				e.depth.Add(-1)
+				e.depth.Add(-int64(t.size()))
 				b.tasks = append(b.tasks, t)
+				b.size += t.size()
 				continue
 			default:
 			}
 			break
 		}
-		if len(b.tasks) >= e.opts.MaxBatch {
+		if b.size >= e.opts.MaxBatch {
 			e.batches <- b
 			return true
 		}
@@ -376,8 +406,9 @@ func (e *Engine) fill(b *batch, timer *time.Timer) bool {
 				e.batches <- b
 				return false
 			}
-			e.depth.Add(-1)
+			e.depth.Add(-int64(t.size()))
 			b.tasks = append(b.tasks, t)
+			b.size += t.size()
 		case <-timer.C:
 			e.batches <- b
 			return true
@@ -385,39 +416,67 @@ func (e *Engine) fill(b *batch, timer *time.Timer) bool {
 	}
 }
 
-// worker is one inference goroutine. It owns a single EncoderScratch,
+// worker is one inference goroutine. It owns a single core.BatchScratch,
 // re-vended only when a hot swap installs a model with a different
-// encoder, so the steady-state per-graph path allocates nothing — the
-// scratch's rank-pair grouping buffers for the blocked carry-save encode
-// (core.EncoderScratch) amortize across the worker's lifetime along with
-// the rest of its state.
+// encoder, and encodes every dispatched batch — singles and batch-call
+// segments alike — through one shared cross-graph operand plan
+// (Predictor.PredictBatchWith): distinct rank pairs are materialized once
+// per dispatched batch, not once per graph. The predictor is loaded once
+// per dispatched batch, so all of a batch's responses are computed
+// coherently under exactly one model; a concurrent Swap takes effect at
+// the next batch boundary. Steady state allocates nothing: the scratch's
+// plan and grouping buffers plus the worker's gather/result buffers
+// amortize across the worker's lifetime.
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	var enc *core.Encoder
-	var scratch *core.EncoderScratch
+	var scratch *core.BatchScratch
+	var gbuf []*graph.Graph
+	var rbuf []int
 	for b := range e.batches {
-		e.m.observeBatch(len(b.tasks))
+		e.m.observeBatch(b.size)
+		p := e.pred.Load()
+		if pe := p.Encoder(); pe != enc {
+			enc = pe
+			scratch = enc.NewBatchScratch()
+		}
+		gbuf = gbuf[:0]
 		for _, t := range b.tasks {
-			// Load the predictor per graph so encode and classify agree on
-			// one model even when Swap lands mid-batch.
-			p := e.pred.Load()
-			if pe := p.Encoder(); pe != enc {
-				enc = pe
-				scratch = enc.NewScratch()
+			if t.graphs != nil {
+				gbuf = append(gbuf, t.graphs...)
+			} else {
+				gbuf = append(gbuf, t.g)
 			}
-			t.out[t.idx] = p.PredictWith(scratch, t.g)
+		}
+		if cap(rbuf) < len(gbuf) {
+			rbuf = make([]int, len(gbuf))
+		}
+		rbuf = rbuf[:len(gbuf)]
+		p.PredictBatchWith(scratch, gbuf, rbuf)
+		pairs, distinct := scratch.PlanStats()
+		e.m.observePlan(pairs, distinct)
+		j := 0
+		for _, t := range b.tasks {
+			if t.graphs != nil {
+				j += copy(t.out, rbuf[j:j+len(t.graphs)])
+			} else {
+				t.out[t.idx] = rbuf[j]
+				j++
+			}
+			e.m.processed.Add(uint64(t.size()))
 			c := t.call
-			t.g, t.out, t.call = nil, nil, nil
+			t.g, t.graphs, t.out, t.call = nil, nil, nil, nil
 			taskPool.Put(t)
-			e.m.processed.Add(1)
 			// The atomic decrement orders every worker's result write
 			// before the final signal; after the send the caller owns c.
 			if c.pending.Add(-1) == 0 {
 				c.done <- struct{}{}
 			}
 		}
+		clear(gbuf)
 		clear(b.tasks)
 		b.tasks = b.tasks[:0]
+		b.size = 0
 		batchPool.Put(b)
 	}
 }

@@ -14,10 +14,18 @@ import (
 // hot path. Snapshot them with Engine.Metrics; the HTTP front end renders
 // them as Prometheus text exposition via WriteMetrics.
 type metrics struct {
-	requests  atomic.Uint64 // accepted Predict/PredictBatch calls
+	requests  atomic.Uint64 // completed Predict/PredictBatch calls
 	rejected  atomic.Uint64 // calls refused by admission control
+	accepted  atomic.Uint64 // graphs admitted past admission control
 	processed atomic.Uint64 // graphs classified
 	reloads   atomic.Uint64 // successful model swaps
+
+	// Cross-graph operand-plan effectiveness: planPairs counts edge
+	// rank-pair instances encoded, planDistinct the deduplicated operands
+	// actually materialized; their ratio is the basis-table traffic
+	// amortization the batch pipeline achieved.
+	planPairs    atomic.Uint64
+	planDistinct atomic.Uint64
 
 	latency   histogram // per-call latency, seconds
 	batchSize histogram // dispatched micro-batch sizes
@@ -49,6 +57,11 @@ func (m *metrics) observeRequest(d time.Duration) {
 
 func (m *metrics) observeBatch(n int) {
 	m.batchSize.observe(float64(n))
+}
+
+func (m *metrics) observePlan(pairs, distinct int) {
+	m.planPairs.Add(uint64(pairs))
+	m.planDistinct.Add(uint64(distinct))
 }
 
 // histogram is a fixed-bound Prometheus-style histogram. counts[i] holds
@@ -106,10 +119,22 @@ func (h *histogram) snapshot() HistogramSnapshot {
 
 // Metrics is a point-in-time snapshot of the engine's instrumentation.
 type Metrics struct {
-	// Requests counts accepted Predict/PredictBatch calls; Rejected counts
+	// Requests counts completed Predict/PredictBatch calls; Rejected counts
 	// calls refused by admission control; Processed counts graphs
 	// classified; Reloads counts successful model swaps.
 	Requests, Rejected, Processed, Reloads uint64
+	// AcceptedGraphs counts graphs admitted past admission control, at the
+	// moment queue capacity was reserved. The conservation invariant
+	// AcceptedGraphs == Processed + InFlight holds at every instant, and
+	// AcceptedGraphs == Processed once the engine quiesces.
+	AcceptedGraphs uint64
+	// InFlight is the number of graphs admitted but not yet classified
+	// (queued, being batched, or on a worker).
+	InFlight uint64
+	// PlanPairs counts edge rank-pair instances encoded by the batch
+	// pipeline; PlanDistinct counts the deduplicated operands materialized
+	// for them. PlanPairs/PlanDistinct is the cross-graph dedup factor.
+	PlanPairs, PlanDistinct uint64
 	// QueueDepth is the number of graphs admitted but not yet dispatched.
 	QueueDepth int
 	// Latency is the per-call latency distribution in seconds; BatchSize
@@ -123,14 +148,22 @@ func (e *Engine) Reloads() uint64 { return e.m.reloads.Load() }
 
 // Metrics snapshots the engine's counters and histograms.
 func (e *Engine) Metrics() Metrics {
+	// processed is loaded before accepted so the derived InFlight gauge
+	// can never go negative under concurrent progress.
+	processed := e.m.processed.Load()
+	accepted := e.m.accepted.Load()
 	return Metrics{
-		Requests:   e.m.requests.Load(),
-		Rejected:   e.m.rejected.Load(),
-		Processed:  e.m.processed.Load(),
-		Reloads:    e.m.reloads.Load(),
-		QueueDepth: int(e.depth.Load()),
-		Latency:    e.m.latency.snapshot(),
-		BatchSize:  e.m.batchSize.snapshot(),
+		Requests:       e.m.requests.Load(),
+		Rejected:       e.m.rejected.Load(),
+		Processed:      processed,
+		Reloads:        e.m.reloads.Load(),
+		AcceptedGraphs: accepted,
+		InFlight:       accepted - processed,
+		PlanPairs:      e.m.planPairs.Load(),
+		PlanDistinct:   e.m.planDistinct.Load(),
+		QueueDepth:     int(e.depth.Load()),
+		Latency:        e.m.latency.snapshot(),
+		BatchSize:      e.m.batchSize.snapshot(),
 	}
 }
 
@@ -150,10 +183,14 @@ func WriteMetrics(w io.Writer, m Metrics, pred interface {
 	counter := func(name, help string, v uint64) {
 		p("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
-	counter("graphhd_requests_total", "Accepted predict calls.", m.Requests)
+	counter("graphhd_requests_total", "Completed predict calls.", m.Requests)
 	counter("graphhd_rejected_total", "Predict calls refused by admission control.", m.Rejected)
+	counter("graphhd_graphs_accepted_total", "Graphs admitted past admission control.", m.AcceptedGraphs)
 	counter("graphhd_graphs_processed_total", "Graphs classified.", m.Processed)
 	counter("graphhd_model_reloads_total", "Successful hot model swaps.", m.Reloads)
+	counter("graphhd_batch_plan_pairs_total", "Edge rank-pair instances encoded through batch operand plans.", m.PlanPairs)
+	counter("graphhd_batch_plan_distinct_total", "Deduplicated operands materialized by batch operand plans.", m.PlanDistinct)
+	p("# HELP graphhd_inflight_graphs Graphs admitted but not yet classified.\n# TYPE graphhd_inflight_graphs gauge\ngraphhd_inflight_graphs %d\n", m.InFlight)
 	p("# HELP graphhd_queue_depth Graphs admitted but not yet dispatched.\n# TYPE graphhd_queue_depth gauge\ngraphhd_queue_depth %d\n", m.QueueDepth)
 	if pred != nil {
 		p("# HELP graphhd_model_classes Classes in the installed model.\n# TYPE graphhd_model_classes gauge\ngraphhd_model_classes %d\n", pred.NumClasses())
