@@ -2,7 +2,7 @@
 // machine-readable JSON array on stdout, one object per benchmark result:
 //
 //	{"package": "graphhd/internal/core", "name": "BenchmarkEncodeScratchPacked-4",
-//	 "ns_per_op": 34357, "b_per_op": 0, "allocs_per_op": 0}
+//	 "ns_per_op": 34357, "b_per_op": 0, "allocs_per_op": 0, "kernel": "avx512"}
 //
 // b_per_op / allocs_per_op are -1 when the benchmark did not report
 // allocations. Malformed numeric fields and benchmark lines appearing
@@ -24,9 +24,14 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"graphhd/internal/hdc"
 )
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. Kernel records the SIMD kernel
+// tier active in the process that emitted the benchmark output (numbers
+// from different tiers are not comparable), so BENCH_*.json artifacts
+// carry their own provenance.
 type Result struct {
 	Package     string  `json:"package"`
 	Name        string  `json:"name"`
@@ -34,6 +39,7 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BPerOp      int64   `json:"b_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	Kernel      string  `json:"kernel,omitempty"`
 }
 
 var (
@@ -44,7 +50,10 @@ var (
 )
 
 // run parses benchmark output from r and writes the JSON array to w.
-func run(r io.Reader, w io.Writer) error {
+// kernel, when non-empty, is stamped on every result; main passes the
+// tier the benchmarks ran under (benchjson runs in the same pipeline, on
+// the same machine, with the same GRAPHHD_KERNEL environment).
+func run(r io.Reader, w io.Writer, kernel string) error {
 	results := []Result{}
 	pkg := ""
 	lineNo := 0
@@ -72,7 +81,7 @@ func run(r io.Reader, w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("line %d: ns/op %q: %w", lineNo, m[3], err)
 		}
-		res := Result{Package: pkg, Name: m[1], Iterations: iters, NsPerOp: ns, BPerOp: -1, AllocsPerOp: -1}
+		res := Result{Package: pkg, Name: m[1], Iterations: iters, NsPerOp: ns, BPerOp: -1, AllocsPerOp: -1, Kernel: kernel}
 		rest := m[4]
 		if bm := bPerOp.FindStringSubmatch(rest); bm != nil {
 			// B/op can legitimately be fractional (amortized bytes);
@@ -100,7 +109,7 @@ func run(r io.Reader, w io.Writer) error {
 }
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Stdin, os.Stdout, hdc.ActiveKernel().String()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -10,8 +10,10 @@ import (
 
 // TestRunGolden pins the tool's stdin→stdout behavior against checked-in
 // fixtures: <name>.txt is raw `go test -bench` output, <name>.golden the
-// exact JSON the tool must emit. Regenerate a golden with
-// `go run ./cmd/benchjson < testdata/<name>.txt` after a reviewed change.
+// exact JSON the tool must emit. The kernel stamp is fixed to "portable"
+// here so goldens don't vary by host CPU; regenerate one with
+// `GRAPHHD_KERNEL=portable go run ./cmd/benchjson < testdata/<name>.txt`
+// after a reviewed change.
 func TestRunGolden(t *testing.T) {
 	fixtures, err := filepath.Glob(filepath.Join("testdata", "*.txt"))
 	if err != nil {
@@ -32,7 +34,7 @@ func TestRunGolden(t *testing.T) {
 				t.Fatal(err)
 			}
 			var out bytes.Buffer
-			if err := run(bytes.NewReader(in), &out); err != nil {
+			if err := run(bytes.NewReader(in), &out, "portable"); err != nil {
 				t.Fatalf("run: %v", err)
 			}
 			if !bytes.Equal(out.Bytes(), want) {
@@ -73,7 +75,7 @@ func TestRunErrors(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var out bytes.Buffer
-			err := run(strings.NewReader(tc.in), &out)
+			err := run(strings.NewReader(tc.in), &out, "")
 			if err == nil {
 				t.Fatalf("expected error containing %q, got none; output:\n%s", tc.wantErr, out.Bytes())
 			}
@@ -89,7 +91,7 @@ func TestRunErrors(t *testing.T) {
 // benchmark as a separate failure.
 func TestRunEmptyInput(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader("goos: linux\n"), &out); err != nil {
+	if err := run(strings.NewReader("goos: linux\n"), &out, ""); err != nil {
 		t.Fatal(err)
 	}
 	if got := strings.TrimSpace(out.String()); got != "[]" {

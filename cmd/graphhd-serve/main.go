@@ -38,6 +38,7 @@ import (
 
 	"graphhd/internal/core"
 	"graphhd/internal/graph"
+	"graphhd/internal/hdc"
 	"graphhd/internal/serve"
 )
 
@@ -115,6 +116,8 @@ func main() {
 	}()
 
 	opts := engine.Options()
+	ks := hdc.Kernels()
+	log.Printf("graphhd-serve: kernel %s (cpu: %s)", ks.Active, ks.CPUFeatures)
 	log.Printf("graphhd-serve: serving %s on %s (d=%d, %d classes, %d bytes packed; workers=%d max-batch=%d max-delay=%v queue=%d)",
 		*model, *addr, pred.Encoder().Dimension(), pred.NumClasses(), pred.MemoryBytes(),
 		opts.Workers, opts.MaxBatch, opts.MaxDelay, opts.QueueSize)

@@ -211,4 +211,3 @@ func (s *EncoderScratch) encodeGraphPackedNew(g *graph.Graph) *hdc.Binary {
 	}
 	return s.enc.encodeGraphSlow(g).PackBinary()
 }
-

@@ -50,22 +50,36 @@ type BitCounter struct {
 	// csaOnes/csaTwos/csaFours/csaEights: bit-sliced carry-save partial
 	// sums of weight 1, 2, 4 and 8 used by the blocked front end. They are
 	// nonzero only while a batch call is running; the call drains them
-	// into the nibble lanes before returning.
+	// into the nibble lanes before returning. All six planes are views
+	// into one contiguous slab so the vector kernels stream them with a
+	// single base pointer.
 	csaOnes, csaTwos, csaFours, csaEights []uint64
 	// csaSixteens/csaThirtyTwos extend the plane stack for the small-n
 	// sign kernels (SignXorPairsSmallInto, SignPlannedSmallInto), which
 	// keep counts of up to 63 vectors entirely bit-sliced and never touch
 	// the nibble/byte/int32 tiers. Zero between calls, like the others.
 	csaSixteens, csaThirtyTwos []uint64
+	// csaParked is set while the carry-save planes hold weight that has
+	// not yet reached a counter tier (mid batch call, or between a
+	// small-sign accumulation and its plane compare). Every observer
+	// funnels through flush, which drains parked planes first, so no
+	// accessor — Popcount, CountAt, CountsInto, the sign fallbacks — can
+	// ever see weight parked below the lane tiers, whichever kernel tier
+	// (portable or vector) parked it.
+	csaParked bool
+	// kargs is the pre-resolved argument block handed to the vector
+	// kernels; the plane and lane pointers are filled once at
+	// construction, the stream pointers per block.
+	kargs csaArgs
 	// zeroWords is an all-zero operand used to pad the final partial block
 	// of the carry-save kernels: feeding zeros through the CSA cascade
 	// contributes nothing to any count, so a short tail costs one extra
 	// block sweep instead of per-vector scalar lane updates. zeroPair is
 	// the same padding in XorPair form (zero XOR zero, uninverted).
-	zeroWords []uint64
-	zeroPair  XorPair
-	pendingNib                            int // weight added to nibble lanes since the last fold, <= 15
-	pendingByte                           int // weight folded into byte lanes since the last flush, <= 255
+	zeroWords   []uint64
+	zeroPair    XorPair
+	pendingNib  int // weight added to nibble lanes since the last fold, <= 15
+	pendingByte int // weight folded into byte lanes since the last flush, <= 255
 	// countsDirty records whether the int32 counters hold any weight; when
 	// they do not and n fits a byte, Sign* can run its SWAR fast path
 	// straight off the byte lanes.
@@ -95,19 +109,47 @@ func NewBitCounter(d int) *BitCounter {
 	c := &BitCounter{d: d, words: w, counts: make([]int32, d)}
 	for j := range c.nib {
 		c.nib[j] = make([]uint64, w)
-		c.byteLo[j] = make([]uint64, w)
-		c.byteHi[j] = make([]uint64, w)
 	}
-	c.csaOnes = make([]uint64, w)
-	c.csaTwos = make([]uint64, w)
-	c.csaFours = make([]uint64, w)
-	c.csaEights = make([]uint64, w)
-	c.csaSixteens = make([]uint64, w)
-	c.csaThirtyTwos = make([]uint64, w)
+	// The byte lanes and carry-save planes are views into contiguous
+	// slabs: the vector kernels address all of them from the base
+	// pointers below, and one allocation each keeps them cache-adjacent.
+	laneSlab := make([]uint64, 8*w)
+	for j := range c.byteLo {
+		c.byteLo[j] = laneSlab[j*w : (j+1)*w : (j+1)*w]
+		c.byteHi[j] = laneSlab[(4+j)*w : (5+j)*w : (5+j)*w]
+	}
+	csaSlab := make([]uint64, 6*w)
+	c.csaOnes = csaSlab[0*w : 1*w : 1*w]
+	c.csaTwos = csaSlab[1*w : 2*w : 2*w]
+	c.csaFours = csaSlab[2*w : 3*w : 3*w]
+	c.csaEights = csaSlab[3*w : 4*w : 4*w]
+	c.csaSixteens = csaSlab[4*w : 5*w : 5*w]
+	c.csaThirtyTwos = csaSlab[5*w : 6*w : 6*w]
 	c.zeroWords = make([]uint64, w)
 	zero := &Binary{d: d, words: c.zeroWords}
 	c.zeroPair = XorPair{A: zero, B: zero}
+	c.kargs.ones = &c.csaOnes[0]
+	c.kargs.twos = &c.csaTwos[0]
+	c.kargs.fours = &c.csaFours[0]
+	c.kargs.eights = &c.csaEights[0]
+	c.kargs.sixteens = &c.csaSixteens[0]
+	c.kargs.thirtytwos = &c.csaThirtyTwos[0]
+	c.kargs.l0, c.kargs.l1, c.kargs.l2, c.kargs.l3 = &c.byteLo[0][0], &c.byteLo[1][0], &c.byteLo[2][0], &c.byteLo[3][0]
+	c.kargs.h0, c.kargs.h1, c.kargs.h2, c.kargs.h3 = &c.byteHi[0][0], &c.byteHi[1][0], &c.byteHi[2][0], &c.byteHi[3][0]
 	return c
+}
+
+// vecWords returns how many leading words of this counter's planes a
+// vector kernel of the given tier should process: the largest
+// lane-aligned prefix, excluding the tail word when masked operand
+// streams require per-word masking there (d not a multiple of 64). The
+// caller finishes words [vecWords, words) on the portable path.
+func (c *BitCounter) vecWords(k *kernelTable, masked bool) int {
+	full := c.words
+	if masked && c.d&63 != 0 {
+		full--
+	}
+	return full &^ (k.lanes - 1)
 }
 
 // Dim returns the dimensionality.
@@ -247,80 +289,114 @@ func (c *BitCounter) AddXorPairs(pairs []XorPair) {
 	if len(pairs) == 0 {
 		return
 	}
+	kern := loadKernels()
+	nw := c.words
+	var aws, bws [8][]uint64
+	var vs [8]uint64
+	for i := 0; i < len(pairs); i += 8 {
+		n := len(pairs) - i
+		if n > 8 {
+			n = 8
+		}
+		for k := 0; k < n; k++ {
+			p := &pairs[i+k]
+			aws[k], bws[k], vs[k] = p.A.words[:nw], p.B.words[:nw], invMask(p.Invert)
+		}
+		// A short final block is padded with zero streams: XOR of two
+		// zero streams contributes nothing to any count, so the tail
+		// costs one block sweep instead of per-vector lane updates.
+		for k := n; k < 8; k++ {
+			aws[k], bws[k], vs[k] = c.zeroWords, c.zeroWords, 0
+		}
+		c.addXorBlock8(kern, &aws, &bws, &vs)
+	}
+	c.drainCarrySave()
+}
+
+// addXorBlock8 feeds one Harley–Seal block of exactly eight XOR/XNOR
+// operand streams (zero-padded by the caller if fewer are live) through
+// the carry-save cascade, overflowing weight 16 into the byte lanes.
+// The vector kernel, when one is installed, sweeps the lane-aligned
+// word prefix; the portable loop finishes the rest, including the
+// masked tail word. Count accounting is the caller's.
+func (c *BitCounter) addXorBlock8(kern *kernelTable, aws, bws *[8][]uint64, vs *[8]uint64) {
+	// The sixteens overflow carries up to 16 units per component
+	// into the byte lanes.
+	if c.pendingByte+16 > 255 {
+		c.flushBytes()
+	}
+	c.pendingByte += 16
+	c.csaParked = true
+	lo := 0
+	if kern.csaXorBlock != nil {
+		if vn := c.vecWords(kern, true); vn > 0 {
+			a := &c.kargs
+			for k := 0; k < 8; k++ {
+				a.x[k] = &aws[k][0]
+				a.y[k] = &bws[k][0]
+				a.inv[k] = vs[k]
+			}
+			a.n = int64(vn)
+			kern.csaXorBlock(a)
+			lo = vn
+		}
+	}
+	c.csaXorBlock8Range(aws, bws, vs, lo)
+}
+
+// csaXorBlock8Range is the portable CSA cascade for one block of eight
+// XOR/XNOR operand streams over words [lo, words) — the semantic source
+// of truth the vector tiers must match bit for bit (the full-range call
+// with lo = 0 is the portable tier itself).
+func (c *BitCounter) csaXorBlock8Range(aws, bws *[8][]uint64, vs *[8]uint64, lo int) {
 	nw := c.words
 	last := nw - 1
 	tail := c.tailMask()
 	ones, twos, fours, eights := c.csaOnes, c.csaTwos, c.csaFours, c.csaEights
-	i := 0
-	for ; i < len(pairs); i += 8 {
-		var p0, p1, p2, p3, p4, p5, p6, p7 *XorPair
-		if i+8 <= len(pairs) {
-			p0, p1, p2, p3 = &pairs[i], &pairs[i+1], &pairs[i+2], &pairs[i+3]
-			p4, p5, p6, p7 = &pairs[i+4], &pairs[i+5], &pairs[i+6], &pairs[i+7]
-		} else {
-			// A short final block is padded with the zero pair: XOR of two
-			// zero streams contributes nothing to any count, so the tail
-			// costs one block sweep instead of per-vector lane updates.
-			// The pad branch sits outside the hot full-block case.
-			zp := &c.zeroPair
-			ps := [8]*XorPair{zp, zp, zp, zp, zp, zp, zp, zp}
-			for k := i; k < len(pairs); k++ {
-				ps[k-i] = &pairs[k]
-			}
-			p0, p1, p2, p3, p4, p5, p6, p7 = ps[0], ps[1], ps[2], ps[3], ps[4], ps[5], ps[6], ps[7]
+	a0, b0, v0 := aws[0], bws[0], vs[0]
+	a1, b1, v1 := aws[1], bws[1], vs[1]
+	a2, b2, v2 := aws[2], bws[2], vs[2]
+	a3, b3, v3 := aws[3], bws[3], vs[3]
+	a4, b4, v4 := aws[4], bws[4], vs[4]
+	a5, b5, v5 := aws[5], bws[5], vs[5]
+	a6, b6, v6 := aws[6], bws[6], vs[6]
+	a7, b7, v7 := aws[7], bws[7], vs[7]
+	l0, l1, l2, l3 := c.byteLo[0], c.byteLo[1], c.byteLo[2], c.byteLo[3]
+	h0, h1, h2, h3 := c.byteHi[0], c.byteHi[1], c.byteHi[2], c.byteHi[3]
+	for w := lo; w < nw; w++ {
+		m := ^uint64(0)
+		if w == last {
+			m = tail
 		}
-		// The sixteens overflow carries up to 16 units per component
-		// into the byte lanes.
-		if c.pendingByte+16 > 255 {
-			c.flushBytes()
-		}
-		c.pendingByte += 16
-		a0, b0, v0 := p0.A.words[:nw], p0.B.words[:nw], invMask(p0.Invert)
-		a1, b1, v1 := p1.A.words[:nw], p1.B.words[:nw], invMask(p1.Invert)
-		a2, b2, v2 := p2.A.words[:nw], p2.B.words[:nw], invMask(p2.Invert)
-		a3, b3, v3 := p3.A.words[:nw], p3.B.words[:nw], invMask(p3.Invert)
-		a4, b4, v4 := p4.A.words[:nw], p4.B.words[:nw], invMask(p4.Invert)
-		a5, b5, v5 := p5.A.words[:nw], p5.B.words[:nw], invMask(p5.Invert)
-		a6, b6, v6 := p6.A.words[:nw], p6.B.words[:nw], invMask(p6.Invert)
-		a7, b7, v7 := p7.A.words[:nw], p7.B.words[:nw], invMask(p7.Invert)
-		l0, l1, l2, l3 := c.byteLo[0], c.byteLo[1], c.byteLo[2], c.byteLo[3]
-		h0, h1, h2, h3 := c.byteHi[0], c.byteHi[1], c.byteHi[2], c.byteHi[3]
-		for w := 0; w < nw; w++ {
-			m := ^uint64(0)
-			if w == last {
-				m = tail
-			}
-			x0 := (a0[w] ^ b0[w] ^ v0) & m
-			x1 := (a1[w] ^ b1[w] ^ v1) & m
-			x2 := (a2[w] ^ b2[w] ^ v2) & m
-			x3 := (a3[w] ^ b3[w] ^ v3) & m
-			x4 := (a4[w] ^ b4[w] ^ v4) & m
-			x5 := (a5[w] ^ b5[w] ^ v5) & m
-			x6 := (a6[w] ^ b6[w] ^ v6) & m
-			x7 := (a7[w] ^ b7[w] ^ v7) & m
-			o, twosA := csa(ones[w], x0, x1)
-			o, twosB := csa(o, x2, x3)
-			t, foursA := csa(twos[w], twosA, twosB)
-			o, twosA = csa(o, x4, x5)
-			o, twosB = csa(o, x6, x7)
-			t, foursB := csa(t, twosA, twosB)
-			f, e8 := csa(fours[w], foursA, foursB)
-			e := eights[w]
-			s16 := e & e8
-			ones[w], twos[w], fours[w], eights[w] = o, t, f, e^e8
-			if s16 != 0 {
-				l0[w] += (s16 & byteStride) << 4
-				l1[w] += ((s16 >> 1) & byteStride) << 4
-				l2[w] += ((s16 >> 2) & byteStride) << 4
-				l3[w] += ((s16 >> 3) & byteStride) << 4
-				h0[w] += ((s16 >> 4) & byteStride) << 4
-				h1[w] += ((s16 >> 5) & byteStride) << 4
-				h2[w] += ((s16 >> 6) & byteStride) << 4
-				h3[w] += ((s16 >> 7) & byteStride) << 4
-			}
+		x0 := (a0[w] ^ b0[w] ^ v0) & m
+		x1 := (a1[w] ^ b1[w] ^ v1) & m
+		x2 := (a2[w] ^ b2[w] ^ v2) & m
+		x3 := (a3[w] ^ b3[w] ^ v3) & m
+		x4 := (a4[w] ^ b4[w] ^ v4) & m
+		x5 := (a5[w] ^ b5[w] ^ v5) & m
+		x6 := (a6[w] ^ b6[w] ^ v6) & m
+		x7 := (a7[w] ^ b7[w] ^ v7) & m
+		o, twosA := csa(ones[w], x0, x1)
+		o, twosB := csa(o, x2, x3)
+		t, foursA := csa(twos[w], twosA, twosB)
+		o, twosA = csa(o, x4, x5)
+		o, twosB = csa(o, x6, x7)
+		t, foursB := csa(t, twosA, twosB)
+		f, e8 := csa(fours[w], foursA, foursB)
+		e := eights[w]
+		s16 := e & e8
+		ones[w], twos[w], fours[w], eights[w] = o, t, f, e^e8
+		if s16 != 0 {
+			l0[w] += (s16 & byteStride) << 4
+			l1[w] += ((s16 >> 1) & byteStride) << 4
+			l2[w] += ((s16 >> 2) & byteStride) << 4
+			l3[w] += ((s16 >> 3) & byteStride) << 4
+			h0[w] += ((s16 >> 4) & byteStride) << 4
+			h1[w] += ((s16 >> 5) & byteStride) << 4
+			h2[w] += ((s16 >> 6) & byteStride) << 4
+			h3[w] += ((s16 >> 7) & byteStride) << 4
 		}
 	}
-	c.drainCarrySave()
 }
 
 // invMask maps an invert flag to the XOR mask that applies it.
@@ -347,6 +423,7 @@ func (c *BitCounter) AddWordsBlock(vecs [][]uint64) {
 	if len(vecs) == 0 {
 		return
 	}
+	kern := loadKernels()
 	nw := c.words
 	var ops [8][]uint64
 	for i := 0; i < len(vecs); i += 8 {
@@ -360,7 +437,7 @@ func (c *BitCounter) AddWordsBlock(vecs [][]uint64) {
 		for k := n; k < 8; k++ {
 			ops[k] = c.zeroWords
 		}
-		c.addBlock8(&ops)
+		c.addBlock8(kern, &ops)
 	}
 	c.drainCarrySave()
 }
@@ -368,18 +445,40 @@ func (c *BitCounter) AddWordsBlock(vecs [][]uint64) {
 // addBlock8 feeds one Harley–Seal block of exactly eight word streams
 // (zero-padded by the caller if fewer are live) through the carry-save
 // cascade. Streams must be tail-masked; count accounting is the caller's.
-func (c *BitCounter) addBlock8(ops *[8][]uint64) {
+// The vector kernel, when one is installed, sweeps the lane-aligned word
+// prefix and the portable loop finishes the remainder.
+func (c *BitCounter) addBlock8(kern *kernelTable, ops *[8][]uint64) {
 	if c.pendingByte+16 > 255 {
 		c.flushBytes()
 	}
 	c.pendingByte += 16
+	c.csaParked = true
+	lo := 0
+	if kern.csaBlock != nil {
+		if vn := c.vecWords(kern, false); vn > 0 {
+			a := &c.kargs
+			for k := 0; k < 8; k++ {
+				a.x[k] = &ops[k][0]
+			}
+			a.n = int64(vn)
+			kern.csaBlock(a)
+			lo = vn
+		}
+	}
+	c.csaBlock8Range(ops, lo)
+}
+
+// csaBlock8Range is the portable CSA cascade for one block of eight raw
+// word streams over words [lo, words) — the semantic source of truth the
+// vector tiers must match bit for bit.
+func (c *BitCounter) csaBlock8Range(ops *[8][]uint64, lo int) {
 	nw := c.words
 	ones, twos, fours, eights := c.csaOnes, c.csaTwos, c.csaFours, c.csaEights
 	x0s, x1s, x2s, x3s := ops[0], ops[1], ops[2], ops[3]
 	x4s, x5s, x6s, x7s := ops[4], ops[5], ops[6], ops[7]
 	l0, l1, l2, l3 := c.byteLo[0], c.byteLo[1], c.byteLo[2], c.byteLo[3]
 	h0, h1, h2, h3 := c.byteHi[0], c.byteHi[1], c.byteHi[2], c.byteHi[3]
-	for w := 0; w < nw; w++ {
+	for w := lo; w < nw; w++ {
 		o, twosA := csa(ones[w], x0s[w], x1s[w])
 		o, twosB := csa(o, x2s[w], x3s[w])
 		t, foursA := csa(twos[w], twosA, twosB)
@@ -407,6 +506,7 @@ func (c *BitCounter) addBlock8(ops *[8][]uint64) {
 // the counter lanes and zeroes them, restoring the invariant that all
 // accumulated weight lives in the lane/counter tiers between calls.
 func (c *BitCounter) drainCarrySave() {
+	c.csaParked = false
 	// A bit can be set in all four slices at once, so the drain carries up
 	// to 1+2+4+8 = 15 units of weight per component.
 	ones, twos, fours, eights := c.csaOnes, c.csaTwos, c.csaFours, c.csaEights
@@ -427,7 +527,7 @@ func (c *BitCounter) drainCarrySave() {
 			}
 			ones[w], twos[w], fours[w], eights[w] = 0, 0, 0, 0
 			for j := 0; j < 4; j++ {
-				v := ((o >> j) & nibbleLaneMask) + (((t>>j)&nibbleLaneMask)<<1 + (((f>>j)&nibbleLaneMask)<<2 + (((e>>j)&nibbleLaneMask)<<3)))
+				v := ((o >> j) & nibbleLaneMask) + (((t>>j)&nibbleLaneMask)<<1 + (((f>>j)&nibbleLaneMask)<<2 + (((e >> j) & nibbleLaneMask) << 3)))
 				c.byteLo[j][w] += v & byteLaneMask
 				c.byteHi[j][w] += (v >> 4) & byteLaneMask
 			}
@@ -603,8 +703,15 @@ func (c *BitCounter) flushBytes() {
 	c.pendingByte = 0
 }
 
-// flush drains all intermediate lanes into the int32 counters.
+// flush drains every intermediate tier into the int32 counters: parked
+// carry-save planes first, then the nibble and byte lanes. All observers
+// — CountsInto, CountAt, Popcount, the sign fallbacks — share this one
+// pre-condition path, so none of them can observe weight still parked in
+// the carry-save planes by a batch or vector drain entry point.
 func (c *BitCounter) flush() {
+	if c.csaParked {
+		c.drainCarrySave()
+	}
 	c.foldNibbles()
 	c.flushBytes()
 }
@@ -719,6 +826,12 @@ func (c *BitCounter) SignBinaryInto(tie, dst *Binary) *Binary {
 // The byte arithmetic is exact because every byte operand stays ≤ 127:
 // per-byte sums with a bias < 128 cannot carry into the neighboring byte.
 func (c *BitCounter) signBinarySWAR(tie, dst *Binary) bool {
+	if c.csaParked {
+		// Same drain pre-condition as flush: weight parked in the
+		// carry-save planes moves to the lane tiers before any fast-path
+		// eligibility is judged.
+		c.drainCarrySave()
+	}
 	if c.countsDirty || c.n > 127 {
 		return false
 	}
@@ -792,16 +905,19 @@ func (c *BitCounter) Reset() {
 	if c.countsDirty {
 		clear(c.counts)
 	}
-	// The carry-save planes are already zero between calls (every batch
-	// entry point drains them and the small-sign kernels consume them
-	// before returning); clear all six anyway so Reset restores a
-	// pristine counter unconditionally — they are small.
-	clear(c.csaOnes)
-	clear(c.csaTwos)
-	clear(c.csaFours)
-	clear(c.csaEights)
-	clear(c.csaSixteens)
-	clear(c.csaThirtyTwos)
+	// The carry-save planes are zero between calls (every batch entry
+	// point drains them and the small-sign kernels consume them before
+	// returning) and csaParked tracks exactly the windows where they are
+	// not, so they only need clearing when a drain was skipped.
+	if c.csaParked {
+		clear(c.csaOnes)
+		clear(c.csaTwos)
+		clear(c.csaFours)
+		clear(c.csaEights)
+		clear(c.csaSixteens)
+		clear(c.csaThirtyTwos)
+		c.csaParked = false
+	}
 	c.pendingNib = 0
 	c.pendingByte = 0
 	c.countsDirty = false

@@ -32,8 +32,13 @@ func assertSameCounts(t *testing.T, label string, got, want *BitCounter) {
 
 // TestAddXorPairsMatchesScalar pins the tentpole guarantee: the blocked
 // carry-save path is bit-for-bit equivalent to per-edge AddXor, across
-// block-remainder boundaries, mixed invert flags, and tail dimensions.
+// block-remainder boundaries, mixed invert flags, tail dimensions — and,
+// via forEachKernelTier, every vector kernel tier this CPU supports.
 func TestAddXorPairsMatchesScalar(t *testing.T) {
+	forEachKernelTier(t, testAddXorPairsMatchesScalar)
+}
+
+func testAddXorPairsMatchesScalar(t *testing.T) {
 	for _, d := range []int{1, 63, 64, 65, 100, 130, 517, 1024} {
 		for n := 0; n <= 40; n++ {
 			rng := NewRNG(uint64(d)<<16 | uint64(n))
@@ -80,8 +85,12 @@ func TestAddXorPairsInterleaved(t *testing.T) {
 }
 
 // TestAddWordsBlockMatchesAdd checks the raw-word batch entry against
-// sequential Add.
+// sequential Add, under every supported kernel tier.
 func TestAddWordsBlockMatchesAdd(t *testing.T) {
+	forEachKernelTier(t, testAddWordsBlockMatchesAdd)
+}
+
+func testAddWordsBlockMatchesAdd(t *testing.T) {
 	for _, d := range []int{64, 100, 517} {
 		for n := 0; n <= 30; n++ {
 			rng := NewRNG(uint64(d)*31 + uint64(n))
@@ -145,8 +154,13 @@ func TestAddXorWeightedAfterwards(t *testing.T) {
 
 // TestBitCounterDifferential drives random interleavings of every
 // mutating and observing operation against a naive per-bit reference
-// counter — the audit the three-tier fold/flush logic never had.
+// counter — the audit the three-tier fold/flush logic never had — under
+// every supported kernel tier.
 func TestBitCounterDifferential(t *testing.T) {
+	forEachKernelTier(t, testBitCounterDifferential)
+}
+
+func testBitCounterDifferential(t *testing.T) {
 	for _, d := range []int{5, 64, 100, 130, 192} {
 		for trial := 0; trial < 20; trial++ {
 			rng := NewRNG(uint64(d)*1009 + uint64(trial))

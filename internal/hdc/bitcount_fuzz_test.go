@@ -7,7 +7,10 @@ import (
 // FuzzBitCounter is the differential fuzzer behind the BitCounter
 // correctness audit: a byte stream drives random interleavings of every
 // mutating and observing operation, and after each observation the
-// counter must agree with a naive per-bit reference. Run with
+// counter must agree with a naive per-bit reference. The whole op stream
+// replays once per supported kernel tier, so on vector-capable machines
+// the fuzzer doubles as the per-tier differential oracle (the naive
+// reference is tier-independent). Run with
 // `go test -fuzz FuzzBitCounter ./internal/hdc`; the seed corpus keeps a
 // representative slice running under plain `go test`.
 func FuzzBitCounter(f *testing.F) {
@@ -15,10 +18,23 @@ func FuzzBitCounter(f *testing.F) {
 	f.Add(uint64(2), []byte{2, 2, 2, 6, 4, 7, 5, 2, 6})
 	f.Add(uint64(3), []byte{4, 4, 4, 6, 1, 7})
 	f.Add(uint64(42), []byte{3, 2, 1, 0, 7, 6, 5, 4, 3, 2, 1, 0, 7})
+	prev := ActiveKernel()
+	f.Cleanup(func() { SetKernel(prev) })
 	f.Fuzz(func(t *testing.T, seed uint64, ops []byte) {
 		if len(ops) > 64 {
 			ops = ops[:64]
 		}
+		for _, tier := range SupportedKernels() {
+			if err := SetKernel(tier); err != nil {
+				t.Fatalf("SetKernel(%s): %v", tier, err)
+			}
+			fuzzBitCounterOps(t, seed, ops)
+		}
+	})
+}
+
+func fuzzBitCounterOps(t *testing.T, seed uint64, ops []byte) {
+	{
 		rng := NewRNG(seed)
 		d := 1 + rng.Intn(200)
 		c := NewBitCounter(d)
@@ -136,5 +152,5 @@ func FuzzBitCounter(f *testing.F) {
 				t.Fatalf("final component %d = %d, want %d", i, got[i], naive[i])
 			}
 		}
-	})
+	}
 }

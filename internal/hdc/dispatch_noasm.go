@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package hdc
+
+// supportedKernelTables returns the tiers this platform can run. Without
+// amd64 assembly only the portable word loops are available.
+func supportedKernelTables() []*kernelTable { return []*kernelTable{portableKernels} }
+
+// cpuFeatureString reports the detected SIMD features; none are probed
+// on platforms without vector kernels.
+func cpuFeatureString() string { return "" }

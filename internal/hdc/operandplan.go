@@ -105,6 +105,7 @@ func (c *BitCounter) AddPlanned(plan *OperandPlan, idxs []int32) {
 	if len(idxs) == 0 {
 		return
 	}
+	kern := loadKernels()
 	nw := c.words
 	slab := plan.words
 	var ops [8][]uint64
@@ -119,7 +120,7 @@ func (c *BitCounter) AddPlanned(plan *OperandPlan, idxs []int32) {
 		for k := n; k < 8; k++ {
 			ops[k] = c.zeroWords
 		}
-		c.addBlock8(&ops)
+		c.addBlock8(kern, &ops)
 	}
 	c.drainCarrySave()
 }

@@ -61,18 +61,35 @@ func (pm *PackedMemory) MemoryBytes() int {
 	return len(pm.classes) * len(pm.classes[0].words) * 8
 }
 
+// hammingWords returns the Hamming distance between two equal-length
+// word vectors: the dispatched vector kernel (AVX2 PSHUFB-LUT popcount
+// or AVX-512 VPOPCNTDQ) covers the lane-aligned prefix and the portable
+// POPCNT loop — the semantic source of truth — finishes the tail.
+func hammingWords(kern *kernelTable, a, b []uint64) int {
+	h := 0
+	lo := 0
+	if kern.hamming != nil {
+		if vn := len(a) &^ (kern.lanes - 1); vn > 0 {
+			h = int(kern.hamming(&a[0], &b[0], int64(vn)))
+			lo = vn
+		}
+	}
+	b = b[:len(a)]
+	for w := lo; w < len(a); w++ {
+		h += bits.OnesCount64(a[w] ^ b[w])
+	}
+	return h
+}
+
 // Hammings returns the Hamming distance from v to every class vector.
 func (pm *PackedMemory) Hammings(v *Binary) []int {
 	if v.d != pm.dim {
 		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d", v.d, pm.dim))
 	}
+	kern := loadKernels()
 	out := make([]int, len(pm.classes))
 	for c, cv := range pm.classes {
-		h := 0
-		for i, w := range cv.words {
-			h += bits.OnesCount64(w ^ v.words[i])
-		}
-		out[c] = h
+		out[c] = hammingWords(kern, cv.words, v.words)
 	}
 	return out
 }
@@ -96,12 +113,10 @@ func (pm *PackedMemory) Classify(v *Binary) int {
 	if v.d != pm.dim {
 		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d", v.d, pm.dim))
 	}
+	kern := loadKernels()
 	best, bestH := 0, pm.dim+1
 	for c, cv := range pm.classes {
-		h := 0
-		for i, w := range cv.words {
-			h += bits.OnesCount64(w ^ v.words[i])
-		}
+		h := hammingWords(kern, cv.words, v.words)
 		if h < bestH {
 			best, bestH = c, h
 		}

@@ -16,6 +16,10 @@ import "fmt"
 // The sign they produce is bit-for-bit the sign of the equivalent
 // Reset + Add* + SignBinaryInto sequence: the planes hold exact counts
 // and the compare implements exactly the same majority-with-tie rule.
+// Like the counter's batch entry points, both the accumulation cascade
+// and the plane compare route their lane-aligned word prefix through the
+// dispatched vector kernel when one is installed; the portable loops
+// below remain the semantic source of truth and finish the tails.
 
 // MaxSmallSign is the largest vector count the small-n sign kernels
 // accept: six bit-sliced planes count to 2⁶-1.
@@ -38,11 +42,9 @@ func (c *BitCounter) SignXorPairsSmallInto(pairs []XorPair, tie, dst *Binary) *B
 			panic("hdc: dimension mismatch")
 		}
 	}
+	kern := loadKernels()
 	nw := c.words
-	last := nw - 1
-	tail := c.tailMask()
-	ones, twos, fours, eights := c.csaOnes, c.csaTwos, c.csaFours, c.csaEights
-	sixteens, thirtytwos := c.csaSixteens, c.csaThirtyTwos
+	c.csaParked = true
 	var aws, bws [8][]uint64
 	var vs [8]uint64
 	for i := 0; i < len(pairs); i += 8 {
@@ -57,46 +59,73 @@ func (c *BitCounter) SignXorPairsSmallInto(pairs []XorPair, tie, dst *Binary) *B
 		for k := n; k < 8; k++ {
 			aws[k], bws[k], vs[k] = c.zeroWords, c.zeroWords, 0
 		}
-		a0, b0, v0 := aws[0], bws[0], vs[0]
-		a1, b1, v1 := aws[1], bws[1], vs[1]
-		a2, b2, v2 := aws[2], bws[2], vs[2]
-		a3, b3, v3 := aws[3], bws[3], vs[3]
-		a4, b4, v4 := aws[4], bws[4], vs[4]
-		a5, b5, v5 := aws[5], bws[5], vs[5]
-		a6, b6, v6 := aws[6], bws[6], vs[6]
-		a7, b7, v7 := aws[7], bws[7], vs[7]
-		for w := 0; w < nw; w++ {
-			m := ^uint64(0)
-			if w == last {
-				m = tail
-			}
-			x0 := (a0[w] ^ b0[w] ^ v0) & m
-			x1 := (a1[w] ^ b1[w] ^ v1) & m
-			x2 := (a2[w] ^ b2[w] ^ v2) & m
-			x3 := (a3[w] ^ b3[w] ^ v3) & m
-			x4 := (a4[w] ^ b4[w] ^ v4) & m
-			x5 := (a5[w] ^ b5[w] ^ v5) & m
-			x6 := (a6[w] ^ b6[w] ^ v6) & m
-			x7 := (a7[w] ^ b7[w] ^ v7) & m
-			o, twosA := csa(ones[w], x0, x1)
-			o, twosB := csa(o, x2, x3)
-			t, foursA := csa(twos[w], twosA, twosB)
-			o, twosA = csa(o, x4, x5)
-			o, twosB = csa(o, x6, x7)
-			t, foursB := csa(t, twosA, twosB)
-			f, e8 := csa(fours[w], foursA, foursB)
-			e := eights[w]
-			s16 := e & e8
-			ones[w], twos[w], fours[w], eights[w] = o, t, f, e^e8
-			if s16 != 0 {
-				// n ≤ 63 bounds each count below 64, so a second weight-32
-				// carry per component cannot occur; |= is exact.
-				thirtytwos[w] |= sixteens[w] & s16
-				sixteens[w] ^= s16
+		lo := 0
+		if kern.csaXorSmallBlock != nil {
+			if vn := c.vecWords(kern, true); vn > 0 {
+				a := &c.kargs
+				for k := 0; k < 8; k++ {
+					a.x[k] = &aws[k][0]
+					a.y[k] = &bws[k][0]
+					a.inv[k] = vs[k]
+				}
+				a.n = int64(vn)
+				kern.csaXorSmallBlock(a)
+				lo = vn
 			}
 		}
+		c.csaXorSmallBlock8Range(&aws, &bws, &vs, lo)
 	}
-	return c.signPlanesInto(len(pairs), tie, dst)
+	return c.signPlanesInto(kern, len(pairs), tie, dst)
+}
+
+// csaXorSmallBlock8Range is the portable small-sign cascade for one
+// block of eight XOR/XNOR operand streams over words [lo, words),
+// overflowing weight 16 into the sixteens/thirtytwos planes — the
+// semantic source of truth for the vector small-sign tiers.
+func (c *BitCounter) csaXorSmallBlock8Range(aws, bws *[8][]uint64, vs *[8]uint64, lo int) {
+	nw := c.words
+	last := nw - 1
+	tail := c.tailMask()
+	ones, twos, fours, eights := c.csaOnes, c.csaTwos, c.csaFours, c.csaEights
+	sixteens, thirtytwos := c.csaSixteens, c.csaThirtyTwos
+	a0, b0, v0 := aws[0], bws[0], vs[0]
+	a1, b1, v1 := aws[1], bws[1], vs[1]
+	a2, b2, v2 := aws[2], bws[2], vs[2]
+	a3, b3, v3 := aws[3], bws[3], vs[3]
+	a4, b4, v4 := aws[4], bws[4], vs[4]
+	a5, b5, v5 := aws[5], bws[5], vs[5]
+	a6, b6, v6 := aws[6], bws[6], vs[6]
+	a7, b7, v7 := aws[7], bws[7], vs[7]
+	for w := lo; w < nw; w++ {
+		m := ^uint64(0)
+		if w == last {
+			m = tail
+		}
+		x0 := (a0[w] ^ b0[w] ^ v0) & m
+		x1 := (a1[w] ^ b1[w] ^ v1) & m
+		x2 := (a2[w] ^ b2[w] ^ v2) & m
+		x3 := (a3[w] ^ b3[w] ^ v3) & m
+		x4 := (a4[w] ^ b4[w] ^ v4) & m
+		x5 := (a5[w] ^ b5[w] ^ v5) & m
+		x6 := (a6[w] ^ b6[w] ^ v6) & m
+		x7 := (a7[w] ^ b7[w] ^ v7) & m
+		o, twosA := csa(ones[w], x0, x1)
+		o, twosB := csa(o, x2, x3)
+		t, foursA := csa(twos[w], twosA, twosB)
+		o, twosA = csa(o, x4, x5)
+		o, twosB = csa(o, x6, x7)
+		t, foursB := csa(t, twosA, twosB)
+		f, e8 := csa(fours[w], foursA, foursB)
+		e := eights[w]
+		s16 := e & e8
+		ones[w], twos[w], fours[w], eights[w] = o, t, f, e^e8
+		if s16 != 0 {
+			// n ≤ 63 bounds each count below 64, so a second weight-32
+			// carry per component cannot occur; |= is exact.
+			thirtytwos[w] |= sixteens[w] & s16
+			sixteens[w] ^= s16
+		}
+	}
 }
 
 // SignPlannedSmallInto is SignXorPairsSmallInto for planned operands: the
@@ -120,10 +149,10 @@ func (c *BitCounter) SignPlannedSmallInto(plan *OperandPlan, idxs []int32, tie, 
 			panic(fmt.Sprintf("hdc: planned operand %d out of range [0,%d)", idx, plan.n))
 		}
 	}
+	kern := loadKernels()
 	nw := c.words
 	slab := plan.words
-	ones, twos, fours, eights := c.csaOnes, c.csaTwos, c.csaFours, c.csaEights
-	sixteens, thirtytwos := c.csaSixteens, c.csaThirtyTwos
+	c.csaParked = true
 	var ops [8][]uint64
 	for i := 0; i < len(idxs); i += 8 {
 		n := len(idxs) - i
@@ -136,26 +165,48 @@ func (c *BitCounter) SignPlannedSmallInto(plan *OperandPlan, idxs []int32, tie, 
 		for k := n; k < 8; k++ {
 			ops[k] = c.zeroWords
 		}
-		x0s, x1s, x2s, x3s := ops[0], ops[1], ops[2], ops[3]
-		x4s, x5s, x6s, x7s := ops[4], ops[5], ops[6], ops[7]
-		for w := 0; w < nw; w++ {
-			o, twosA := csa(ones[w], x0s[w], x1s[w])
-			o, twosB := csa(o, x2s[w], x3s[w])
-			t, foursA := csa(twos[w], twosA, twosB)
-			o, twosA = csa(o, x4s[w], x5s[w])
-			o, twosB = csa(o, x6s[w], x7s[w])
-			t, foursB := csa(t, twosA, twosB)
-			f, e8 := csa(fours[w], foursA, foursB)
-			e := eights[w]
-			s16 := e & e8
-			ones[w], twos[w], fours[w], eights[w] = o, t, f, e^e8
-			if s16 != 0 {
-				thirtytwos[w] |= sixteens[w] & s16
-				sixteens[w] ^= s16
+		lo := 0
+		if kern.csaSmallBlock != nil {
+			if vn := c.vecWords(kern, false); vn > 0 {
+				a := &c.kargs
+				for k := 0; k < 8; k++ {
+					a.x[k] = &ops[k][0]
+				}
+				a.n = int64(vn)
+				kern.csaSmallBlock(a)
+				lo = vn
 			}
 		}
+		c.csaSmallBlock8Range(&ops, lo)
 	}
-	return c.signPlanesInto(len(idxs), tie, dst)
+	return c.signPlanesInto(kern, len(idxs), tie, dst)
+}
+
+// csaSmallBlock8Range is the portable small-sign cascade for one block
+// of eight raw word streams over words [lo, words) — the semantic source
+// of truth for the vector small-sign tiers. Streams must be tail-masked.
+func (c *BitCounter) csaSmallBlock8Range(ops *[8][]uint64, lo int) {
+	nw := c.words
+	ones, twos, fours, eights := c.csaOnes, c.csaTwos, c.csaFours, c.csaEights
+	sixteens, thirtytwos := c.csaSixteens, c.csaThirtyTwos
+	x0s, x1s, x2s, x3s := ops[0], ops[1], ops[2], ops[3]
+	x4s, x5s, x6s, x7s := ops[4], ops[5], ops[6], ops[7]
+	for w := lo; w < nw; w++ {
+		o, twosA := csa(ones[w], x0s[w], x1s[w])
+		o, twosB := csa(o, x2s[w], x3s[w])
+		t, foursA := csa(twos[w], twosA, twosB)
+		o, twosA = csa(o, x4s[w], x5s[w])
+		o, twosB = csa(o, x6s[w], x7s[w])
+		t, foursB := csa(t, twosA, twosB)
+		f, e8 := csa(fours[w], foursA, foursB)
+		e := eights[w]
+		s16 := e & e8
+		ones[w], twos[w], fours[w], eights[w] = o, t, f, e^e8
+		if s16 != 0 {
+			thirtytwos[w] |= sixteens[w] & s16
+			sixteens[w] ^= s16
+		}
+	}
 }
 
 // signPlanesInto takes the majority of the n vectors accumulated in the
@@ -164,8 +215,10 @@ func (c *BitCounter) SignPlannedSmallInto(plan *OperandPlan, idxs []int32, tie, 
 // 64 - (n/2 + 1): the carry out of the sixth plane is set exactly for
 // components whose count reaches the majority threshold n/2 + 1, and for
 // even n a sum of exactly 63 identifies the ties (count == n/2), which
-// copy the tie vector — the same rule as SignBinaryInto.
-func (c *BitCounter) signPlanesInto(n int, tie, dst *Binary) *Binary {
+// copy the tie vector — the same rule as SignBinaryInto. The vector
+// kernel computes the identical compare (with the tie term masked off
+// for odd n) on the lane-aligned prefix.
+func (c *BitCounter) signPlanesInto(kern *kernelTable, n int, tie, dst *Binary) *Binary {
 	k := uint64(n)/2 + 1
 	add := 64 - k
 	var cm [6]uint64 // constant bit masks for the ripple add
@@ -174,9 +227,34 @@ func (c *BitCounter) signPlanesInto(n int, tie, dst *Binary) *Binary {
 			cm[b] = ^uint64(0)
 		}
 	}
-	planes := [6][]uint64{c.csaOnes, c.csaTwos, c.csaFours, c.csaEights, c.csaSixteens, c.csaThirtyTwos}
 	even := n%2 == 0
-	for w := 0; w < c.words; w++ {
+	lo := 0
+	if kern.signPlanes != nil {
+		if vn := c.vecWords(kern, false); vn > 0 {
+			a := &c.kargs
+			a.x[0] = &tie.words[0]
+			a.y[0] = &dst.words[0]
+			copy(a.inv[:6], cm[:])
+			a.inv[6] = 0
+			if even {
+				a.inv[6] = ^uint64(0)
+			}
+			a.n = int64(vn)
+			kern.signPlanes(a)
+			lo = vn
+		}
+	}
+	c.signPlanesRange(&cm, even, tie, dst, lo)
+	c.csaParked = false
+	return dst
+}
+
+// signPlanesRange is the portable plane compare over words [lo, words) —
+// the semantic source of truth for the vector signPlanes kernels. It
+// zeroes the plane words it consumes.
+func (c *BitCounter) signPlanesRange(cm *[6]uint64, even bool, tie, dst *Binary, lo int) {
+	planes := [6][]uint64{c.csaOnes, c.csaTwos, c.csaFours, c.csaEights, c.csaSixteens, c.csaThirtyTwos}
+	for w := lo; w < c.words; w++ {
 		carry := uint64(0)
 		if even {
 			// count + add == 63 ⟺ count == n/2 (a tie): all six sum bits
@@ -201,5 +279,4 @@ func (c *BitCounter) signPlanesInto(n int, tie, dst *Binary) *Binary {
 			dst.words[w] = carry
 		}
 	}
-	return dst
 }

@@ -7,6 +7,10 @@ import "testing"
 // every block-padding shape), the one-shot bit-sliced majority equals the
 // full Reset + Add* + SignBinaryInto pipeline bit for bit.
 func TestSignSmallMatchesCounter(t *testing.T) {
+	forEachKernelTier(t, testSignSmallMatchesCounter)
+}
+
+func testSignSmallMatchesCounter(t *testing.T) {
 	rng := NewRNG(17)
 	for _, d := range []int{1, 63, 64, 65, 130, 512} {
 		c := NewBitCounter(d)
@@ -49,6 +53,10 @@ func TestSignSmallMatchesCounter(t *testing.T) {
 // kernels neither read nor disturb weight already accumulated in the
 // counter, and leave the carry-save planes zero for the next block call.
 func TestSignSmallIgnoresCounterState(t *testing.T) {
+	forEachKernelTier(t, testSignSmallIgnoresCounterState)
+}
+
+func testSignSmallIgnoresCounterState(t *testing.T) {
 	rng := NewRNG(23)
 	d := 200
 	c := NewBitCounter(d)

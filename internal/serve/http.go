@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"graphhd/internal/graph"
+	"graphhd/internal/hdc"
 )
 
 // HTTP front end for the Engine: the wire protocol of cmd/graphhd-serve.
@@ -59,7 +60,9 @@ type PredictBatchResponse struct {
 }
 
 // ModelInfo is the body of GET /v1/model: the model card of the currently
-// installed predictor.
+// installed predictor, plus the SIMD kernel tier the replica is actually
+// running (a replica silently degraded to a lower tier shows up here and
+// in /healthz, not just in node-level CPU inventory).
 type ModelInfo struct {
 	Dimension          int    `json:"dimension"`
 	Classes            int    `json:"classes"`
@@ -69,6 +72,8 @@ type ModelInfo struct {
 	Seed               uint64 `json:"seed"`
 	UseVertexLabels    bool   `json:"use_vertex_labels"`
 	Reloads            uint64 `json:"reloads"`
+	KernelTier         string `json:"kernel_tier"`
+	CPUFeatures        string `json:"cpu_features,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx response.
@@ -194,6 +199,7 @@ func (h *handler) predictBatch(w http.ResponseWriter, r *http.Request) {
 func (h *handler) model(w http.ResponseWriter, r *http.Request) {
 	p := h.e.Predictor()
 	cfg := p.Encoder().Config()
+	ks := hdc.Kernels()
 	writeJSON(w, http.StatusOK, ModelInfo{
 		Dimension:          cfg.Dimension,
 		Classes:            p.NumClasses(),
@@ -203,13 +209,22 @@ func (h *handler) model(w http.ResponseWriter, r *http.Request) {
 		Seed:               cfg.Seed,
 		UseVertexLabels:    cfg.UseVertexLabels,
 		Reloads:            h.e.Reloads(),
+		KernelTier:         ks.Active.String(),
+		CPUFeatures:        ks.CPUFeatures,
 	})
 }
 
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
+	// First line stays exactly "ok" for probes that match on it; the
+	// kernel lines surface the dispatch decision per replica.
+	ks := hdc.Kernels()
 	fmt.Fprintln(w, "ok")
+	fmt.Fprintf(w, "kernel: %s\n", ks.Active)
+	if ks.CPUFeatures != "" {
+		fmt.Fprintf(w, "cpu: %s\n", ks.CPUFeatures)
+	}
 }
 
 func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"graphhd/internal/hdc"
 )
 
 // metrics is the engine's internal instrumentation: plain atomics and
@@ -196,6 +198,9 @@ func WriteMetrics(w io.Writer, m Metrics, pred interface {
 		p("# HELP graphhd_model_classes Classes in the installed model.\n# TYPE graphhd_model_classes gauge\ngraphhd_model_classes %d\n", pred.NumClasses())
 		p("# HELP graphhd_model_memory_bytes Packed class-vector bytes of the installed model.\n# TYPE graphhd_model_memory_bytes gauge\ngraphhd_model_memory_bytes %d\n", pred.MemoryBytes())
 	}
+	ks := hdc.Kernels()
+	p("# HELP graphhd_kernel_info SIMD kernel tier serving the encode/query hot paths (info gauge; the value is always 1).\n# TYPE graphhd_kernel_info gauge\ngraphhd_kernel_info{tier=%q,features=%q} 1\n",
+		ks.Active.String(), ks.CPUFeatures)
 	writeHistogram(p, "graphhd_request_latency_seconds", "Per-call latency from admission to response.", m.Latency)
 	writeHistogram(p, "graphhd_batch_size", "Dispatched micro-batch sizes.", m.BatchSize)
 	return err
