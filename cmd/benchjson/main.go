@@ -40,6 +40,10 @@ type Result struct {
 	BPerOp      int64   `json:"b_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Kernel      string  `json:"kernel,omitempty"`
+	// Metrics carries any custom b.ReportMetric columns — ns/graph on
+	// the batch benchmarks, stage1-hit-rate on the cascade benchmark —
+	// keyed by their unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 var (
@@ -47,6 +51,7 @@ var (
 	pkgLine   = regexp.MustCompile(`^pkg:\s+(\S+)$`)
 	bPerOp    = regexp.MustCompile(`([\d.]+) B/op`)
 	allocsOp  = regexp.MustCompile(`(\d+) allocs/op`)
+	metricCol = regexp.MustCompile(`([\d.]+) (\S+)`)
 )
 
 // run parses benchmark output from r and writes the JSON array to w.
@@ -97,6 +102,21 @@ func run(r io.Reader, w io.Writer, kernel string) error {
 			if err != nil {
 				return fmt.Errorf("line %d: allocs/op %q: %w", lineNo, am[1], err)
 			}
+		}
+		// Everything else in the tail is a custom b.ReportMetric column.
+		for _, mc := range metricCol.FindAllStringSubmatch(rest, -1) {
+			unit := mc[2]
+			if unit == "B/op" || unit == "allocs/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(mc[1], 64)
+			if err != nil {
+				return fmt.Errorf("line %d: metric %s %q: %w", lineNo, unit, mc[1], err)
+			}
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = v
 		}
 		results = append(results, res)
 	}

@@ -1,6 +1,6 @@
 // Command graphhd-serve is the online inference server: it loads a packed
-// GraphHD model artifact (GRAPHHD1 or GRAPHHD2, see cmd/graphhd -save /
-// -save-packed) and serves classifications over HTTP through the
+// GraphHD model artifact (GRAPHHD1, GRAPHHD2 or GRAPHHD3, see cmd/graphhd
+// -save / -save-packed) and serves classifications over HTTP through the
 // micro-batching engine in internal/serve.
 //
 // Usage:
@@ -9,6 +9,7 @@
 //	graphhd-serve -model model.ghdp -addr 127.0.0.1:9090
 //	graphhd-serve -model model.ghdp -workers 4 -max-batch 32 -max-delay 500us
 //	graphhd-serve -model model.ghdp -class-names mutagenic,non-mutagenic
+//	graphhd-serve -model model.ghdp -cascade-prefix 1024 -cascade-margin 12
 //
 // Endpoints:
 //
@@ -53,6 +54,8 @@ func main() {
 		classNames = flag.String("class-names", "", "comma-separated class names echoed in responses")
 		maxVerts   = flag.Int("max-vertices", 0, "per-request vertex cap (0 = default; bounds server-side basis-vector memory)")
 		maxEdges   = flag.Int("max-edges", 0, "per-request edge cap (0 = default)")
+		cascPrefix = flag.Int("cascade-prefix", 0, "stage-1 dimension for two-stage cascade classification (0 = off, or as saved in a GRAPHHD3 artifact; must be in [64, model dimension))")
+		cascMargin = flag.Int("cascade-margin", 0, "cascade escalation margin: stage-1 decisions with top-two Hamming margin at most this re-decide at full dimension (calibrate with cmd/graphhd -calibrate-cascade)")
 	)
 	flag.Parse()
 	if *model == "" {
@@ -60,16 +63,37 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *cascPrefix == 0 && *cascMargin != 0 {
+		fmt.Fprintln(os.Stderr, "graphhd-serve: -cascade-margin requires -cascade-prefix")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// prepare applies operator cascade flags to a freshly loaded model; it
+	// runs at startup and again on every SIGHUP / POST /admin/reload via
+	// the engine's PrepareModel hook, so flag config survives hot swaps.
+	// Without flags, whatever cascade the artifact itself carries
+	// (GRAPHHD3) stays as loaded.
+	prepare := func(p *core.Predictor) error {
+		if *cascPrefix == 0 {
+			return nil
+		}
+		return p.SetCascade(core.Cascade{DPrefix: *cascPrefix, Margin: *cascMargin})
+	}
 
 	pred, err := core.LoadPredictorFile(*model)
 	if err != nil {
 		log.Fatalf("graphhd-serve: %v", err)
 	}
+	if err := prepare(pred); err != nil {
+		log.Fatalf("graphhd-serve: %v", err)
+	}
 	engine, err := serve.NewEngine(pred, serve.Options{
-		Workers:   *workers,
-		MaxBatch:  *maxBatch,
-		MaxDelay:  *maxDelay,
-		QueueSize: *queueSize,
+		Workers:      *workers,
+		MaxBatch:     *maxBatch,
+		MaxDelay:     *maxDelay,
+		QueueSize:    *queueSize,
+		PrepareModel: prepare,
 	})
 	if err != nil {
 		log.Fatalf("graphhd-serve: %v", err)
@@ -121,6 +145,9 @@ func main() {
 	log.Printf("graphhd-serve: serving %s on %s (d=%d, %d classes, %d bytes packed; workers=%d max-batch=%d max-delay=%v queue=%d)",
 		*model, *addr, pred.Encoder().Dimension(), pred.NumClasses(), pred.MemoryBytes(),
 		opts.Workers, opts.MaxBatch, opts.MaxDelay, opts.QueueSize)
+	if c, ok := pred.Cascade(); ok {
+		log.Printf("graphhd-serve: cascade enabled (stage-1 d=%d, margin=%d)", c.DPrefix, c.Margin)
+	}
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("graphhd-serve: %v", err)
 	}

@@ -1,14 +1,15 @@
 // Command inspect prints structural analysis of a TUDataset-format
-// dataset: Table-I statistics, extended measures (diameter, clustering,
+// dataset — Table-I statistics, extended measures (diameter, clustering,
 // degeneracy, triangles), per-class breakdowns and, optionally, the
-// centrality profile of a single graph — the inspection companion to
-// cmd/graphhd.
+// centrality profile of a single graph — or, with -model, the card of a
+// saved model artifact; the inspection companion to cmd/graphhd.
 //
 // Usage:
 //
 //	inspect -data ./data -name MUTAG
 //	inspect -data ./data -name MUTAG -graph 3          # one graph in depth
 //	inspect -data ./data -name MUTAG -per-class
+//	inspect -model model.ghdp                          # model artifact card
 package main
 
 import (
@@ -18,17 +19,23 @@ import (
 
 	"graphhd"
 	"graphhd/internal/centrality"
+	"graphhd/internal/core"
 	"graphhd/internal/graph"
 )
 
 func main() {
 	var (
-		data     = flag.String("data", ".", "directory containing the dataset folder")
-		name     = flag.String("name", "", "dataset name (required)")
-		graphIdx = flag.Int("graph", -1, "inspect a single graph by index")
-		perClass = flag.Bool("per-class", false, "break extended statistics down by class")
+		data      = flag.String("data", ".", "directory containing the dataset folder")
+		name      = flag.String("name", "", "dataset name (required unless -model is given)")
+		graphIdx  = flag.Int("graph", -1, "inspect a single graph by index")
+		perClass  = flag.Bool("per-class", false, "break extended statistics down by class")
+		modelPath = flag.String("model", "", "inspect a saved model artifact (GRAPHHD1/GRAPHHD2/GRAPHHD3) instead of a dataset")
 	)
 	flag.Parse()
+	if *modelPath != "" {
+		inspectModel(*modelPath)
+		return
+	}
 	if *name == "" {
 		fmt.Fprintln(os.Stderr, "inspect: -name is required")
 		flag.Usage()
@@ -71,6 +78,30 @@ func main() {
 				cst.Name, cst.AvgVertices, cst.AvgEdges, cst.AvgDiameter,
 				cst.AvgClustering, cst.AvgDegeneracy, cst.AvgTriangles)
 		}
+	}
+}
+
+// inspectModel prints the card of a saved model artifact: dimension,
+// classes, packed query footprint, encoder configuration, and — for
+// GRAPHHD3 records — the cascade configuration.
+func inspectModel(path string) {
+	pred, err := core.LoadPredictorFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "inspect:", err)
+		os.Exit(1)
+	}
+	cfg := pred.Encoder().Config()
+	fmt.Printf("model %s\n", path)
+	fmt.Printf("  dimension: %d   classes: %d\n", pred.Dimension(), pred.NumClasses())
+	fmt.Printf("  packed footprint: %d bytes (%d per class vector)\n",
+		pred.MemoryBytes(), pred.MemoryBytes()/pred.NumClasses())
+	fmt.Printf("  centrality: %s   pagerank iters: %d   damping: %.2f\n",
+		cfg.Centrality, cfg.PageRankIterations, cfg.PageRankDamping)
+	fmt.Printf("  seed: %#x   vertex labels: %v\n", cfg.Seed, cfg.UseVertexLabels)
+	if c, ok := pred.Cascade(); ok {
+		fmt.Printf("  cascade: stage-1 d=%d, escalation margin %d\n", c.DPrefix, c.Margin)
+	} else {
+		fmt.Printf("  cascade: none\n")
 	}
 }
 

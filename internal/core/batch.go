@@ -75,6 +75,12 @@ type BatchScratch struct {
 	dpairs []hdc.XorPair
 	dwIdx  []hdc.XorPair
 	dwMult []int32
+	// planD is the width the current plan state was built for (the full
+	// encoder dimension for PredictBatchWith/EncodeBatch, the cascade
+	// prefix for PredictBatchCascadeWith); pout is the reusable
+	// prefix-width sign buffer, reallocated only when the width changes.
+	planD int
+	pout  *hdc.Binary
 	// stickyDirect remembers the smallest operand bound the exact gate
 	// ever routed to direct mode, so a homogeneous stream of borderline
 	// batches (one Fit's chunks, one serving worker's traffic) pays the
@@ -124,7 +130,33 @@ func (s *BatchScratch) fastPath(g *graph.Graph) bool {
 // rank-pair keys, the deduplicated key set, one materialized XNOR operand
 // per distinct key, and per-graph operand index/multiplicity lists.
 func (s *BatchScratch) planBatch(graphs []*graph.Graph) {
+	s.planBatchWidth(graphs, s.enc.cfg.Dimension)
+}
+
+// prefixOut returns the scratch's reusable d-dimensional sign buffer for
+// prefix-width (cascade stage 1) encodes.
+func (s *BatchScratch) prefixOut(d int) *hdc.Binary {
+	if s.pout == nil || s.pout.Dim() != d {
+		s.pout = hdc.NewBinary(d)
+	}
+	return s.pout
+}
+
+// planBatchWidth is planBatch at an explicit operand width d ≤ the
+// encoder dimension: rank-pair keys and the cost gate are width-
+// independent computations, but the plan slab materializes ⌈d/64⌉-word
+// operands — the prefix slices of the same full-width basis vectors,
+// tail-masked (hdc.OperandPlan.AppendXnor accepts wider operands). One
+// scratch therefore serves any mix of widths without reallocation: the
+// plan slab and counter re-target per call, and only the sticky direct
+// heuristic resets when the width changes (its operand-count bound is
+// calibrated against a width-dependent slab size).
+func (s *BatchScratch) planBatchWidth(graphs []*graph.Graph, d int) {
 	e := s.enc
+	if d != s.planD {
+		s.stickyDirect = 0
+		s.planD = d
+	}
 	opts := centrality.Options{
 		Iterations: e.prOpts.Iterations,
 		Damping:    e.prOpts.Damping,
@@ -153,7 +185,7 @@ func (s *BatchScratch) planBatch(graphs []*graph.Graph) {
 
 	s.basis = nil
 	s.distinct = s.distinct[:0]
-	s.plan.Reset(e.cfg.Dimension)
+	s.plan.Reset(d)
 	s.direct = false
 	if len(s.keys) == 0 {
 		return
@@ -167,7 +199,7 @@ func (s *BatchScratch) planBatch(graphs []*graph.Graph) {
 	// batches are planned, large ones (big graphs, high-entropy batches)
 	// go direct and skip the global sort entirely. Only the borderline
 	// band pays the sort to decide on the exact distinct count.
-	nw := (e.cfg.Dimension + 63) / 64
+	nw := (d + 63) / 64
 	bound := len(s.keys)
 	if space := maxN * (maxN - 1) / 2; space < bound {
 		bound = space
@@ -305,6 +337,33 @@ func (s *BatchScratch) fillCounterPlanned(gi int) bool {
 	return true
 }
 
+// signDirectInto encodes graph gi into dst straight off the basis table —
+// the planless accumulation path: collectDirect's pairs through the
+// one-shot small-sign kernel or the counter tiers at the counter's
+// *current* width. Every input it touches (sorted key segments, basis
+// snapshot) is width-independent, so cascade escalation re-signs a graph
+// at full width from a prefix-width plan by just re-targeting the counter
+// first. Reports false for graphs outside the fast path (empty key
+// segment: labeled extension or edgeless).
+func (s *BatchScratch) signDirectInto(gi int, dst *hdc.Binary) bool {
+	if s.keyOff[gi] == s.keyOff[gi+1] {
+		return false
+	}
+	weighted := s.collectDirect(gi)
+	if !weighted && len(s.dpairs) > 0 && len(s.dpairs) <= hdc.MaxSmallSign {
+		s.counter.SignXorPairsSmallInto(s.dpairs, s.enc.packedTie, dst)
+		return true
+	}
+	c := s.counter
+	c.Reset()
+	c.AddXorPairs(s.dpairs)
+	if weighted {
+		s.feedDirectWeighted()
+	}
+	c.SignBinaryInto(s.enc.packedTie, dst)
+	return true
+}
+
 // signPackedInto encodes graph gi into dst, reporting whether the fast
 // path applied. Bundles of up to hdc.MaxSmallSign unit-multiplicity
 // operands — the common case — take the one-shot bit-sliced majority
@@ -316,19 +375,7 @@ func (s *BatchScratch) signPackedInto(gi int, dst *hdc.Binary) bool {
 		return false
 	}
 	if s.direct {
-		weighted := s.collectDirect(gi)
-		if !weighted && len(s.dpairs) > 0 && len(s.dpairs) <= hdc.MaxSmallSign {
-			s.counter.SignXorPairsSmallInto(s.dpairs, s.enc.packedTie, dst)
-			return true
-		}
-		c := s.counter
-		c.Reset()
-		c.AddXorPairs(s.dpairs)
-		if weighted {
-			s.feedDirectWeighted()
-		}
-		c.SignBinaryInto(s.enc.packedTie, dst)
-		return true
+		return s.signDirectInto(gi, dst)
 	}
 	unit := s.unit[s.unitOff[gi]:s.unitOff[gi+1]]
 	if s.wOff[gi] == s.wOff[gi+1] && len(unit) > 0 && len(unit) <= hdc.MaxSmallSign {

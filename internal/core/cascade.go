@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+
+	"graphhd/internal/graph"
+	"graphhd/internal/hdc"
+)
+
+// Prefix-sliced cascade classification (DESIGN.md §2c).
+//
+// Majority bundling and XNOR binding are componentwise, so the first
+// dPrefix components of any full-width encoding are bit-identical to the
+// encoding a dPrefix-dimensional model built from the same basis prefix
+// would produce. A predictor can therefore classify at a fraction of
+// full cost by encoding only the first ⌈dPrefix/64⌉ words of the SAME
+// basis vectors — no second basis table, no re-encode — and consulting
+// prefix copies of its class vectors. Hamming-similarity classification
+// degrades gracefully as d shrinks (the paper's central accuracy–
+// dimension trade), so most graphs are decided correctly at stage 1; the
+// ambiguous rest — those whose top-two Hamming margin at prefix width
+// falls inside a calibrated band — escalate to the full dimension.
+
+// MinCascadePrefix is the smallest stage-1 dimension a cascade accepts:
+// below one word of components the margin signal is pure noise.
+const MinCascadePrefix = 64
+
+// Cascade configures two-stage prefix-sliced classification on a
+// Predictor: classify every graph at dimension DPrefix first, escalate
+// to the full dimension only when the stage-1 top-two Hamming margin is
+// at most Margin. Margin 0 still escalates exact near-ties; calibrate
+// per dataset with internal/eval's CalibrateCascade for accuracy matched
+// to the full-dimension baseline.
+type Cascade struct {
+	// DPrefix is the stage-1 dimension: the number of leading components
+	// (not necessarily a multiple of 64 — the tail word is masked) of the
+	// full basis used for the first pass.
+	DPrefix int
+	// Margin is the escalation threshold: a stage-1 decision whose
+	// runner-up is within Margin Hamming distance of the winner is
+	// re-decided at full dimension. Must be non-negative.
+	Margin int
+}
+
+// Validate checks c against a model of dimension d, with the error text
+// cmd/graphhd-serve and model loading surface to operators.
+func (c Cascade) Validate(d int) error {
+	if c.DPrefix < MinCascadePrefix {
+		return fmt.Errorf("core: cascade prefix dimension %d below the minimum %d", c.DPrefix, MinCascadePrefix)
+	}
+	if c.DPrefix >= d {
+		return fmt.Errorf("core: cascade prefix dimension %d must be smaller than the model dimension %d", c.DPrefix, d)
+	}
+	if c.Margin < 0 {
+		return fmt.Errorf("core: negative cascade margin %d", c.Margin)
+	}
+	return nil
+}
+
+// cascadeState is the immutable per-configuration snapshot behind a
+// predictor's cascade pointer: the config plus the prefix-sliced class
+// vectors (canonical tail-masked copies, built once per SetCascade).
+type cascadeState struct {
+	cfg Cascade
+	pm  *hdc.PackedMemory
+}
+
+// SetCascade enables prefix-sliced cascade classification, building the
+// stage-1 prefix query memory from the predictor's class vectors. The
+// swap is atomic: concurrent predictions see either the old or the new
+// configuration, never a mix.
+func (p *Predictor) SetCascade(c Cascade) error {
+	if err := c.Validate(p.Dimension()); err != nil {
+		return err
+	}
+	ppm, err := p.pm.Prefix(c.DPrefix)
+	if err != nil {
+		return err
+	}
+	p.cascade.Store(&cascadeState{cfg: c, pm: ppm})
+	return nil
+}
+
+// ClearCascade disables cascade classification; predictions revert to
+// single-stage full-dimension queries.
+func (p *Predictor) ClearCascade() { p.cascade.Store(nil) }
+
+// Cascade returns the active cascade configuration, if any.
+func (p *Predictor) Cascade() (Cascade, bool) {
+	if cs := p.cascade.Load(); cs != nil {
+		return cs.cfg, true
+	}
+	return Cascade{}, false
+}
+
+// PrefixSnapshot returns a packed query memory over the first d
+// components of every class vector — what calibration sweeps query when
+// choosing a cascade margin. See hdc.PackedMemory.Prefix.
+func (p *Predictor) PrefixSnapshot(d int) (*hdc.PackedMemory, error) {
+	return p.pm.Prefix(d)
+}
+
+// PredictCascadeWith classifies g through the two-stage cascade using a
+// caller-owned scratch, reporting whether the decision escalated to full
+// dimension. Without an active cascade it behaves as PredictWith (never
+// escalated). The stage-1 winner is returned directly when its margin
+// clears the band; otherwise the decision is re-made at full width
+// against the full class vectors — identical to PredictWith. The
+// centrality ranking and rank-pair grouping are width-independent, so an
+// escalation reuses stage 1's prepared groups and pays only the second
+// accumulate + sign, not a second ranking pass.
+func (p *Predictor) PredictCascadeWith(s *EncoderScratch, g *graph.Graph) (class int, escalated bool) {
+	cs := p.cascade.Load()
+	if cs == nil {
+		return p.PredictWith(s, g), false
+	}
+	if !s.prepareGroups(g) {
+		// Labeled-extension and edgeless graphs sit outside the packed
+		// fast path; decide them at full width, counted as escalations.
+		return p.PredictWith(s, g), true
+	}
+	e := p.enc
+	out := s.prefixOut(cs.cfg.DPrefix)
+	s.counter.SetDim(cs.cfg.DPrefix)
+	if s.smallSignReady() {
+		s.counter.SignXorPairsSmallInto(s.pairs, e.packedTie, out)
+	} else {
+		s.feedCounter()
+		s.counter.SignBinaryInto(e.packedTie, out)
+	}
+	s.counter.SetDim(e.cfg.Dimension)
+	best, _, bestH, secondH := cs.pm.ClassifyTop2(out)
+	if secondH-bestH > cs.cfg.Margin {
+		return best, false
+	}
+	var hv *hdc.Binary
+	if s.smallSignReady() {
+		hv = s.counter.SignXorPairsSmallInto(s.pairs, e.packedTie, s.packed)
+	} else {
+		s.feedCounter()
+		hv = s.counter.SignBinaryInto(e.packedTie, s.packed)
+	}
+	return p.pm.Classify(hv), true
+}
+
+// PredictBatchCascadeWith is the serving cascade primitive: it encodes
+// the whole micro-batch ONCE at stage-1 width through the shared operand
+// plan, returns every unambiguous stage-1 answer, and escalates only the
+// ambiguous graphs to full width — reusing the batch's already-computed
+// centrality ranks and rank-pair grouping, so an escalation pays one
+// extra full-width sign, not a second ranking pass. Classes land in out
+// (len(out) must equal len(graphs)); the counts of stage-1 decisions and
+// escalations feed the serve metrics. Graphs outside the packed fast
+// path (labeled extension, edgeless) are decided at full dimension and
+// counted as escalations. Without an active cascade it falls back to
+// PredictBatchWith and reports zero for both counters.
+func (p *Predictor) PredictBatchCascadeWith(s *BatchScratch, graphs []*graph.Graph, out []int) (stage1, escalated int) {
+	cs := p.cascade.Load()
+	if cs == nil {
+		p.PredictBatchWith(s, graphs, out)
+		return 0, 0
+	}
+	if s.enc != p.enc {
+		panic("core: batch scratch bound to a different encoder")
+	}
+	if len(out) != len(graphs) {
+		panic(fmt.Sprintf("core: %d results for %d graphs", len(out), len(graphs)))
+	}
+	dp := cs.cfg.DPrefix
+	full := p.enc.cfg.Dimension
+	s.planBatchWidth(graphs, dp)
+	s.counter.SetDim(dp)
+	pbuf := s.prefixOut(dp)
+	for gi, g := range graphs {
+		if !s.signPackedInto(gi, pbuf) {
+			// Reference fallback, full dimension (pooled scratch; the
+			// batch counter's width is untouched).
+			out[gi] = p.pm.Classify(p.enc.EncodeGraphPacked(g))
+			escalated++
+			continue
+		}
+		best, _, bestH, secondH := cs.pm.ClassifyTop2(pbuf)
+		if secondH-bestH > cs.cfg.Margin {
+			out[gi] = best
+			stage1++
+			continue
+		}
+		// Escalate: re-sign this graph at full width straight off the
+		// basis table (the plan slab is prefix-width, but the sorted key
+		// segments and basis snapshot are width-independent).
+		s.counter.SetDim(full)
+		s.signDirectInto(gi, s.packed)
+		out[gi] = p.pm.Classify(s.packed)
+		s.counter.SetDim(dp)
+		escalated++
+	}
+	s.counter.SetDim(full) // restore the full-width invariant for PredictBatchWith
+	return stage1, escalated
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"testing"
 
 	"graphhd/internal/dataset"
@@ -205,4 +207,29 @@ func BenchmarkEncodeBatchSingle(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(ds.Graphs)), "ns/graph")
+}
+
+// BenchmarkEncodeScratchPackedDim sweeps the encode hot path across query
+// widths on ONE full-dimension encoder: EncodeGraphPackedPrefix narrows
+// the carry-save counter to the leading ⌈d/64⌉ words at call time, so the
+// sweep shows how per-graph encode cost scales with the runtime dimension
+// parameter (d=10000 is the full-width EncodeGraphPacked workload).
+func BenchmarkEncodeScratchPackedDim(b *testing.B) {
+	ds, err := dataset.Generate("ENZYMES", dataset.Options{Seed: 2, GraphCount: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := MustNewEncoder(DefaultConfig())
+	s := enc.NewScratch()
+	g := ds.Graphs[0]
+	for _, d := range []int{1000, 2000, 10000} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			s.EncodeGraphPackedPrefix(g, d)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.EncodeGraphPackedPrefix(g, d)
+			}
+		})
+	}
 }

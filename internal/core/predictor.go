@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"graphhd/internal/graph"
 	"graphhd/internal/hdc"
@@ -19,10 +20,15 @@ import (
 // snapshot freezes).
 //
 // A Predictor does not learn; keep the Model for training/retraining and
-// re-snapshot after updates. Predictors are safe for concurrent use.
+// re-snapshot after updates. Predictors are safe for concurrent use,
+// including concurrent SetCascade/ClearCascade reconfiguration.
 type Predictor struct {
 	enc *Encoder
 	pm  *hdc.PackedMemory
+	// cascade, when non-nil, enables two-stage prefix-sliced
+	// classification (see cascade.go). Atomic so serving traffic can race
+	// with reconfiguration.
+	cascade atomic.Pointer[cascadeState]
 }
 
 // Snapshot freezes the model's current class accumulators into a packed
@@ -46,6 +52,11 @@ func newPredictor(enc *Encoder, classes []*hdc.Binary) (*Predictor, error) {
 
 // Encoder returns the predictor's encoder.
 func (p *Predictor) Encoder() *Encoder { return p.enc }
+
+// Dimension returns the hypervector dimensionality of the model — the
+// full query width (cascade stage 1, when configured, runs at
+// Cascade().DPrefix of it).
+func (p *Predictor) Dimension() int { return p.pm.Dim() }
 
 // NumClasses returns the number of classes.
 func (p *Predictor) NumClasses() int { return p.pm.NumClasses() }

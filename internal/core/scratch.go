@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"slices"
 
 	"graphhd/internal/centrality"
@@ -40,6 +41,11 @@ type EncoderScratch struct {
 	pairs    []hdc.XorPair
 	wPairs   []hdc.XorPair
 	wMults   []int32
+
+	// pout is the reusable output vector for prefix-width encodes
+	// (EncodeGraphPackedPrefix); it re-allocates only when the requested
+	// width changes, so one cascade configuration encodes allocation-free.
+	pout *hdc.Binary
 }
 
 // NewScratch returns a fresh scratch bound to e, for callers that manage
@@ -187,6 +193,48 @@ func (s *EncoderScratch) EncodeGraphPacked(g *graph.Graph) *hdc.Binary {
 		return s.counter.SignBinaryInto(s.enc.packedTie, s.packed)
 	}
 	return s.enc.encodeGraphSlow(g).PackBinary()
+}
+
+// prefixOut returns the scratch's reusable d-dimensional output buffer.
+func (s *EncoderScratch) prefixOut(d int) *hdc.Binary {
+	if s.pout == nil || s.pout.Dim() != d {
+		s.pout = hdc.NewBinary(d)
+	}
+	return s.pout
+}
+
+// EncodeGraphPackedPrefix encodes the first d components of Enc_G(g) —
+// bit-identical to EncodeGraphPacked(g).PrefixCopy(d), and therefore to
+// the full encoding of a d-dimensional model sharing the basis prefix
+// (majority bundling is componentwise) — at ~d/Dimension of the cost:
+// the counter is narrowed with SetDim and consumes only the first
+// ⌈d/64⌉ words of the full-width basis vectors, tail-masked, through the
+// same kernel tiers. This is the stage-1 encode of cascade
+// classification. The result lives in the scratch's prefix buffer, valid
+// until the next prefix-width call on s; d must lie in [1, Dimension].
+func (s *EncoderScratch) EncodeGraphPackedPrefix(g *graph.Graph, d int) *hdc.Binary {
+	e := s.enc
+	if d == e.cfg.Dimension {
+		return s.EncodeGraphPacked(g)
+	}
+	if d < 1 || d > e.cfg.Dimension {
+		panic(fmt.Sprintf("core: prefix dimension %d outside [1,%d]", d, e.cfg.Dimension))
+	}
+	if s.prepareGroups(g) {
+		out := s.prefixOut(d)
+		s.counter.SetDim(d)
+		if s.smallSignReady() {
+			s.counter.SignXorPairsSmallInto(s.pairs, e.packedTie, out)
+		} else {
+			s.feedCounter()
+			s.counter.SignBinaryInto(e.packedTie, out)
+		}
+		s.counter.SetDim(e.cfg.Dimension)
+		return out
+	}
+	// Reference fallback (labeled extension, edgeless): encode at full
+	// width and slice — exact, by the componentwise identity.
+	return e.encodeGraphSlow(g).PackBinary().PrefixCopy(d)
 }
 
 // encodeGraphNew is EncodeGraph for callers that retain the result (batch

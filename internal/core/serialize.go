@@ -13,10 +13,11 @@ import (
 
 // Model serialization. A trained GraphHD model is remarkably small: the
 // basis hypervectors regenerate deterministically from the seed, so only
-// the configuration and the per-class state need storing. Two record
+// the configuration and the per-class state need storing. Three record
 // versions share one header layout (little endian):
 //
-//	magic   [8]byte  "GRAPHHD1" (full model) or "GRAPHHD2" (packed predictor)
+//	magic   [8]byte  "GRAPHHD1" (full model), "GRAPHHD2" (packed
+//	                 predictor), or "GRAPHHD3" (packed + cascade config)
 //	dim     uint32
 //	prIters uint32
 //	damping float64
@@ -31,12 +32,19 @@ import (
 // majority-voted class vectors bit-packed — k × ⌈dim/64⌉ uint64 words —
 // the query-only deployment form (~7.5 KB for the same model, 32× less).
 //
+// A GRAPHHD3 record is a GRAPHHD2 packed predictor that additionally
+// carries its cascade configuration — dprefix uint32 + margin uint32
+// between the header and the class words — so a calibrated two-stage
+// deployment (see cascade.go) survives save/load without re-calibration.
+// Predictor.WriteTo emits GRAPHHD3 exactly when a cascade is set.
+//
 // The labeled-extension (rank, label) cache regenerates lazily from the
 // seed, so labeled models round-trip too.
 
 var (
-	modelMagic  = [8]byte{'G', 'R', 'A', 'P', 'H', 'H', 'D', '1'}
-	packedMagic = [8]byte{'G', 'R', 'A', 'P', 'H', 'H', 'D', '2'}
+	modelMagic   = [8]byte{'G', 'R', 'A', 'P', 'H', 'H', 'D', '1'}
+	packedMagic  = [8]byte{'G', 'R', 'A', 'P', 'H', 'H', 'D', '2'}
+	cascadeMagic = [8]byte{'G', 'R', 'A', 'P', 'H', 'H', 'D', '3'}
 )
 
 const (
@@ -198,8 +206,9 @@ func LoadModelFile(path string) (*Model, error) {
 	return ReadModel(f)
 }
 
-// WriteTo serializes the predictor as a GRAPHHD2 packed record. It
-// implements io.WriterTo.
+// WriteTo serializes the predictor as a GRAPHHD2 packed record — or, when
+// a cascade is configured, a GRAPHHD3 record carrying the cascade config.
+// It implements io.WriterTo.
 func (p *Predictor) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	n := int64(0)
@@ -210,8 +219,20 @@ func (p *Predictor) WriteTo(w io.Writer) (int64, error) {
 		n += int64(binary.Size(v))
 		return nil
 	}
-	if err := writeHeader(write, packedMagic, p.enc.Config(), p.NumClasses()); err != nil {
+	casc, hasCasc := p.Cascade()
+	magic := packedMagic
+	if hasCasc {
+		magic = cascadeMagic
+	}
+	if err := writeHeader(write, magic, p.enc.Config(), p.NumClasses()); err != nil {
 		return n, err
+	}
+	if hasCasc {
+		for _, v := range []uint32{uint32(casc.DPrefix), uint32(casc.Margin)} {
+			if err := write(v); err != nil {
+				return n, fmt.Errorf("core: serialize cascade config: %w", err)
+			}
+		}
 	}
 	for c := 0; c < p.NumClasses(); c++ {
 		if err := write(p.pm.ClassVector(c).Words()); err != nil {
@@ -237,9 +258,10 @@ func (p *Predictor) SaveFile(path string) error {
 	return f.Close()
 }
 
-// ReadPredictor deserializes a packed query predictor. It accepts both
-// record versions: a GRAPHHD2 record loads directly, and a GRAPHHD1 full
-// model is loaded and snapshotted, so deployment code reads either format.
+// ReadPredictor deserializes a packed query predictor. It accepts all
+// record versions: a GRAPHHD2/GRAPHHD3 record loads directly (the latter
+// restoring its cascade configuration), and a GRAPHHD1 full model is
+// loaded and snapshotted, so deployment code reads any format.
 // Note that snapshotting always yields the majority-voted query semantics:
 // for a GRAPHHD1 model saved with BipolarClassVectors false, the resulting
 // predictions follow the majority-voted rule, not the int32-accumulator
@@ -261,13 +283,26 @@ func ReadPredictor(r io.Reader) (*Predictor, error) {
 			return nil, err
 		}
 		return m.Snapshot(), nil
-	case packedMagic:
+	case packedMagic, cascadeMagic:
 	default:
 		return nil, fmt.Errorf("core: bad model magic %q", magic)
 	}
 	cfg, k, err := readHeaderBody(read)
 	if err != nil {
 		return nil, err
+	}
+	var casc Cascade
+	if magic == cascadeMagic {
+		var dprefix, margin uint32
+		for _, v := range []any{&dprefix, &margin} {
+			if err := read(v); err != nil {
+				return nil, fmt.Errorf("core: read cascade config: %w", err)
+			}
+		}
+		casc = Cascade{DPrefix: int(dprefix), Margin: int(margin)}
+		if err := casc.Validate(cfg.Dimension); err != nil {
+			return nil, err
+		}
 	}
 	enc, err := NewEncoder(cfg)
 	if err != nil {
@@ -283,7 +318,16 @@ func ReadPredictor(r io.Reader) (*Predictor, error) {
 			return nil, fmt.Errorf("core: packed class %d: %w", c, err)
 		}
 	}
-	return newPredictor(enc, classes)
+	p, err := newPredictor(enc, classes)
+	if err != nil {
+		return nil, err
+	}
+	if magic == cascadeMagic {
+		if err := p.SetCascade(casc); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
 }
 
 // LoadPredictorFile reads a predictor from path (either record version).

@@ -1,0 +1,119 @@
+// Cascade calibration: choose the escalation margin of a prefix-sliced
+// two-stage classifier (core.Cascade, DESIGN.md §2c) from a labeled
+// holdout set, matching full-dimension accuracy with the smallest — and
+// therefore cheapest — escalation band.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"graphhd/internal/core"
+	"graphhd/internal/graph"
+)
+
+// CascadeReport summarizes one calibration sweep: what the chosen margin
+// costs and buys on the holdout set.
+type CascadeReport struct {
+	// Holdout is the number of calibration graphs.
+	Holdout int
+	// FullCorrect is the number the full-dimension predictor got right.
+	FullCorrect int
+	// CascadeCorrect is the number the calibrated cascade gets right.
+	CascadeCorrect int
+	// Escalations is how many holdout graphs the chosen margin escalates.
+	Escalations int
+	// Stage1HitRate is the fraction decided at prefix width,
+	// 1 - Escalations/Holdout.
+	Stage1HitRate float64
+}
+
+// CalibrateCascade sweeps escalation margins for a dPrefix-wide stage 1 on
+// a labeled holdout set and returns the smallest margin whose cascade
+// accuracy is within tol (a fraction, e.g. 0.005 for half a point) of the
+// full-dimension predictor's accuracy on the same graphs.
+//
+// The sweep costs one prefix encode and one full predict per holdout
+// graph, total — a graph's stage-1 decision and top-two margin do not
+// depend on the threshold, so every candidate margin is scored from the
+// same per-graph records. Escalated graphs answer exactly as the
+// full-dimension predictor does, hence the maximal margin always matches
+// full accuracy and the sweep always terminates. The returned Cascade is
+// validated but NOT installed; pass it to Predictor.SetCascade.
+func CalibrateCascade(p *core.Predictor, graphs []*graph.Graph, labels []int, dPrefix int, tol float64) (core.Cascade, *CascadeReport, error) {
+	if len(graphs) == 0 || len(graphs) != len(labels) {
+		return core.Cascade{}, nil, fmt.Errorf("eval: calibration holdout has %d graphs and %d labels", len(graphs), len(labels))
+	}
+	if tol < 0 {
+		return core.Cascade{}, nil, fmt.Errorf("eval: negative calibration tolerance %g", tol)
+	}
+	probe := core.Cascade{DPrefix: dPrefix}
+	if err := probe.Validate(p.Dimension()); err != nil {
+		return core.Cascade{}, nil, err
+	}
+	pm, err := p.PrefixSnapshot(dPrefix)
+	if err != nil {
+		return core.Cascade{}, nil, err
+	}
+
+	// Per-graph record: stage-1 class and margin, full-dimension class.
+	// Everything the threshold sweep needs, computed once.
+	type rec struct {
+		s1, margin, full int
+	}
+	recs := make([]rec, len(graphs))
+	s := p.Encoder().NewScratch()
+	for i, g := range graphs {
+		hv := s.EncodeGraphPackedPrefix(g, dPrefix)
+		best, _, bestH, secondH := pm.ClassifyTop2(hv)
+		recs[i] = rec{s1: best, margin: secondH - bestH, full: p.PredictWith(s, g)}
+	}
+	fullCorrect := 0
+	for i, r := range recs {
+		if r.full == labels[i] {
+			fullCorrect++
+		}
+	}
+	floor := fullCorrect - int(tol*float64(len(graphs)))
+
+	// Candidate margins are the distinct observed per-graph margins (plus
+	// 0): raising the threshold between two observed values changes
+	// nothing, so the sweep is exact. Ascending order finds the smallest
+	// band that clears the floor.
+	cands := []int{0}
+	seen := map[int]bool{0: true}
+	for _, r := range recs {
+		if !seen[r.margin] {
+			seen[r.margin] = true
+			cands = append(cands, r.margin)
+		}
+	}
+	sort.Ints(cands)
+	for _, m := range cands {
+		correct, esc := 0, 0
+		for i, r := range recs {
+			cls := r.s1
+			if r.margin <= m {
+				cls = r.full
+				esc++
+			}
+			if cls == labels[i] {
+				correct++
+			}
+		}
+		if correct >= floor {
+			c := core.Cascade{DPrefix: dPrefix, Margin: m}
+			rep := &CascadeReport{
+				Holdout:        len(graphs),
+				FullCorrect:    fullCorrect,
+				CascadeCorrect: correct,
+				Escalations:    esc,
+				Stage1HitRate:  1 - float64(esc)/float64(len(graphs)),
+			}
+			return c, rep, nil
+		}
+	}
+	// Unreachable: the maximal observed margin escalates every graph whose
+	// stage-1 answer could differ, matching full accuracy exactly.
+	panic("eval: cascade margin sweep failed to converge")
+}

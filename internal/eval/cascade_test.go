@@ -1,0 +1,124 @@
+package eval
+
+import (
+	"testing"
+
+	"graphhd/internal/core"
+	"graphhd/internal/dataset"
+)
+
+// TestCalibrateCascadeAllDatasets pins the cascade acceptance criterion
+// end to end on every synthetic Table-I dataset: a margin calibrated on a
+// holdout keeps test accuracy within the tolerance of the full-dimension
+// baseline, and the calibration report's bookkeeping is internally
+// consistent.
+func TestCalibrateCascadeAllDatasets(t *testing.T) {
+	const tol = 0.005 // the half-point band of the acceptance criterion
+	for _, name := range dataset.Names() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			count := 90
+			if name == "DD" {
+				count = 30 // DD graphs are ~25× larger than the rest
+			}
+			ds, err := dataset.Generate(name, dataset.Options{Seed: 47, GraphCount: count})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Train / holdout / test thirds.
+			n := len(ds.Graphs)
+			trainG, trainY := ds.Graphs[:n/3], ds.Labels[:n/3]
+			holdG, holdY := ds.Graphs[n/3:2*n/3], ds.Labels[n/3:2*n/3]
+			testG, testY := ds.Graphs[2*n/3:], ds.Labels[2*n/3:]
+
+			cfg := core.DefaultConfig()
+			cfg.Dimension = 2048
+			m, err := core.Train(cfg, trainG, trainY)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pred := m.Snapshot()
+			casc, rep, err := CalibrateCascade(pred, holdG, holdY, 512, tol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if casc.DPrefix != 512 || casc.Margin < 0 {
+				t.Fatalf("implausible calibrated cascade %+v", casc)
+			}
+			if rep.Holdout != len(holdG) || rep.Escalations > rep.Holdout {
+				t.Fatalf("inconsistent report %+v", rep)
+			}
+			if floor := rep.FullCorrect - int(tol*float64(rep.Holdout)); rep.CascadeCorrect < floor {
+				t.Fatalf("holdout cascade correct %d below floor %d", rep.CascadeCorrect, floor)
+			}
+			if hr := 1 - float64(rep.Escalations)/float64(rep.Holdout); rep.Stage1HitRate != hr {
+				t.Fatalf("Stage1HitRate %f, want %f", rep.Stage1HitRate, hr)
+			}
+
+			// On held-out test graphs the calibrated cascade stays within
+			// the band of the full-dimension baseline. (The guarantee is
+			// statistical, calibrated on the holdout; the generators'
+			// in-distribution test split tracks it — allow one graph of
+			// slack beyond the band for small test sets.)
+			fullPreds := pred.PredictAll(testG)
+			if err := pred.SetCascade(casc); err != nil {
+				t.Fatal(err)
+			}
+			s := pred.Encoder().NewScratch()
+			fullCorrect, cascCorrect := 0, 0
+			for i, g := range testG {
+				if fullPreds[i] == testY[i] {
+					fullCorrect++
+				}
+				if cls, _ := pred.PredictCascadeWith(s, g); cls == testY[i] {
+					cascCorrect++
+				}
+			}
+			floor := fullCorrect - int(tol*float64(len(testG))) - 1
+			if cascCorrect < floor {
+				t.Fatalf("test cascade correct %d below floor %d (full %d of %d)",
+					cascCorrect, floor, fullCorrect, len(testG))
+			}
+		})
+	}
+}
+
+func TestCalibrateCascadeErrors(t *testing.T) {
+	ds, err := dataset.Generate("MUTAG", dataset.Options{Seed: 51, GraphCount: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Dimension = 1024
+	m, err := core.Train(cfg, ds.Graphs, ds.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.Snapshot()
+	if _, _, err := CalibrateCascade(pred, nil, nil, 256, 0); err == nil {
+		t.Fatal("empty holdout accepted")
+	}
+	if _, _, err := CalibrateCascade(pred, ds.Graphs, ds.Labels[:3], 256, 0); err == nil {
+		t.Fatal("mismatched labels accepted")
+	}
+	if _, _, err := CalibrateCascade(pred, ds.Graphs, ds.Labels, 1024, 0); err == nil {
+		t.Fatal("prefix equal to model dimension accepted")
+	}
+	if _, _, err := CalibrateCascade(pred, ds.Graphs, ds.Labels, 32, 0); err == nil {
+		t.Fatal("undersized prefix accepted")
+	}
+	if _, _, err := CalibrateCascade(pred, ds.Graphs, ds.Labels, 256, -0.1); err == nil {
+		t.Fatal("negative tolerance accepted")
+	}
+
+	// Zero tolerance always converges: the maximal margin escalates
+	// everything and matches full accuracy exactly.
+	casc, rep, err := CalibrateCascade(pred, ds.Graphs, ds.Labels, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CascadeCorrect < rep.FullCorrect {
+		t.Fatalf("zero-tolerance calibration lost accuracy: %d < %d (margin %d)",
+			rep.CascadeCorrect, rep.FullCorrect, casc.Margin)
+	}
+}

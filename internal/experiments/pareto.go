@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"graphhd/internal/core"
+	"graphhd/internal/dataset"
+	"graphhd/internal/eval"
+	"graphhd/internal/graph"
+)
+
+// ParetoPoint is one cell of the accuracy–latency Pareto sweep: how one
+// query mode of one dataset trades accuracy against per-graph latency.
+// Mode "prefix" classifies purely at Dim leading components of the
+// full-dimension model (the small-d model sharing the basis prefix);
+// "full" is the single-stage full-dimension baseline; "cascade" is the
+// two-stage path with its margin calibrated on a holdout, reporting the
+// stage-1 hit rate and escalation count alongside.
+type ParetoPoint struct {
+	Dataset        string  `json:"dataset"`
+	Mode           string  `json:"mode"` // "prefix", "full", or "cascade"
+	Dim            int     `json:"dim"`  // query width (stage-1 width for cascade)
+	FullDim        int     `json:"full_dim"`
+	Margin         int     `json:"margin,omitempty"` // cascade escalation margin
+	Accuracy       float64 `json:"accuracy"`
+	MicrosPerGraph float64 `json:"us_per_graph"`
+	Stage1HitRate  float64 `json:"stage1_hit_rate,omitempty"`
+	Escalations    int     `json:"escalations,omitempty"`
+	TestGraphs     int     `json:"test_graphs"`
+}
+
+// ParetoOptions tunes the sweep.
+type ParetoOptions struct {
+	// Seed fixes dataset generation and training.
+	Seed uint64
+	// GraphCount overrides each dataset's paper-size graph count when
+	// positive (quick mode).
+	GraphCount int
+	// FullDim is the full model dimension. Default 10000 (the paper's d).
+	FullDim int
+	// PrefixDims are the prefix widths swept. Default {1024, 2048}.
+	PrefixDims []int
+	// CascadeTol is the calibration accuracy tolerance as a fraction.
+	// Default 0.005 (the half-point band of the acceptance criterion).
+	CascadeTol float64
+}
+
+func (o ParetoOptions) withDefaults() ParetoOptions {
+	if o.FullDim <= 0 {
+		o.FullDim = 10000
+	}
+	if len(o.PrefixDims) == 0 {
+		o.PrefixDims = []int{1024, 2048}
+	}
+	if o.CascadeTol <= 0 {
+		o.CascadeTol = 0.005
+	}
+	return o
+}
+
+// RunPareto sweeps the accuracy–latency Pareto frontier on every
+// synthetic Table-I dataset: train at FullDim on a training split, then
+// measure accuracy and µs/graph on a test split for (a) pure prefix-width
+// classification at each PrefixDims entry, (b) the full-dimension
+// baseline, and (c) the two-stage cascade with its margin calibrated on a
+// holdout split at the smallest prefix width.
+func RunPareto(opts ParetoOptions) ([]ParetoPoint, error) {
+	opts = opts.withDefaults()
+	var out []ParetoPoint
+	for _, name := range dataset.Names() {
+		ds, err := dataset.Generate(name, dataset.Options{Seed: opts.Seed, GraphCount: opts.GraphCount})
+		if err != nil {
+			return nil, err
+		}
+		pts, err := paretoDataset(ds, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: pareto %s: %w", name, err)
+		}
+		out = append(out, pts...)
+	}
+	return out, nil
+}
+
+func paretoDataset(ds *graph.Dataset, opts ParetoOptions) ([]ParetoPoint, error) {
+	n := len(ds.Graphs)
+	if n < 6 {
+		return nil, fmt.Errorf("%d graphs is too few for a train/holdout/test split", n)
+	}
+	// Generated datasets interleave classes, so contiguous thirds stay
+	// stratified: train on the first, calibrate on the second, time and
+	// score on the third.
+	trainG, trainY := ds.Graphs[:n/3], ds.Labels[:n/3]
+	holdG, holdY := ds.Graphs[n/3:2*n/3], ds.Labels[n/3:2*n/3]
+	testG, testY := ds.Graphs[2*n/3:], ds.Labels[2*n/3:]
+
+	cfg := core.DefaultConfig()
+	cfg.Dimension = opts.FullDim
+	cfg.Seed = opts.Seed
+	m, err := core.Train(cfg, trainG, trainY)
+	if err != nil {
+		return nil, err
+	}
+	pred := m.Snapshot()
+	s := pred.Encoder().NewScratch()
+
+	var out []ParetoPoint
+	base := ParetoPoint{Dataset: ds.Name, FullDim: opts.FullDim, TestGraphs: len(testG)}
+
+	// Pure prefix-width classification: what a small-d model sharing the
+	// basis prefix would serve.
+	for _, dp := range opts.PrefixDims {
+		if dp >= opts.FullDim {
+			continue
+		}
+		pm, err := pred.PrefixSnapshot(dp)
+		if err != nil {
+			return nil, err
+		}
+		p := base
+		p.Mode, p.Dim = "prefix", dp
+		p.Accuracy, p.MicrosPerGraph = timeClassify(testG, testY, func(g *graph.Graph) int {
+			return pm.Classify(s.EncodeGraphPackedPrefix(g, dp))
+		})
+		out = append(out, p)
+	}
+
+	// Full-dimension baseline.
+	full := base
+	full.Mode, full.Dim = "full", opts.FullDim
+	full.Accuracy, full.MicrosPerGraph = timeClassify(testG, testY, func(g *graph.Graph) int {
+		return pred.PredictWith(s, g)
+	})
+	out = append(out, full)
+
+	// Calibrated cascade at the smallest prefix width.
+	casc, _, err := eval.CalibrateCascade(pred, holdG, holdY, opts.PrefixDims[0], opts.CascadeTol)
+	if err != nil {
+		return nil, err
+	}
+	if err := pred.SetCascade(casc); err != nil {
+		return nil, err
+	}
+	escalations := 0
+	cp := base
+	cp.Mode, cp.Dim, cp.Margin = "cascade", casc.DPrefix, casc.Margin
+	cp.Accuracy, cp.MicrosPerGraph = timeClassify(testG, testY, func(g *graph.Graph) int {
+		cls, esc := pred.PredictCascadeWith(s, g)
+		if esc {
+			escalations++
+		}
+		return cls
+	})
+	// Escalation is deterministic per graph, so every pass (including the
+	// warm-up) escalates the same set; report one pass's worth.
+	passes := 1 + timingPasses(len(testG))
+	cp.Stage1HitRate = 1 - float64(escalations/passes)/float64(len(testG))
+	cp.Escalations = escalations / passes
+	out = append(out, cp)
+	pred.ClearCascade()
+	return out, nil
+}
+
+// timingPasses picks how many timed passes over n test graphs give a
+// stable per-graph latency: small quick-mode splits repeat until ~256
+// predictions have been timed, paper-size splits need only one pass.
+func timingPasses(n int) int {
+	return 1 + 255/n
+}
+
+// timeClassify measures classify over the test split: one untimed
+// warm-up pass (scratch growth, packed basis tables), then timed passes,
+// returning the accuracy and the mean µs/graph.
+func timeClassify(testG []*graph.Graph, testY []int, classify func(*graph.Graph) int) (acc, usPerGraph float64) {
+	correct := 0
+	for i, g := range testG { // warm-up, also scores accuracy
+		if classify(g) == testY[i] {
+			correct++
+		}
+	}
+	passes := timingPasses(len(testG))
+	t0 := time.Now()
+	for p := 0; p < passes; p++ {
+		for _, g := range testG {
+			classify(g)
+		}
+	}
+	elapsed := time.Since(t0)
+	return float64(correct) / float64(len(testG)),
+		float64(elapsed.Nanoseconds()) / 1e3 / float64(passes*len(testG))
+}
+
+// WriteParetoJSON renders the sweep as indented JSON — the
+// machine-readable artifact CI archives alongside the Table-I
+// reproduction.
+func WriteParetoJSON(w io.Writer, pts []ParetoPoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pts)
+}
+
+// WritePareto renders the sweep as an aligned human-readable table.
+func WritePareto(w io.Writer, pts []ParetoPoint) {
+	fmt.Fprintf(w, "%-10s %-8s %7s %8s %10s %12s %8s\n",
+		"Dataset", "Mode", "Dim", "Margin", "Accuracy", "µs/graph", "Stage1")
+	for _, p := range pts {
+		s1 := ""
+		if p.Mode == "cascade" {
+			s1 = fmt.Sprintf("%.1f%%", 100*p.Stage1HitRate)
+		}
+		fmt.Fprintf(w, "%-10s %-8s %7d %8d %10.4f %12.2f %8s\n",
+			p.Dataset, p.Mode, p.Dim, p.Margin, p.Accuracy, p.MicrosPerGraph, s1)
+	}
+}

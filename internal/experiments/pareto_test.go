@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"graphhd/internal/dataset"
+)
+
+// TestRunParetoQuickSmoke runs the sweep small: every dataset contributes
+// one point per prefix width plus a full-dimension baseline and a
+// calibrated cascade, internally consistent and JSON-serializable.
+func TestRunParetoQuickSmoke(t *testing.T) {
+	opts := ParetoOptions{
+		Seed:       3,
+		GraphCount: 24,
+		FullDim:    1024,
+		PrefixDims: []int{128, 256},
+	}
+	pts, err := RunPareto(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDataset := len(opts.PrefixDims) + 2 // prefixes + full + cascade
+	if want := len(dataset.Names()) * perDataset; len(pts) != want {
+		t.Fatalf("%d points, want %d", len(pts), want)
+	}
+	for _, p := range pts {
+		if p.Accuracy < 0 || p.Accuracy > 1 {
+			t.Fatalf("%s/%s: accuracy %f out of range", p.Dataset, p.Mode, p.Accuracy)
+		}
+		if p.MicrosPerGraph < 0 || p.TestGraphs <= 0 || p.FullDim != opts.FullDim {
+			t.Fatalf("inconsistent point %+v", p)
+		}
+		switch p.Mode {
+		case "prefix":
+			if p.Dim >= opts.FullDim {
+				t.Fatalf("prefix point at dim %d", p.Dim)
+			}
+		case "full":
+			if p.Dim != opts.FullDim {
+				t.Fatalf("full point at dim %d", p.Dim)
+			}
+		case "cascade":
+			if p.Dim != opts.PrefixDims[0] {
+				t.Fatalf("cascade stage-1 dim %d, want %d", p.Dim, opts.PrefixDims[0])
+			}
+			if p.Stage1HitRate < 0 || p.Stage1HitRate > 1 || p.Escalations > p.TestGraphs {
+				t.Fatalf("inconsistent cascade point %+v", p)
+			}
+		default:
+			t.Fatalf("unknown mode %q", p.Mode)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteParetoJSON(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	var back []ParetoPoint
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(pts) {
+		t.Fatalf("round-trip lost points: %d != %d", len(back), len(pts))
+	}
+
+	buf.Reset()
+	WritePareto(&buf, pts)
+	if !strings.Contains(buf.String(), "cascade") {
+		t.Fatal("table output missing cascade rows")
+	}
+}

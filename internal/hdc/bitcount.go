@@ -41,6 +41,12 @@ import (
 type BitCounter struct {
 	d     int
 	words int
+	// dcap is the construction-time dimension: the capacity ceiling for
+	// SetDim. All tier storage is sized for dcap; d ≤ dcap selects the
+	// active prefix. countsAll is the full-capacity int32 slab that counts
+	// re-slices into at the active width.
+	dcap      int
+	countsAll []int32
 	// nib[j][w]: 16 nibble counters for components 64w + 4k + j.
 	nib [4][]uint64
 	// byteLo[j]/byteHi[j]: byte counters absorbing the even/odd nibbles of
@@ -106,7 +112,8 @@ func NewBitCounter(d int) *BitCounter {
 		panic("hdc: non-positive dimension")
 	}
 	w := (d + 63) / 64
-	c := &BitCounter{d: d, words: w, counts: make([]int32, d)}
+	c := &BitCounter{d: d, dcap: d, words: w, counts: make([]int32, d)}
+	c.countsAll = c.counts
 	for j := range c.nib {
 		c.nib[j] = make([]uint64, w)
 	}
@@ -152,8 +159,36 @@ func (c *BitCounter) vecWords(k *kernelTable, masked bool) int {
 	return full &^ (k.lanes - 1)
 }
 
-// Dim returns the dimensionality.
+// Dim returns the active dimensionality.
 func (c *BitCounter) Dim() int { return c.d }
+
+// Capacity returns the construction-time dimension: the largest value
+// SetDim accepts.
+func (c *BitCounter) Capacity() int { return c.dcap }
+
+// SetDim re-targets the counter at dimension d, reusing the storage
+// allocated at construction — the prefix-slicing hook that lets one
+// counter serve encodes of several widths with zero reallocation. d must
+// lie in [1, Capacity()]. Any accumulated weight is discarded (the
+// counter is Reset at its current width first, where all dirty state
+// lives, so narrowing then widening never resurrects stale counts).
+//
+// Operands handed to the accumulation entry points may be wider than the
+// active dimension: only the first d components are read and the tail
+// word is masked, so full-width basis vectors feed a narrowed counter
+// directly, with no per-call prefix views.
+func (c *BitCounter) SetDim(d int) {
+	if d == c.d {
+		return
+	}
+	if d < 1 || d > c.dcap {
+		panic(fmt.Sprintf("hdc: dimension %d outside counter capacity [1,%d]", d, c.dcap))
+	}
+	c.Reset()
+	c.d = d
+	c.words = (d + 63) / 64
+	c.counts = c.countsAll[:d]
+}
 
 // Count returns the total weight added so far (the number of hypervectors
 // for unit-weight adds).
@@ -175,11 +210,21 @@ func (c *BitCounter) tailMask() uint64 {
 	return ^uint64(0)
 }
 
-// Add accumulates one binary hypervector.
-func (c *BitCounter) Add(b *Binary) {
-	if b.d != c.d {
-		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d", b.d, c.d))
+// checkOperand panics unless an operand of dimension d can cover the
+// counter's active dimension. Operands wider than c.d are accepted — the
+// prefix-slicing contract: accumulation reads only the first c.d
+// components and masks the tail word, so full-width vectors feed a
+// narrowed counter directly.
+func (c *BitCounter) checkOperand(d int) {
+	if d < c.d {
+		panic(fmt.Sprintf("hdc: operand dimension %d below counter dimension %d", d, c.d))
 	}
+}
+
+// Add accumulates the first d components of one binary hypervector
+// (b may be wider than the counter; see SetDim).
+func (c *BitCounter) Add(b *Binary) {
+	c.checkOperand(b.d)
 	c.checkAdds(1)
 	c.n++
 	c.addWordsLanes(b.words)
@@ -192,9 +237,8 @@ func (c *BitCounter) Add(b *Binary) {
 // garbage never reaches the counters. Batches of edges go faster through
 // AddXorPairs.
 func (c *BitCounter) AddXor(a, b *Binary, invert bool) {
-	if a.d != c.d || b.d != c.d {
-		panic("hdc: dimension mismatch")
-	}
+	c.checkOperand(a.d)
+	c.checkOperand(b.d)
 	c.checkAdds(1)
 	c.n++
 	c.addXorLanes(a.words, b.words, invert)
@@ -211,9 +255,12 @@ func (c *BitCounter) addXorLanes(aw, bw []uint64, invert bool) {
 	}
 	c.pendingNib++
 	n0, n1, n2, n3 := c.nib[0], c.nib[1], c.nib[2], c.nib[3]
+	// Both branches mask the tail word: under inversion the complement
+	// sets the unused high bits, and operands wider than the counter
+	// (prefix slicing) carry live bits there even without inversion.
+	tailMask := c.tailMask()
+	last := c.words - 1
 	if invert {
-		tailMask := c.tailMask()
-		last := c.words - 1
 		for w := 0; w < c.words; w++ {
 			x := ^(aw[w] ^ bw[w])
 			if w == last {
@@ -227,6 +274,9 @@ func (c *BitCounter) addXorLanes(aw, bw []uint64, invert bool) {
 	} else {
 		for w := 0; w < c.words; w++ {
 			x := aw[w] ^ bw[w]
+			if w == last {
+				x &= tailMask
+			}
 			n0[w] += x & nibbleLaneMask
 			n1[w] += (x >> 1) & nibbleLaneMask
 			n2[w] += (x >> 2) & nibbleLaneMask
@@ -244,8 +294,14 @@ func (c *BitCounter) addWordsLanes(x []uint64) {
 	}
 	c.pendingNib++
 	n0, n1, n2, n3 := c.nib[0], c.nib[1], c.nib[2], c.nib[3]
+	tailMask := c.tailMask()
+	last := c.words - 1
 	for w := 0; w < c.words; w++ {
 		v := x[w]
+		if w == last {
+			// Operands wider than the counter carry live bits past d.
+			v &= tailMask
+		}
 		n0[w] += v & nibbleLaneMask
 		n1[w] += (v >> 1) & nibbleLaneMask
 		n2[w] += (v >> 2) & nibbleLaneMask
@@ -280,9 +336,8 @@ type XorPair struct {
 // through the CSA cascade without contributing to any count.
 func (c *BitCounter) AddXorPairs(pairs []XorPair) {
 	for _, p := range pairs {
-		if p.A.d != c.d || p.B.d != c.d {
-			panic("hdc: dimension mismatch")
-		}
+		c.checkOperand(p.A.d)
+		c.checkOperand(p.B.d)
 	}
 	c.checkAdds(len(pairs))
 	c.n += len(pairs)
@@ -561,9 +616,8 @@ func (c *BitCounter) drainCarrySave() {
 // however many edges map to it. A zero weight is a no-op; negative
 // weights panic.
 func (c *BitCounter) AddXorWeighted(a, b *Binary, invert bool, weight int) {
-	if a.d != c.d || b.d != c.d {
-		panic("hdc: dimension mismatch")
-	}
+	c.checkOperand(a.d)
+	c.checkOperand(b.d)
 	if weight < 0 {
 		panic(fmt.Sprintf("hdc: negative weight %d", weight))
 	}
@@ -788,8 +842,13 @@ func (c *BitCounter) SignBinary(tie *Binary) *Binary {
 // on. Each output word is assembled before being stored, so dst may alias
 // tie. Returns dst.
 func (c *BitCounter) SignBinaryInto(tie, dst *Binary) *Binary {
-	if c.d != tie.d || c.d != dst.d {
-		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d vs %d", c.d, tie.d, dst.d))
+	// tie may be wider than the counter (prefix slicing): tie bits land in
+	// the output only on exact ties, which cannot occur past dimension d
+	// (those components hold zero count, and 0 == n/2 only for n == 0).
+	// dst is canonical output and must match exactly.
+	c.checkOperand(tie.d)
+	if c.d != dst.d {
+		panic(fmt.Sprintf("hdc: destination dimension %d, want %d", dst.d, c.d))
 	}
 	if c.signBinarySWAR(tie, dst) {
 		return dst

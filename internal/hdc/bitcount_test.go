@@ -111,10 +111,14 @@ func TestBitCounterReset(t *testing.T) {
 func TestBitCounterPanics(t *testing.T) {
 	c := NewBitCounter(64)
 	for _, fn := range []func(){
-		func() { c.Add(NewBinary(65)) },
-		func() { c.AddXor(NewBinary(64), NewBinary(65), false) },
+		// Operands narrower than the counter must panic (wider ones are
+		// the prefix-slicing contract and are accepted).
+		func() { c.Add(NewBinary(63)) },
+		func() { c.AddXor(NewBinary(64), NewBinary(63), false) },
 		func() { c.CountAt(64) },
 		func() { NewBitCounter(0) },
+		func() { c.SetDim(0) },
+		func() { c.SetDim(65) },
 	} {
 		func() {
 			defer func() {
@@ -219,7 +223,9 @@ func TestSignIntoDimensionPanics(t *testing.T) {
 		f()
 	}
 	mustPanic("SignBinaryInto dst", func() { c.SignBinaryInto(NewBinary(64), NewBinary(65)) })
-	mustPanic("SignBinaryInto tie", func() { c.SignBinaryInto(NewBinary(65), NewBinary(64)) })
+	// Ties WIDER than the counter are legal (prefix slicing); narrower
+	// ones cannot cover it and must panic.
+	mustPanic("SignBinaryInto tie", func() { c.SignBinaryInto(NewBinary(63), NewBinary(64)) })
 	mustPanic("SignBipolarInto dst", func() { c.SignBipolarInto(NewBipolar(64), NewBipolar(63)) })
 }
 

@@ -53,8 +53,12 @@ func (p *OperandPlan) AppendXnor(a, b *Binary) int {
 	if p.d == 0 {
 		panic("hdc: OperandPlan used before Reset")
 	}
-	if a.d != p.d || b.d != p.d {
-		panic(fmt.Sprintf("hdc: dimension mismatch %d/%d vs plan %d", a.d, b.d, p.d))
+	// Operands may be wider than the plan (prefix slicing; see
+	// BitCounter.SetDim): only the first d components are materialized and
+	// the tail is masked below, so full-width basis vectors feed a
+	// narrow-width plan directly.
+	if a.d < p.d || b.d < p.d {
+		panic(fmt.Sprintf("hdc: operand dimensions %d/%d below plan %d", a.d, b.d, p.d))
 	}
 	base := p.n * p.nw
 	if cap(p.words) < base+p.nw {

@@ -137,7 +137,12 @@ func TestOperandPlanPanics(t *testing.T) {
 
 	var plan OperandPlan
 	plan.Reset(64)
-	expectPanic("dimension mismatch", func() { plan.AppendXnor(RandomBinary(65, NewRNG(3)), b) })
+	// Narrower operands cannot cover the plan and must panic; wider ones
+	// are the prefix-slicing contract (see BitCounter.SetDim) and append
+	// their masked prefix.
+	expectPanic("dimension below plan", func() { plan.AppendXnor(RandomBinary(63, NewRNG(3)), b) })
+	plan.AppendXnor(RandomBinary(65, NewRNG(3)), b)
+	plan.Reset(64)
 	plan.AppendXnor(a, b)
 	expectPanic("operand out of range", func() { plan.Operand(1) })
 	c := NewBitCounter(64)

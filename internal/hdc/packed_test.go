@@ -33,7 +33,9 @@ func TestSignBinaryDimensionMismatchPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	NewBitCounter(64).SignBinary(NewBinary(65))
+	// A tie vector NARROWER than the counter cannot cover it and must
+	// panic. (Wider ties are legal under prefix slicing — see SetDim.)
+	NewBitCounter(65).SignBinary(NewBinary(64))
 }
 
 // packedFixture trains a small bipolar-mode associative memory and returns

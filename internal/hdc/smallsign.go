@@ -34,13 +34,17 @@ func (c *BitCounter) SignXorPairsSmallInto(pairs []XorPair, tie, dst *Binary) *B
 	if len(pairs) == 0 || len(pairs) > MaxSmallSign {
 		panic(fmt.Sprintf("hdc: %d pairs outside small-sign range [1,%d]", len(pairs), MaxSmallSign))
 	}
-	if c.d != tie.d || c.d != dst.d {
-		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d vs %d", c.d, tie.d, dst.d))
+	// Pair operands and the tie vector may be wider than the counter
+	// (prefix slicing; see BitCounter.SetDim): only the first d components
+	// are read and the cascade masks the tail word. dst is canonical
+	// output and must match exactly.
+	c.checkOperand(tie.d)
+	if c.d != dst.d {
+		panic(fmt.Sprintf("hdc: destination dimension %d, want %d", dst.d, c.d))
 	}
 	for _, p := range pairs {
-		if p.A.d != c.d || p.B.d != c.d {
-			panic("hdc: dimension mismatch")
-		}
+		c.checkOperand(p.A.d)
+		c.checkOperand(p.B.d)
 	}
 	kern := loadKernels()
 	nw := c.words
@@ -141,8 +145,11 @@ func (c *BitCounter) SignPlannedSmallInto(plan *OperandPlan, idxs []int32, tie, 
 	if plan.d != c.d {
 		panic(fmt.Sprintf("hdc: plan dimension %d vs counter %d", plan.d, c.d))
 	}
-	if c.d != tie.d || c.d != dst.d {
-		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d vs %d", c.d, tie.d, dst.d))
+	// tie may be wider than the counter (prefix slicing); dst is canonical
+	// output and must match exactly. See SignXorPairsSmallInto.
+	c.checkOperand(tie.d)
+	if c.d != dst.d {
+		panic(fmt.Sprintf("hdc: destination dimension %d, want %d", dst.d, c.d))
 	}
 	for _, idx := range idxs {
 		if int(idx) < 0 || int(idx) >= plan.n {

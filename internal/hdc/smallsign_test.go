@@ -129,7 +129,13 @@ func TestSignSmallPanics(t *testing.T) {
 	})
 	expectPanic("zero idxs", func() { c.SignPlannedSmallInto(&plan, nil, tie, dst) })
 	expectPanic("idx out of range", func() { c.SignPlannedSmallInto(&plan, []int32{1}, tie, dst) })
-	expectPanic("pair dim mismatch", func() {
-		c.SignXorPairsSmallInto([]XorPair{{A: RandomBinary(65, rng), B: RandomBinary(65, rng)}}, tie, dst)
+	// Operands narrower than the counter must panic; wider operands are
+	// the prefix-slicing contract (see BitCounter.SetDim) and must not.
+	expectPanic("pair dim below counter", func() {
+		c.SignXorPairsSmallInto([]XorPair{{A: RandomBinary(63, rng), B: RandomBinary(63, rng)}}, tie, dst)
 	})
+	expectPanic("dst dim mismatch", func() {
+		c.SignXorPairsSmallInto([]XorPair{{A: a, B: b}}, tie, NewBinary(65))
+	})
+	c.SignXorPairsSmallInto([]XorPair{{A: RandomBinary(65, rng), B: RandomBinary(65, rng)}}, tie, dst)
 }

@@ -105,3 +105,43 @@ func BenchmarkServePredictBatch(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkServePredictCascade is BenchmarkServePredictBatch with
+// two-stage cascade classification enabled: stage 1 decides at a 1024-bit
+// prefix of the same basis and only margin-ambiguous graphs escalate to
+// the full 10,000-bit pass. The acceptance criterion for the cascade is
+// ≥2× the mean per-graph throughput of the full-dimension batch bench at
+// matched accuracy; compare the two per-graph numbers in one run.
+func BenchmarkServePredictCascade(b *testing.B) {
+	ds := dataset.MustGenerate("MUTAG", dataset.Options{Seed: 7, GraphCount: 48})
+	cfg := core.DefaultConfig()
+	m, err := core.Train(cfg, ds.Graphs, ds.Labels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred := m.Snapshot()
+	if err := pred.SetCascade(core.Cascade{DPrefix: 1024, Margin: 12}); err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEngine(pred, Options{MaxBatch: 64, MaxDelay: 200 * time.Microsecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	ctx := context.Background()
+	graphs := ds.Graphs[:32]
+	out := make([]int, len(graphs))
+	if err := e.PredictBatchInto(ctx, graphs, out); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.PredictBatchInto(ctx, graphs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	mm := e.Metrics()
+	b.ReportMetric(float64(mm.CascadeStage1)/float64(mm.CascadeStage1+mm.CascadeEscalated), "stage1-hit-rate")
+}

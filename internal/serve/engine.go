@@ -64,6 +64,13 @@ type Options struct {
 	// batch requests). Requests beyond it fail with ErrOverloaded.
 	// Default 4096.
 	QueueSize int
+	// PrepareModel, when set, is applied to every predictor loaded by
+	// SwapFromFile before it is installed — the hook cmd/graphhd-serve
+	// uses to re-apply operator cascade flags across SIGHUP reloads. A
+	// returned error aborts the swap, leaving the current model serving.
+	// It is NOT applied to the initial predictor or to direct Swap calls;
+	// callers configure those predictors themselves.
+	PrepareModel func(*core.Predictor) error
 }
 
 func (o Options) withDefaults() Options {
@@ -204,12 +211,18 @@ func (e *Engine) Swap(pred *core.Predictor) error {
 	return nil
 }
 
-// SwapFromFile re-reads a GRAPHHD1/GRAPHHD2 model artifact and installs
-// it; the reload path behind SIGHUP and POST /admin/reload.
+// SwapFromFile re-reads a GRAPHHD1/GRAPHHD2/GRAPHHD3 model artifact,
+// applies the PrepareModel hook if configured, and installs the result;
+// the reload path behind SIGHUP and POST /admin/reload.
 func (e *Engine) SwapFromFile(path string) error {
 	pred, err := core.LoadPredictorFile(path)
 	if err != nil {
 		return fmt.Errorf("serve: reload: %w", err)
+	}
+	if e.opts.PrepareModel != nil {
+		if err := e.opts.PrepareModel(pred); err != nil {
+			return fmt.Errorf("serve: reload: %w", err)
+		}
 	}
 	return e.Swap(pred)
 }
@@ -452,7 +465,14 @@ func (e *Engine) worker() {
 			rbuf = make([]int, len(gbuf))
 		}
 		rbuf = rbuf[:len(gbuf)]
-		p.PredictBatchWith(scratch, gbuf, rbuf)
+		if _, cascading := p.Cascade(); cascading {
+			// Two-stage path: the whole batch encodes once at prefix
+			// width; only ambiguous graphs pay full dimension.
+			s1, esc := p.PredictBatchCascadeWith(scratch, gbuf, rbuf)
+			e.m.observeCascade(s1, esc)
+		} else {
+			p.PredictBatchWith(scratch, gbuf, rbuf)
+		}
 		pairs, distinct := scratch.PlanStats()
 		e.m.observePlan(pairs, distinct)
 		j := 0

@@ -74,6 +74,10 @@ type ModelInfo struct {
 	Reloads            uint64 `json:"reloads"`
 	KernelTier         string `json:"kernel_tier"`
 	CPUFeatures        string `json:"cpu_features,omitempty"`
+	// Cascade fields are present only when two-stage prefix-sliced
+	// classification is active on the installed predictor.
+	CascadePrefix int `json:"cascade_prefix,omitempty"`
+	CascadeMargin int `json:"cascade_margin,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx response.
@@ -200,7 +204,7 @@ func (h *handler) model(w http.ResponseWriter, r *http.Request) {
 	p := h.e.Predictor()
 	cfg := p.Encoder().Config()
 	ks := hdc.Kernels()
-	writeJSON(w, http.StatusOK, ModelInfo{
+	info := ModelInfo{
 		Dimension:          cfg.Dimension,
 		Classes:            p.NumClasses(),
 		MemoryBytes:        p.MemoryBytes(),
@@ -211,7 +215,11 @@ func (h *handler) model(w http.ResponseWriter, r *http.Request) {
 		Reloads:            h.e.Reloads(),
 		KernelTier:         ks.Active.String(),
 		CPUFeatures:        ks.CPUFeatures,
-	})
+	}
+	if c, ok := p.Cascade(); ok {
+		info.CascadePrefix, info.CascadeMargin = c.DPrefix, c.Margin
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {

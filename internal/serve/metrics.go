@@ -29,6 +29,12 @@ type metrics struct {
 	planPairs    atomic.Uint64
 	planDistinct atomic.Uint64
 
+	// Cascade effectiveness: graphs decided at prefix width (stage 1)
+	// versus escalated to full dimension. Both stay zero while the
+	// installed model has no cascade configured.
+	cascadeStage1    atomic.Uint64
+	cascadeEscalated atomic.Uint64
+
 	latency   histogram // per-call latency, seconds
 	batchSize histogram // dispatched micro-batch sizes
 }
@@ -64,6 +70,11 @@ func (m *metrics) observeBatch(n int) {
 func (m *metrics) observePlan(pairs, distinct int) {
 	m.planPairs.Add(uint64(pairs))
 	m.planDistinct.Add(uint64(distinct))
+}
+
+func (m *metrics) observeCascade(stage1, escalated int) {
+	m.cascadeStage1.Add(uint64(stage1))
+	m.cascadeEscalated.Add(uint64(escalated))
 }
 
 // histogram is a fixed-bound Prometheus-style histogram. counts[i] holds
@@ -137,6 +148,11 @@ type Metrics struct {
 	// pipeline; PlanDistinct counts the deduplicated operands materialized
 	// for them. PlanPairs/PlanDistinct is the cross-graph dedup factor.
 	PlanPairs, PlanDistinct uint64
+	// CascadeStage1 counts graphs decided at cascade prefix width;
+	// CascadeEscalated counts graphs re-decided at full dimension.
+	// CascadeStage1/(CascadeStage1+CascadeEscalated) is the stage-1 hit
+	// rate. Both stay zero while no cascade is configured.
+	CascadeStage1, CascadeEscalated uint64
 	// QueueDepth is the number of graphs admitted but not yet dispatched.
 	QueueDepth int
 	// Latency is the per-call latency distribution in seconds; BatchSize
@@ -155,17 +171,19 @@ func (e *Engine) Metrics() Metrics {
 	processed := e.m.processed.Load()
 	accepted := e.m.accepted.Load()
 	return Metrics{
-		Requests:       e.m.requests.Load(),
-		Rejected:       e.m.rejected.Load(),
-		Processed:      processed,
-		Reloads:        e.m.reloads.Load(),
-		AcceptedGraphs: accepted,
-		InFlight:       accepted - processed,
-		PlanPairs:      e.m.planPairs.Load(),
-		PlanDistinct:   e.m.planDistinct.Load(),
-		QueueDepth:     int(e.depth.Load()),
-		Latency:        e.m.latency.snapshot(),
-		BatchSize:      e.m.batchSize.snapshot(),
+		Requests:         e.m.requests.Load(),
+		Rejected:         e.m.rejected.Load(),
+		Processed:        processed,
+		Reloads:          e.m.reloads.Load(),
+		AcceptedGraphs:   accepted,
+		InFlight:         accepted - processed,
+		PlanPairs:        e.m.planPairs.Load(),
+		PlanDistinct:     e.m.planDistinct.Load(),
+		CascadeStage1:    e.m.cascadeStage1.Load(),
+		CascadeEscalated: e.m.cascadeEscalated.Load(),
+		QueueDepth:       int(e.depth.Load()),
+		Latency:          e.m.latency.snapshot(),
+		BatchSize:        e.m.batchSize.snapshot(),
 	}
 }
 
@@ -175,6 +193,7 @@ func (e *Engine) Metrics() Metrics {
 func WriteMetrics(w io.Writer, m Metrics, pred interface {
 	NumClasses() int
 	MemoryBytes() int
+	Dimension() int
 }) error {
 	var err error
 	p := func(format string, args ...any) {
@@ -192,11 +211,14 @@ func WriteMetrics(w io.Writer, m Metrics, pred interface {
 	counter("graphhd_model_reloads_total", "Successful hot model swaps.", m.Reloads)
 	counter("graphhd_batch_plan_pairs_total", "Edge rank-pair instances encoded through batch operand plans.", m.PlanPairs)
 	counter("graphhd_batch_plan_distinct_total", "Deduplicated operands materialized by batch operand plans.", m.PlanDistinct)
+	counter("graphhd_cascade_stage1_total", "Graphs decided at cascade prefix width.", m.CascadeStage1)
+	counter("graphhd_cascade_escalated_total", "Graphs escalated to full dimension by the cascade.", m.CascadeEscalated)
 	p("# HELP graphhd_inflight_graphs Graphs admitted but not yet classified.\n# TYPE graphhd_inflight_graphs gauge\ngraphhd_inflight_graphs %d\n", m.InFlight)
 	p("# HELP graphhd_queue_depth Graphs admitted but not yet dispatched.\n# TYPE graphhd_queue_depth gauge\ngraphhd_queue_depth %d\n", m.QueueDepth)
 	if pred != nil {
 		p("# HELP graphhd_model_classes Classes in the installed model.\n# TYPE graphhd_model_classes gauge\ngraphhd_model_classes %d\n", pred.NumClasses())
 		p("# HELP graphhd_model_memory_bytes Packed class-vector bytes of the installed model.\n# TYPE graphhd_model_memory_bytes gauge\ngraphhd_model_memory_bytes %d\n", pred.MemoryBytes())
+		p("# HELP graphhd_model_dimension Hypervector dimensionality of the installed model.\n# TYPE graphhd_model_dimension gauge\ngraphhd_model_dimension %d\n", pred.Dimension())
 	}
 	ks := hdc.Kernels()
 	p("# HELP graphhd_kernel_info SIMD kernel tier serving the encode/query hot paths (info gauge; the value is always 1).\n# TYPE graphhd_kernel_info gauge\ngraphhd_kernel_info{tier=%q,features=%q} 1\n",

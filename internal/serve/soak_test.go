@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"graphhd/internal/core"
 )
 
 // TestEngineSoakMixedLoad is the serving soak test: sustained mixed
@@ -26,6 +28,12 @@ import (
 func TestEngineSoakMixedLoad(t *testing.T) {
 	predA, ds := testModel(t, 1024, 1)
 	predB, _ := testModel(t, 512, 99) // different dimension: swaps re-bind scratches
+	// predA serves through the two-stage cascade, predB single-stage, so
+	// the fleet's traffic mixes prefix-width and full-width batches across
+	// scratch re-binds — the mixed-width cascade leg of the -race audit.
+	if err := predA.SetCascade(core.Cascade{DPrefix: 256, Margin: 12}); err != nil {
+		t.Fatal(err)
+	}
 	e, err := NewEngine(predA, Options{
 		Workers:  4,
 		MaxBatch: 8,
@@ -194,7 +202,17 @@ func TestEngineSoakMixedLoad(t *testing.T) {
 	if m.PlanPairs == 0 || m.PlanDistinct == 0 || m.PlanDistinct > m.PlanPairs {
 		t.Fatalf("plan metrics inconsistent: pairs %d, distinct %d", m.PlanPairs, m.PlanDistinct)
 	}
-	t.Logf("soak: %d graphs over %d calls, %d rejected calls, %d swaps, plan dedup %.2fx",
+	// The cascade model served part of the traffic; every cascade-counted
+	// graph was also a processed graph.
+	if m.CascadeStage1 == 0 {
+		t.Fatal("cascade model never decided a graph at stage 1 during the soak")
+	}
+	if m.CascadeStage1+m.CascadeEscalated > m.Processed {
+		t.Fatalf("cascade counters %d+%d exceed processed %d",
+			m.CascadeStage1, m.CascadeEscalated, m.Processed)
+	}
+	t.Logf("soak: %d graphs over %d calls, %d rejected calls, %d swaps, plan dedup %.2fx, cascade %d/%d stage-1/escalated",
 		m.Processed, m.Requests, m.Rejected, swaps.Load(),
-		float64(m.PlanPairs)/float64(m.PlanDistinct))
+		float64(m.PlanPairs)/float64(m.PlanDistinct),
+		m.CascadeStage1, m.CascadeEscalated)
 }
