@@ -10,15 +10,27 @@
 //	graphhd-serve -model model.ghdp -workers 4 -max-batch 32 -max-delay 500us
 //	graphhd-serve -model model.ghdp -class-names mutagenic,non-mutagenic
 //	graphhd-serve -model model.ghdp -cascade-prefix 1024 -cascade-margin 12
+//	graphhd-serve -model model.ghdp -debug-addr 127.0.0.1:6060 -log-json
 //
 // Endpoints:
 //
 //	POST /v1/predict        {"graph": {"num_vertices": n, "edges": [[u,v],...]}}
 //	POST /v1/predict/batch  {"graphs": [...]}
-//	GET  /v1/model          model card
+//	GET  /v1/model          model card (config, build identity)
 //	GET  /healthz           liveness probe
-//	GET  /metrics           Prometheus text metrics
+//	GET  /metrics           Prometheus text metrics (incl. per-stage histograms)
+//	GET  /debug/traces      flight recorder: last-N per-batch trace records
 //	POST /admin/reload      hot-swap the model from -model
+//
+// With -debug-addr a second listener serves the diagnostics surface
+// (/debug/pprof/*, /debug/vars, /debug/runtime, plus /debug/traces and
+// /metrics). Profiling endpoints can stall the process and leak
+// operational detail — bind -debug-addr to loopback or an operator-only
+// network, never the public serving address (DESIGN.md §5).
+//
+// Logs are structured (log/slog, text by default, JSON with -log-json);
+// per-request access logs carry the X-Request-Id echoed to clients and
+// appear at -log-level debug.
 //
 // SIGHUP also hot-swaps the model; in-flight requests never fail during a
 // swap. SIGINT/SIGTERM shut down gracefully.
@@ -29,7 +41,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -47,17 +59,38 @@ func main() {
 	var (
 		model      = flag.String("model", "", "model artifact to serve (required; GRAPHHD1 or GRAPHHD2)")
 		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		debugAddr  = flag.String("debug-addr", "", "diagnostics listen address (pprof, expvar, runtime stats); keep it loopback/operator-only — empty disables")
 		workers    = flag.Int("workers", 0, "inference workers (0 = all cores)")
 		maxBatch   = flag.Int("max-batch", 0, "micro-batch flush size (0 = default)")
 		maxDelay   = flag.Duration("max-delay", 0, "micro-batch flush deadline (0 = default)")
 		queueSize  = flag.Int("queue", 0, "admission queue bound in graphs (0 = default)")
+		traceDepth = flag.Int("trace-depth", 0, "flight-recorder capacity in per-batch trace records, rounded up to a power of two (0 = default 256)")
 		classNames = flag.String("class-names", "", "comma-separated class names echoed in responses")
 		maxVerts   = flag.Int("max-vertices", 0, "per-request vertex cap (0 = default; bounds server-side basis-vector memory)")
 		maxEdges   = flag.Int("max-edges", 0, "per-request edge cap (0 = default)")
 		cascPrefix = flag.Int("cascade-prefix", 0, "stage-1 dimension for two-stage cascade classification (0 = off, or as saved in a GRAPHHD3 artifact; must be in [64, model dimension))")
 		cascMargin = flag.Int("cascade-margin", 0, "cascade escalation margin: stage-1 decisions with top-two Hamming margin at most this re-decide at full dimension (calibrate with cmd/graphhd -calibrate-cascade)")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn or error (debug enables per-request access logs)")
+		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "graphhd-serve: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var lh slog.Handler = slog.NewTextHandler(os.Stderr, hopts)
+	if *logJSON {
+		lh = slog.NewJSONHandler(os.Stderr, hopts)
+	}
+	log := slog.New(lh)
+	fatal := func(msg string, err error) {
+		log.Error(msg, "err", err)
+		os.Exit(1)
+	}
+
 	if *model == "" {
 		fmt.Fprintln(os.Stderr, "graphhd-serve: -model is required")
 		flag.Usage()
@@ -83,20 +116,21 @@ func main() {
 
 	pred, err := core.LoadPredictorFile(*model)
 	if err != nil {
-		log.Fatalf("graphhd-serve: %v", err)
+		fatal("load model", err)
 	}
 	if err := prepare(pred); err != nil {
-		log.Fatalf("graphhd-serve: %v", err)
+		fatal("configure cascade", err)
 	}
 	engine, err := serve.NewEngine(pred, serve.Options{
 		Workers:      *workers,
 		MaxBatch:     *maxBatch,
 		MaxDelay:     *maxDelay,
 		QueueSize:    *queueSize,
+		TraceDepth:   *traceDepth,
 		PrepareModel: prepare,
 	})
 	if err != nil {
-		log.Fatalf("graphhd-serve: %v", err)
+		fatal("start engine", err)
 	}
 	defer engine.Close()
 
@@ -110,7 +144,22 @@ func main() {
 			ModelPath:  *model,
 			ClassNames: names,
 			Limits:     graph.CodecLimits{MaxVertices: *maxVerts, MaxEdges: *maxEdges},
+			Logger:     log,
 		}),
+	}
+
+	// The diagnostics surface gets its own listener and server so its
+	// security posture (loopback-only bind) is independent of the
+	// serving address.
+	var dbgSrv *http.Server
+	if *debugAddr != "" {
+		dbgSrv = &http.Server{Addr: *debugAddr, Handler: serve.NewDebugHandler(engine)}
+		go func() {
+			log.Info("debug listener up", "addr", *debugAddr)
+			if err := dbgSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Error("debug listener", "err", err)
+			}
+		}()
 	}
 
 	// SIGHUP hot-swaps the model; SIGINT/SIGTERM drain and exit.
@@ -119,11 +168,15 @@ func main() {
 	go func() {
 		for range hup {
 			if err := engine.SwapFromFile(*model); err != nil {
-				log.Printf("graphhd-serve: SIGHUP reload failed: %v", err)
+				log.Warn("SIGHUP reload failed", "err", err)
 				continue
 			}
-			log.Printf("graphhd-serve: reloaded %s (%d classes, d=%d)",
-				*model, engine.Predictor().NumClasses(), engine.Predictor().Encoder().Dimension())
+			log.Info("model reloaded",
+				"model", *model,
+				"classes", engine.Predictor().NumClasses(),
+				"dimension", engine.Predictor().Encoder().Dimension(),
+				"reloads", engine.Reloads(),
+			)
 		}
 	}()
 	stop := make(chan os.Signal, 1)
@@ -131,25 +184,39 @@ func main() {
 	shutdownDone := make(chan struct{})
 	go func() {
 		<-stop
+		log.Info("shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("graphhd-serve: shutdown: %v", err)
+			log.Warn("shutdown", "err", err)
+		}
+		if dbgSrv != nil {
+			dbgSrv.Shutdown(ctx)
 		}
 		close(shutdownDone)
 	}()
 
 	opts := engine.Options()
 	ks := hdc.Kernels()
-	log.Printf("graphhd-serve: kernel %s (cpu: %s)", ks.Active, ks.CPUFeatures)
-	log.Printf("graphhd-serve: serving %s on %s (d=%d, %d classes, %d bytes packed; workers=%d max-batch=%d max-delay=%v queue=%d)",
-		*model, *addr, pred.Encoder().Dimension(), pred.NumClasses(), pred.MemoryBytes(),
-		opts.Workers, opts.MaxBatch, opts.MaxDelay, opts.QueueSize)
+	bi := serve.Build()
+	log.Info("starting",
+		"build", bi.GoVersion, "revision", bi.VCSRevision,
+		"kernel", ks.Active.String(), "cpu", ks.CPUFeatures,
+	)
+	log.Info("serving",
+		"model", *model, "addr", *addr,
+		"dimension", pred.Encoder().Dimension(),
+		"classes", pred.NumClasses(),
+		"packed_bytes", pred.MemoryBytes(),
+		"workers", opts.Workers, "max_batch", opts.MaxBatch,
+		"max_delay", opts.MaxDelay, "queue", opts.QueueSize,
+		"trace_depth", engine.TraceDepth(),
+	)
 	if c, ok := pred.Cascade(); ok {
-		log.Printf("graphhd-serve: cascade enabled (stage-1 d=%d, margin=%d)", c.DPrefix, c.Margin)
+		log.Info("cascade enabled", "stage1_dimension", c.DPrefix, "margin", c.Margin)
 	}
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("graphhd-serve: %v", err)
+		fatal("listen", err)
 	}
 	// ListenAndServe returns as soon as the listener closes; wait for
 	// Shutdown to finish draining in-flight responses before Close tears

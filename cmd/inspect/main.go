@@ -10,17 +10,23 @@
 //	inspect -data ./data -name MUTAG -graph 3          # one graph in depth
 //	inspect -data ./data -name MUTAG -per-class
 //	inspect -model model.ghdp                          # model artifact card
+//	inspect -traces http://127.0.0.1:8080              # server flight recorder
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	"graphhd"
 	"graphhd/internal/centrality"
 	"graphhd/internal/core"
 	"graphhd/internal/graph"
+	"graphhd/internal/serve"
 )
 
 func main() {
@@ -30,8 +36,13 @@ func main() {
 		graphIdx  = flag.Int("graph", -1, "inspect a single graph by index")
 		perClass  = flag.Bool("per-class", false, "break extended statistics down by class")
 		modelPath = flag.String("model", "", "inspect a saved model artifact (GRAPHHD1/GRAPHHD2/GRAPHHD3) instead of a dataset")
+		tracesURL = flag.String("traces", "", "dump the flight recorder of a running graphhd-serve (base URL, e.g. http://127.0.0.1:8080)")
 	)
 	flag.Parse()
+	if *tracesURL != "" {
+		inspectTraces(*tracesURL)
+		return
+	}
 	if *modelPath != "" {
 		inspectModel(*modelPath)
 		return
@@ -102,6 +113,55 @@ func inspectModel(path string) {
 		fmt.Printf("  cascade: stage-1 d=%d, escalation margin %d\n", c.DPrefix, c.Margin)
 	} else {
 		fmt.Printf("  cascade: none\n")
+	}
+}
+
+// inspectTraces fetches a running server's flight recorder
+// (GET /debug/traces) and prints the retained per-batch records as a
+// table, newest first: where each batch's microseconds went
+// (queue/dispatch/plan/encode/classify/escalate), its shape (graphs,
+// coalesced tasks, plan dedup ratio) and its cascade outcome.
+func inspectTraces(base string) {
+	url := strings.TrimRight(base, "/") + "/debug/traces"
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "inspect:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "inspect: GET %s: %s\n", url, resp.Status)
+		os.Exit(1)
+	}
+	var tr serve.TracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		fmt.Fprintf(os.Stderr, "inspect: decode %s: %v\n", url, err)
+		os.Exit(1)
+	}
+	fmt.Printf("flight recorder at %s: %d of %d records retained\n",
+		base, len(tr.Traces), tr.Depth)
+	if len(tr.Traces) == 0 {
+		return
+	}
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	fmt.Printf("%8s %-15s %6s %5s %9s %9s %8s %8s %9s %9s %9s %6s %-14s %s\n",
+		"seq", "time", "graphs", "tasks", "queue_us", "disp_us", "plan_us",
+		"enc_us", "class_us", "esc_us", "total_us", "dedup", "cascade", "kern")
+	for _, r := range tr.Traces {
+		dedup := "-"
+		if r.PlanPairs > 0 {
+			dedup = fmt.Sprintf("%.2f", float64(r.PlanDistinct)/float64(r.PlanPairs))
+		}
+		casc := "off"
+		if r.Cascade {
+			casc = fmt.Sprintf("%d+%d esc", r.Stage1, r.Escalated)
+		}
+		fmt.Printf("%8d %-15s %6d %5d %9.1f %9.1f %8.1f %8.1f %9.1f %9.1f %9.1f %6s %-14s %s\n",
+			r.Seq, r.Time.Format("15:04:05.000"), r.BatchSize, r.Tasks,
+			us(r.QueueWaitNanos), us(r.DispatchNanos), us(r.PlanNanos),
+			us(r.EncodeNanos), us(r.ClassifyNanos), us(r.EscalateNanos),
+			us(r.TotalNanos), dedup, casc, r.Kernel)
 	}
 }
 

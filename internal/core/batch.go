@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"slices"
+	"time"
 
 	"graphhd/internal/centrality"
 	"graphhd/internal/graph"
@@ -77,10 +78,8 @@ type BatchScratch struct {
 	dwMult []int32
 	// planD is the width the current plan state was built for (the full
 	// encoder dimension for PredictBatchWith/EncodeBatch, the cascade
-	// prefix for PredictBatchCascadeWith); pout is the reusable
-	// prefix-width sign buffer, reallocated only when the width changes.
+	// prefix for PredictBatchCascadeWith).
 	planD int
-	pout  *hdc.Binary
 	// stickyDirect remembers the smallest operand bound the exact gate
 	// ever routed to direct mode, so a homogeneous stream of borderline
 	// batches (one Fit's chunks, one serving worker's traffic) pays the
@@ -88,6 +87,15 @@ type BatchScratch struct {
 	stickyDirect int
 
 	outs []*hdc.Binary // scratch-owned outputs for EncodeBatch
+
+	// Phase worklists for the phased batch predict primitives: per-graph
+	// prefix-width sign buffers (rebuilt only when the stage-1 width
+	// changes), the indices the classify phase marked for full-width
+	// escalation, and the indices outside the packed fast path.
+	pouts  []*hdc.Binary
+	poutsD int
+	escIdx []int32
+	fbIdx  []int32
 }
 
 // maxPlanSlabBytes bounds the materialized operand slab. Beyond ~L2 size
@@ -133,13 +141,19 @@ func (s *BatchScratch) planBatch(graphs []*graph.Graph) {
 	s.planBatchWidth(graphs, s.enc.cfg.Dimension)
 }
 
-// prefixOut returns the scratch's reusable d-dimensional sign buffer for
-// prefix-width (cascade stage 1) encodes.
-func (s *BatchScratch) prefixOut(d int) *hdc.Binary {
-	if s.pout == nil || s.pout.Dim() != d {
-		s.pout = hdc.NewBinary(d)
+// prefixOuts returns n reusable d-dimensional sign buffers, one per
+// batch graph — the stage-1 outputs of the phased cascade. Buffers are
+// rebuilt only when the stage-1 width changes (a hot swap to a model
+// with a different cascade prefix).
+func (s *BatchScratch) prefixOuts(d, n int) []*hdc.Binary {
+	if s.poutsD != d {
+		s.pouts = s.pouts[:0]
+		s.poutsD = d
 	}
-	return s.pout
+	for len(s.pouts) < n {
+		s.pouts = append(s.pouts, hdc.NewBinary(d))
+	}
+	return s.pouts[:n]
 }
 
 // planBatchWidth is planBatch at an explicit operand width d ≤ the
@@ -438,28 +452,89 @@ func (e *Encoder) EncodeBatch(graphs []*graph.Graph) []*hdc.Binary {
 	return res
 }
 
+// BatchTrace receives the stage clock of one batch predict call: the
+// wall time each phase of the pipeline consumed, in monotonic
+// nanoseconds. The serving worker passes one per dispatched micro-batch
+// and feeds the readout into the per-stage latency histograms and the
+// flight recorder (internal/serve); any future router or sharding tier
+// subscribes to the same seam. Stamping costs one time.Now() per phase
+// boundary per batch — never per graph — so tracing stays inside the
+// serve path's overhead budget.
+type BatchTrace struct {
+	// PlanNanos covers operand-plan construction: centrality ranking,
+	// rank-pair grouping and sort, batch-wide dedup, slab materialization.
+	PlanNanos int64
+	// EncodeNanos covers accumulate + majority sign for every fast-path
+	// graph (at stage-1 width when a cascade is active).
+	EncodeNanos int64
+	// ClassifyNanos covers Hamming classification of every signed
+	// encoding (the stage-1 margin test when a cascade is active).
+	ClassifyNanos int64
+	// EscalateNanos covers the cascade's full-width re-sign + re-classify
+	// of margin-ambiguous graphs, plus reference-path fallbacks (labeled
+	// extension, edgeless). Zero when nothing escalated.
+	EscalateNanos int64
+}
+
+// stamp records now-prev into *dst and advances the clock; a nil trace
+// skips timing entirely (the wrappers without tracing pass nil).
+func (tr *BatchTrace) stamp(dst *int64, prev time.Time) time.Time {
+	now := time.Now()
+	*dst = now.Sub(prev).Nanoseconds()
+	return now
+}
+
 // PredictBatchWith classifies graphs through a caller-owned batch
 // scratch, writing one class per graph into out (len(out) must equal
 // len(graphs)) — the serving batch primitive: the whole micro-batch is
-// encoded through one shared operand plan and each encoding is classified
-// as soon as it is signed, so a long-lived worker predicts entire batches
-// with zero per-request heap allocations. s must have been vended by
+// encoded through one shared operand plan with zero per-request heap
+// allocations in steady state. s must have been vended by
 // p.Encoder().NewBatchScratch(). Classes are identical to calling
 // Predict on each graph.
 func (p *Predictor) PredictBatchWith(s *BatchScratch, graphs []*graph.Graph, out []int) {
+	p.PredictBatchTraced(s, graphs, out, nil)
+}
+
+// PredictBatchTraced is PredictBatchWith with an optional stage clock:
+// when tr is non-nil, the plan/encode/classify phase wall times land in
+// it. The pipeline runs in three phases — plan the batch, sign every
+// graph into the scratch's per-graph output buffers, classify every
+// output — so each phase boundary is a real instant and stamping costs
+// one clock read per phase, not per graph. Results are identical to
+// PredictBatchWith.
+func (p *Predictor) PredictBatchTraced(s *BatchScratch, graphs []*graph.Graph, out []int, tr *BatchTrace) {
 	if s.enc != p.enc {
 		panic("core: batch scratch bound to a different encoder")
 	}
 	if len(out) != len(graphs) {
 		panic(fmt.Sprintf("core: %d results for %d graphs", len(out), len(graphs)))
 	}
+	var t time.Time
+	if tr != nil {
+		t = time.Now()
+	}
 	s.planBatch(graphs)
+	if tr != nil {
+		t = tr.stamp(&tr.PlanNanos, t)
+	}
+	e := s.enc
+	for len(s.outs) < len(graphs) {
+		s.outs = append(s.outs, hdc.NewBinary(e.cfg.Dimension))
+	}
+	outs := s.outs[:len(graphs)]
 	for gi, g := range graphs {
-		if s.signPackedInto(gi, s.packed) {
-			out[gi] = p.pm.Classify(s.packed)
-		} else {
-			out[gi] = p.pm.Classify(p.enc.EncodeGraphPacked(g))
+		if !s.signPackedInto(gi, outs[gi]) {
+			outs[gi].CopyFrom(e.EncodeGraphPacked(g))
 		}
+	}
+	if tr != nil {
+		t = tr.stamp(&tr.EncodeNanos, t)
+	}
+	for gi := range graphs {
+		out[gi] = p.pm.Classify(outs[gi])
+	}
+	if tr != nil {
+		tr.stamp(&tr.ClassifyNanos, t)
 	}
 }
 

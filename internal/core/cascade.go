@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"graphhd/internal/graph"
 	"graphhd/internal/hdc"
@@ -155,9 +156,21 @@ func (p *Predictor) PredictCascadeWith(s *EncoderScratch, g *graph.Graph) (class
 // counted as escalations. Without an active cascade it falls back to
 // PredictBatchWith and reports zero for both counters.
 func (p *Predictor) PredictBatchCascadeWith(s *BatchScratch, graphs []*graph.Graph, out []int) (stage1, escalated int) {
+	return p.PredictBatchCascadeTraced(s, graphs, out, nil)
+}
+
+// PredictBatchCascadeTraced is PredictBatchCascadeWith with an optional
+// stage clock: when tr is non-nil, the plan/encode/classify/escalate
+// phase wall times land in it. The cascade runs in four phases — plan at
+// stage-1 width, sign every graph into per-graph prefix buffers, run the
+// stage-1 margin test over all of them collecting the ambiguous indices,
+// then escalate that worklist at full width — so each stamp is one clock
+// read per phase, never per graph. Classes and counters are identical to
+// PredictBatchCascadeWith.
+func (p *Predictor) PredictBatchCascadeTraced(s *BatchScratch, graphs []*graph.Graph, out []int, tr *BatchTrace) (stage1, escalated int) {
 	cs := p.cascade.Load()
 	if cs == nil {
-		p.PredictBatchWith(s, graphs, out)
+		p.PredictBatchTraced(s, graphs, out, tr)
 		return 0, 0
 	}
 	if s.enc != p.enc {
@@ -168,32 +181,65 @@ func (p *Predictor) PredictBatchCascadeWith(s *BatchScratch, graphs []*graph.Gra
 	}
 	dp := cs.cfg.DPrefix
 	full := p.enc.cfg.Dimension
+	var t time.Time
+	if tr != nil {
+		t = time.Now()
+	}
 	s.planBatchWidth(graphs, dp)
+	if tr != nil {
+		t = tr.stamp(&tr.PlanNanos, t)
+	}
+	// Encode phase: sign every fast-path graph at stage-1 width into its
+	// own prefix buffer; graphs outside the packed fast path join the
+	// escalation worklist (decided at full dimension below, counted as
+	// escalations, exactly as the per-graph path does).
+	pouts := s.prefixOuts(dp, len(graphs))
 	s.counter.SetDim(dp)
-	pbuf := s.prefixOut(dp)
-	for gi, g := range graphs {
-		if !s.signPackedInto(gi, pbuf) {
-			// Reference fallback, full dimension (pooled scratch; the
-			// batch counter's width is untouched).
-			out[gi] = p.pm.Classify(p.enc.EncodeGraphPacked(g))
-			escalated++
-			continue
+	s.fbIdx = s.fbIdx[:0]
+	for gi := range graphs {
+		if !s.signPackedInto(gi, pouts[gi]) {
+			s.fbIdx = append(s.fbIdx, int32(gi))
 		}
-		best, _, bestH, secondH := cs.pm.ClassifyTop2(pbuf)
+	}
+	if tr != nil {
+		t = tr.stamp(&tr.EncodeNanos, t)
+	}
+	// Classify phase: the stage-1 margin test. Ambiguous graphs are only
+	// recorded here; the full-width work is batched into the next phase.
+	s.escIdx = s.escIdx[:0]
+	for gi := range graphs {
+		if s.keyOff[gi] == s.keyOff[gi+1] {
+			continue // outside the fast path, already on fbIdx
+		}
+		best, _, bestH, secondH := cs.pm.ClassifyTop2(pouts[gi])
 		if secondH-bestH > cs.cfg.Margin {
 			out[gi] = best
 			stage1++
-			continue
+		} else {
+			s.escIdx = append(s.escIdx, int32(gi))
 		}
-		// Escalate: re-sign this graph at full width straight off the
-		// basis table (the plan slab is prefix-width, but the sorted key
-		// segments and basis snapshot are width-independent).
-		s.counter.SetDim(full)
-		s.signDirectInto(gi, s.packed)
+	}
+	if tr != nil {
+		t = tr.stamp(&tr.ClassifyNanos, t)
+	}
+	// Escalate phase: re-sign the ambiguous graphs at full width straight
+	// off the basis table (the plan slab is prefix-width, but the sorted
+	// key segments and basis snapshot are width-independent), then decide
+	// the fallback graphs through the reference encoder (pooled scratch;
+	// the batch counter's width is untouched). Restores the counter's
+	// full-width invariant for PredictBatchWith.
+	s.counter.SetDim(full)
+	for _, gi := range s.escIdx {
+		s.signDirectInto(int(gi), s.packed)
 		out[gi] = p.pm.Classify(s.packed)
-		s.counter.SetDim(dp)
 		escalated++
 	}
-	s.counter.SetDim(full) // restore the full-width invariant for PredictBatchWith
+	for _, gi := range s.fbIdx {
+		out[gi] = p.pm.Classify(p.enc.EncodeGraphPacked(graphs[gi]))
+		escalated++
+	}
+	if tr != nil {
+		tr.stamp(&tr.EscalateNanos, t)
+	}
 	return stage1, escalated
 }

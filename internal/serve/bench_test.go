@@ -104,6 +104,21 @@ func BenchmarkServePredictBatch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	reportStageMedians(b, e.Metrics(), false)
+}
+
+// reportStageMedians stamps the per-batch stage-clock medians into the
+// benchmark output; CI carries them into the BENCH artifact via
+// cmd/benchjson, so a perf regression names its stage instead of hiding
+// in the aggregate ns/op.
+func reportStageMedians(b *testing.B, m Metrics, cascading bool) {
+	b.ReportMetric(m.StagePlan.Quantile(0.5)*1e9, "plan-p50-ns")
+	b.ReportMetric(m.StageEncode.Quantile(0.5)*1e9, "encode-p50-ns")
+	b.ReportMetric(m.StageClassify.Quantile(0.5)*1e9, "classify-p50-ns")
+	if cascading {
+		b.ReportMetric(m.StageEscalate.Quantile(0.5)*1e9, "escalate-p50-ns")
+	}
 }
 
 // BenchmarkServePredictCascade is BenchmarkServePredictBatch with
@@ -144,4 +159,5 @@ func BenchmarkServePredictCascade(b *testing.B) {
 	b.StopTimer()
 	mm := e.Metrics()
 	b.ReportMetric(float64(mm.CascadeStage1)/float64(mm.CascadeStage1+mm.CascadeEscalated), "stage1-hit-rate")
+	reportStageMedians(b, mm, true)
 }

@@ -36,6 +36,7 @@ import (
 
 	"graphhd/internal/core"
 	"graphhd/internal/graph"
+	"graphhd/internal/hdc"
 )
 
 // Errors returned by the admission path.
@@ -71,6 +72,10 @@ type Options struct {
 	// It is NOT applied to the initial predictor or to direct Swap calls;
 	// callers configure those predictors themselves.
 	PrepareModel func(*core.Predictor) error
+	// TraceDepth is the flight-recorder capacity in per-batch trace
+	// records, rounded up to a power of two. Non-positive selects
+	// DefaultTraceDepth. Memory is fixed at roughly 160 bytes per record.
+	TraceDepth int
 }
 
 func (o Options) withDefaults() Options {
@@ -101,6 +106,7 @@ type task struct {
 	out    []int
 	idx    int
 	call   *call
+	enq    int64 // engine-monotonic nanos at queue enter (stage clock)
 }
 
 // size returns the number of graphs the task carries.
@@ -126,10 +132,14 @@ var (
 )
 
 // batch is the dispatcher→worker unit of work. size counts graphs across
-// all tasks (batch-segment tasks carry several). Pooled.
+// all tasks (batch-segment tasks carry several). open and qmax feed the
+// stage clock: when the dispatcher opened the batch, and the longest
+// queue wait among its tasks. Pooled.
 type batch struct {
 	tasks []*task
 	size  int
+	open  int64
+	qmax  int64
 }
 
 var batchPool = sync.Pool{New: func() any { return new(batch) }}
@@ -150,7 +160,17 @@ type Engine struct {
 	wg     sync.WaitGroup
 
 	m metrics
+
+	// Stage clock + flight recorder: epoch is the engine's monotonic time
+	// base (all task/batch stamps are nanos since it), rec retains the
+	// last TraceDepth per-batch trace records.
+	epoch time.Time
+	rec   *flightRecorder
 }
+
+// nanos is the engine's monotonic stage clock: nanoseconds since the
+// engine was built (time.Since reads the monotonic clock).
+func (e *Engine) nanos() int64 { return int64(time.Since(e.epoch)) }
 
 // NewEngine builds and starts an engine serving pred.
 func NewEngine(pred *core.Predictor, opts Options) (*Engine, error) {
@@ -178,6 +198,8 @@ func newEngine(pred *core.Predictor, opts Options) (*Engine, error) {
 		// genuinely free (buffering would dispatch singleton batches into
 		// the buffer while every worker is busy, defeating MaxDelay).
 		batches: make(chan *batch),
+		epoch:   time.Now(),
+		rec:     newFlightRecorder(opts.TraceDepth),
 	}
 	e.pred.Store(pred)
 	e.m.init(opts.MaxBatch)
@@ -304,13 +326,14 @@ func (e *Engine) PredictBatchInto(ctx context.Context, graphs []*graph.Graph, ou
 		return ErrOverloaded
 	}
 	// Capacity is reserved: none of these sends can block.
+	enq := e.nanos() // segments enter the queue together; stamp once
 	for lo := 0; lo < n; lo += e.opts.MaxBatch {
 		hi := lo + e.opts.MaxBatch
 		if hi > n {
 			hi = n
 		}
 		t := taskPool.Get().(*task)
-		t.graphs, t.out, t.idx, t.call = graphs[lo:hi], out[lo:hi], 0, c
+		t.graphs, t.out, t.idx, t.call, t.enq = graphs[lo:hi], out[lo:hi], 0, c, enq
 		e.queue <- t
 	}
 	e.mu.RUnlock()
@@ -331,6 +354,7 @@ func (e *Engine) enqueue(t *task) error {
 	if !e.admit(1) {
 		return ErrOverloaded
 	}
+	t.enq = e.nanos()
 	e.queue <- t // cannot block: capacity reserved by admit
 	return nil
 }
@@ -358,6 +382,20 @@ func (e *Engine) admit(n int64) bool {
 // queue drains while a worker slot is free (a lone request pays no
 // batching delay), or — with every worker busy — when MaxDelay has
 // elapsed, the saturation regime where letting the batch grow is free.
+// pickup moves a task from the queue into a forming batch, observing its
+// queue wait (queue-enter to this instant) on the stage clock and
+// tracking the batch's worst wait for the flight recorder.
+func (e *Engine) pickup(b *batch, t *task) {
+	e.depth.Add(-int64(t.size()))
+	w := e.nanos() - t.enq
+	e.m.queueWait.observe(float64(w) * 1e-9)
+	if w > b.qmax {
+		b.qmax = w
+	}
+	b.tasks = append(b.tasks, t)
+	b.size += t.size()
+}
+
 func (e *Engine) dispatch() {
 	defer e.wg.Done()
 	defer close(e.batches)
@@ -368,10 +406,11 @@ func (e *Engine) dispatch() {
 		if !ok {
 			return
 		}
-		e.depth.Add(-int64(t.size()))
 		b := batchPool.Get().(*batch)
-		b.tasks = append(b.tasks[:0], t)
-		b.size = t.size()
+		b.tasks = b.tasks[:0]
+		b.size, b.qmax = 0, 0
+		b.open = e.nanos()
+		e.pickup(b, t)
 		if !e.fill(b, timer) {
 			return
 		}
@@ -391,9 +430,7 @@ func (e *Engine) fill(b *batch, timer *time.Timer) bool {
 					e.batches <- b
 					return false
 				}
-				e.depth.Add(-int64(t.size()))
-				b.tasks = append(b.tasks, t)
-				b.size += t.size()
+				e.pickup(b, t)
 				continue
 			default:
 			}
@@ -419,9 +456,7 @@ func (e *Engine) fill(b *batch, timer *time.Timer) bool {
 				e.batches <- b
 				return false
 			}
-			e.depth.Add(-int64(t.size()))
-			b.tasks = append(b.tasks, t)
-			b.size += t.size()
+			e.pickup(b, t)
 		case <-timer.C:
 			e.batches <- b
 			return true
@@ -446,7 +481,9 @@ func (e *Engine) worker() {
 	var scratch *core.BatchScratch
 	var gbuf []*graph.Graph
 	var rbuf []int
+	var rec TraceRecord // reused carrier; the recorder copies it out
 	for b := range e.batches {
+		start := e.nanos()
 		e.m.observeBatch(b.size)
 		p := e.pred.Load()
 		if pe := p.Encoder(); pe != enc {
@@ -465,16 +502,40 @@ func (e *Engine) worker() {
 			rbuf = make([]int, len(gbuf))
 		}
 		rbuf = rbuf[:len(gbuf)]
-		if _, cascading := p.Cascade(); cascading {
+		var tr core.BatchTrace
+		var stage1, escalated int
+		_, cascading := p.Cascade()
+		if cascading {
 			// Two-stage path: the whole batch encodes once at prefix
 			// width; only ambiguous graphs pay full dimension.
-			s1, esc := p.PredictBatchCascadeWith(scratch, gbuf, rbuf)
-			e.m.observeCascade(s1, esc)
+			stage1, escalated = p.PredictBatchCascadeTraced(scratch, gbuf, rbuf, &tr)
+			e.m.observeCascade(stage1, escalated)
 		} else {
-			p.PredictBatchWith(scratch, gbuf, rbuf)
+			p.PredictBatchTraced(scratch, gbuf, rbuf, &tr)
 		}
+		e.m.observeStages(&tr, cascading)
 		pairs, distinct := scratch.PlanStats()
 		e.m.observePlan(pairs, distinct)
+		rec = TraceRecord{
+			Time:           e.epoch.Add(time.Duration(start)),
+			BatchSize:      b.size,
+			Tasks:          len(b.tasks),
+			QueueWaitNanos: b.qmax,
+			DispatchNanos:  start - b.open,
+			PlanNanos:      tr.PlanNanos,
+			EncodeNanos:    tr.EncodeNanos,
+			ClassifyNanos:  tr.ClassifyNanos,
+			EscalateNanos:  tr.EscalateNanos,
+			TotalNanos:     e.nanos() - start,
+			PlanPairs:      pairs,
+			PlanDistinct:   distinct,
+			Cascade:        cascading,
+			Stage1:         stage1,
+			Escalated:      escalated,
+			ModelReloads:   e.m.reloads.Load(),
+			Kernel:         hdc.ActiveKernel().String(),
+		}
+		e.rec.record(&rec)
 		j := 0
 		for _, t := range b.tasks {
 			if t.graphs != nil {

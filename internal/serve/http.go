@@ -3,8 +3,16 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
+	"log/slog"
+	"math/rand/v2"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
 
 	"graphhd/internal/graph"
 	"graphhd/internal/hdc"
@@ -14,13 +22,19 @@ import (
 //
 //	POST /v1/predict        {"graph": {...}}            → {"class": c}
 //	POST /v1/predict/batch  {"graphs": [{...}, ...]}    → {"classes": [...]}
-//	GET  /v1/model          model card (dimension, classes, footprint, config)
+//	GET  /v1/model          model card (dimension, classes, footprint, config, build)
 //	GET  /healthz           liveness probe
 //	GET  /metrics           Prometheus text exposition
+//	GET  /debug/traces      flight recorder: last-N per-batch trace records
 //	POST /admin/reload      re-read the model artifact and hot-swap it
 //
 // Graphs travel in the internal/graph JSON wire form. Admission-control
 // rejections map to 429, malformed or config-incompatible graphs to 400.
+// Every response carries an X-Request-Id header; with a Logger configured
+// each request is logged structurally under that id.
+//
+// NewDebugHandler builds the separate diagnostics surface (pprof, expvar,
+// runtime stats) cmd/graphhd-serve mounts on -debug-addr.
 
 // HandlerOptions configures NewHandler.
 type HandlerOptions struct {
@@ -35,6 +49,10 @@ type HandlerOptions struct {
 	Limits graph.CodecLimits
 	// MaxBodyBytes caps request bodies; non-positive means 32 MiB.
 	MaxBodyBytes int64
+	// Logger receives structured per-request access logs (level Debug;
+	// level Warn for 5xx and 429 responses) keyed by request id. Nil
+	// disables request logging; request ids are assigned either way.
+	Logger *slog.Logger
 }
 
 // PredictRequest is the body of POST /v1/predict.
@@ -74,6 +92,10 @@ type ModelInfo struct {
 	Reloads            uint64 `json:"reloads"`
 	KernelTier         string `json:"kernel_tier"`
 	CPUFeatures        string `json:"cpu_features,omitempty"`
+	// GoVersion and VCSRevision identify the build serving this model
+	// (see BuildInfo); VCSRevision is empty for unstamped builds.
+	GoVersion   string `json:"go_version"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
 	// Cascade fields are present only when two-stage prefix-sliced
 	// classification is active on the installed predictor.
 	CascadePrefix int `json:"cascade_prefix,omitempty"`
@@ -102,8 +124,76 @@ func NewHandler(e *Engine, opts HandlerOptions) http.Handler {
 	mux.HandleFunc("GET /v1/model", h.model)
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /metrics", h.metrics)
+	mux.HandleFunc("GET /debug/traces", h.traces)
 	mux.HandleFunc("POST /admin/reload", h.reload)
-	return mux
+	return requestLog(opts.Logger, mux)
+}
+
+// reqBase randomizes the id space per process so ids from different
+// replicas don't collide in aggregated logs; the counter makes each id
+// unique and roughly ordered within a process.
+var (
+	reqBase = rand.Uint64()
+	reqSeq  atomic.Uint64
+)
+
+func nextRequestID() string {
+	return strconv.FormatUint(reqBase^(reqSeq.Add(1)*0x9e3779b97f4a7c15), 16)
+}
+
+// statusWriter captures the response status and size for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// requestLog assigns every request an id (echoed as X-Request-Id) and,
+// with a logger configured, emits one structured access-log line per
+// request: Debug for the happy path so a saturated replica isn't
+// throttled by its own logging, Warn for server-side failures and shed
+// load (429).
+func requestLog(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := nextRequestID()
+		w.Header().Set("X-Request-Id", id)
+		if log == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		level := slog.LevelDebug
+		if sw.status >= 500 || sw.status == http.StatusTooManyRequests {
+			level = slog.LevelWarn
+		}
+		if !log.Enabled(r.Context(), level) {
+			return
+		}
+		log.LogAttrs(r.Context(), level, "request",
+			slog.String("id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Int("bytes", sw.bytes),
+			slog.Duration("duration", time.Since(start)),
+		)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -204,6 +294,7 @@ func (h *handler) model(w http.ResponseWriter, r *http.Request) {
 	p := h.e.Predictor()
 	cfg := p.Encoder().Config()
 	ks := hdc.Kernels()
+	bi := Build()
 	info := ModelInfo{
 		Dimension:          cfg.Dimension,
 		Classes:            p.NumClasses(),
@@ -215,6 +306,8 @@ func (h *handler) model(w http.ResponseWriter, r *http.Request) {
 		Reloads:            h.e.Reloads(),
 		KernelTier:         ks.Active.String(),
 		CPUFeatures:        ks.CPUFeatures,
+		GoVersion:          bi.GoVersion,
+		VCSRevision:        bi.VCSRevision,
 	}
 	if c, ok := p.Cascade(); ok {
 		info.CascadePrefix, info.CascadeMargin = c.DPrefix, c.Margin
@@ -240,6 +333,20 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	WriteMetrics(w, h.e.Metrics(), h.e.Predictor())
 }
 
+// TracesResponse is the body of GET /debug/traces: the flight recorder's
+// retained per-batch trace records, newest first.
+type TracesResponse struct {
+	Depth  int           `json:"depth"` // ring capacity in records
+	Traces []TraceRecord `json:"traces"`
+}
+
+func (h *handler) traces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, TracesResponse{
+		Depth:  h.e.TraceDepth(),
+		Traces: h.e.Traces(),
+	})
+}
+
 func (h *handler) reload(w http.ResponseWriter, r *http.Request) {
 	if h.opts.ModelPath == "" {
 		writeError(w, http.StatusNotFound, errors.New("serve: no model path configured for reload"))
@@ -256,4 +363,65 @@ func (h *handler) reload(w http.ResponseWriter, r *http.Request) {
 		"dimension":    p.Encoder().Dimension(),
 		"memory_bytes": p.MemoryBytes(),
 	})
+}
+
+// RuntimeStats is the body of GET /debug/runtime on the debug listener:
+// a point-in-time Go runtime health summary for a replica.
+type RuntimeStats struct {
+	Goroutines     int       `json:"goroutines"`
+	HeapAllocBytes uint64    `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64    `json:"heap_sys_bytes"`
+	GCCycles       uint32    `json:"gc_cycles"`
+	GCPauseSeconds float64   `json:"gc_pause_seconds_total"`
+	LastGC         time.Time `json:"last_gc,omitempty"`
+	Build          BuildInfo `json:"build"`
+	Kernel         string    `json:"kernel"`
+}
+
+// NewDebugHandler builds the diagnostics mux cmd/graphhd-serve mounts on
+// its separate -debug-addr listener:
+//
+//	/debug/pprof/*   net/http/pprof profiles (CPU, heap, goroutine, ...)
+//	/debug/vars      expvar (cmdline, memstats)
+//	/debug/traces    the engine's flight recorder (same payload as the API)
+//	/debug/runtime   RuntimeStats JSON
+//	/metrics         Prometheus exposition (so the debug port is scrapable)
+//
+// The profiling endpoints can stall the process (CPU profiles
+// stop-the-world sample, heap dumps are large) and leak operational
+// detail, which is why they live on their own listener: bind it to
+// loopback or an operator-only network, never the serving address.
+func NewDebugHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, TracesResponse{Depth: e.TraceDepth(), Traces: e.Traces()})
+	})
+	mux.HandleFunc("GET /debug/runtime", func(w http.ResponseWriter, r *http.Request) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		st := RuntimeStats{
+			Goroutines:     runtime.NumGoroutine(),
+			HeapAllocBytes: ms.HeapAlloc,
+			HeapSysBytes:   ms.HeapSys,
+			GCCycles:       ms.NumGC,
+			GCPauseSeconds: float64(ms.PauseTotalNs) * 1e-9,
+			Build:          Build(),
+			Kernel:         hdc.ActiveKernel().String(),
+		}
+		if ms.LastGC > 0 {
+			st.LastGC = time.Unix(0, int64(ms.LastGC))
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteMetrics(w, e.Metrics(), e.Predictor())
+	})
+	return mux
 }

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"strconv"
 	"sync/atomic"
 	"time"
 
+	"graphhd/internal/core"
 	"graphhd/internal/hdc"
 )
 
@@ -37,18 +39,31 @@ type metrics struct {
 
 	latency   histogram // per-call latency, seconds
 	batchSize histogram // dispatched micro-batch sizes
+
+	// Stage clock: where a dispatched batch's microseconds go. queueWait
+	// is observed per task at dispatcher pickup; the stage histograms are
+	// observed per batch from the worker's core.BatchTrace readout.
+	queueWait     histogram
+	stagePlan     histogram
+	stageEncode   histogram
+	stageClassify histogram
+	stageEscalate histogram
+}
+
+// powerBounds returns n power-of-two bucket bounds starting at lo.
+func powerBounds(lo float64, n int) []float64 {
+	bounds := make([]float64, n)
+	for i := range bounds {
+		bounds[i] = lo
+		lo *= 2
+	}
+	return bounds
 }
 
 func (m *metrics) init(maxBatch int) {
 	// Latency buckets: 16 powers of two from 16µs to ~0.5s, a range that
 	// spans a cache-hot single predict through a deeply queued burst.
-	bounds := make([]float64, 16)
-	b := 16e-6
-	for i := range bounds {
-		bounds[i] = b
-		b *= 2
-	}
-	m.latency.init(bounds)
+	m.latency.init(powerBounds(16e-6, 16))
 
 	// Batch-size buckets: powers of two up to MaxBatch.
 	var sizes []float64
@@ -56,6 +71,15 @@ func (m *metrics) init(maxBatch int) {
 		sizes = append(sizes, float64(s))
 	}
 	m.batchSize.init(append(sizes, float64(maxBatch)))
+
+	// Stage buckets: 16 powers of two from 250ns to ~8ms. The floor
+	// resolves a cache-hot classify pass (a few µs per batch); the
+	// ceiling covers a worst-case escalation-heavy burst.
+	for _, h := range []*histogram{
+		&m.queueWait, &m.stagePlan, &m.stageEncode, &m.stageClassify, &m.stageEscalate,
+	} {
+		h.init(powerBounds(250e-9, 16))
+	}
 }
 
 func (m *metrics) observeRequest(d time.Duration) {
@@ -77,12 +101,36 @@ func (m *metrics) observeCascade(stage1, escalated int) {
 	m.cascadeEscalated.Add(uint64(escalated))
 }
 
+// observeStages feeds one batch's stage-clock readout into the per-stage
+// histograms. The escalate stage is only meaningful when a cascade ran;
+// recording it unconditionally would drown the signal in zeros.
+func (m *metrics) observeStages(tr *core.BatchTrace, cascading bool) {
+	m.stagePlan.observe(float64(tr.PlanNanos) * 1e-9)
+	m.stageEncode.observe(float64(tr.EncodeNanos) * 1e-9)
+	m.stageClassify.observe(float64(tr.ClassifyNanos) * 1e-9)
+	if cascading {
+		m.stageEscalate.observe(float64(tr.EscalateNanos) * 1e-9)
+	}
+}
+
+// atomicAddFloat64 adds v to a float64 kept as bits in an atomic.Uint64
+// — the allocation-free sum accumulator shared by every histogram.
+func atomicAddFloat64(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
 // histogram is a fixed-bound Prometheus-style histogram. counts[i] holds
 // observations ≤ bounds[i]; counts[len(bounds)] is the +Inf bucket. The
-// sum is kept as float64 bits behind a CAS loop so observe stays
+// sum is kept as float64 bits behind atomicAddFloat64 so observe stays
 // allocation-free.
 type histogram struct {
 	bounds  []float64
+	b16     *[16]float64 // set when len(bounds) == 16: branch-free search
 	counts  []atomic.Uint64
 	count   atomic.Uint64
 	sumBits atomic.Uint64
@@ -91,21 +139,42 @@ type histogram struct {
 func (h *histogram) init(bounds []float64) {
 	h.bounds = bounds
 	h.counts = make([]atomic.Uint64, len(bounds)+1)
+	if len(bounds) == 16 {
+		h.b16 = (*[16]float64)(bounds)
+	}
 }
 
-func (h *histogram) observe(v float64) {
+// b2i is compiled to a flag-set instruction, not a branch.
+func b2i(c bool) int {
+	if c {
+		return 1
+	}
+	return 0
+}
+
+// bucket returns the index of the bucket v lands in. Sorted bounds make
+// the index just the count of bounds v exceeds, so the 16-bucket case —
+// every per-request-path histogram — runs unrolled and branch-free
+// instead of taking a data-dependent early exit the branch predictor
+// can't learn across mixed-latency traffic.
+func (h *histogram) bucket(v float64) int {
+	if b := h.b16; b != nil {
+		return b2i(v > b[0]) + b2i(v > b[1]) + b2i(v > b[2]) + b2i(v > b[3]) +
+			b2i(v > b[4]) + b2i(v > b[5]) + b2i(v > b[6]) + b2i(v > b[7]) +
+			b2i(v > b[8]) + b2i(v > b[9]) + b2i(v > b[10]) + b2i(v > b[11]) +
+			b2i(v > b[12]) + b2i(v > b[13]) + b2i(v > b[14]) + b2i(v > b[15])
+	}
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
-	h.counts[i].Add(1)
+	return i
+}
+
+func (h *histogram) observe(v float64) {
+	h.counts[h.bucket(v)].Add(1)
 	h.count.Add(1)
-	for {
-		old := h.sumBits.Load()
-		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
-			return
-		}
-	}
+	atomicAddFloat64(&h.sumBits, v)
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram. Counts are
@@ -128,6 +197,38 @@ func (h *histogram) snapshot() HistogramSnapshot {
 		s.Counts[i] = h.counts[i].Load()
 	}
 	return s
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucketed
+// distribution by linear interpolation inside the target bucket — the
+// same estimate Prometheus's histogram_quantile computes. The first
+// bucket interpolates from zero; a target in the +Inf bucket returns the
+// highest finite bound. NaN when the histogram is empty. CI stamps the
+// stage-histogram medians into BENCH artifacts through this.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(s.Count)
+	cum := uint64(0)
+	for i, c := range s.Counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if i >= len(s.Bounds) { // +Inf bucket: no upper bound to interpolate to
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		if c == 0 {
+			return s.Bounds[i]
+		}
+		return lo + (s.Bounds[i]-lo)*(rank-float64(cum))/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 // Metrics is a point-in-time snapshot of the engine's instrumentation.
@@ -158,6 +259,16 @@ type Metrics struct {
 	// Latency is the per-call latency distribution in seconds; BatchSize
 	// is the dispatched micro-batch size distribution.
 	Latency, BatchSize HistogramSnapshot
+	// QueueWait is the per-task admission-queue wait (queue-enter to
+	// dispatcher pickup), seconds.
+	QueueWait HistogramSnapshot
+	// StagePlan/StageEncode/StageClassify/StageEscalate are the per-batch
+	// stage-clock distributions in seconds: operand-plan construction,
+	// accumulate+sign, Hamming classification, and the cascade's
+	// full-width escalation work (observed only while a cascade is
+	// active). Together with QueueWait they attribute every microsecond
+	// of a request's life inside the engine.
+	StagePlan, StageEncode, StageClassify, StageEscalate HistogramSnapshot
 }
 
 // Reloads returns the number of successful model swaps without the cost
@@ -184,6 +295,11 @@ func (e *Engine) Metrics() Metrics {
 		QueueDepth:       int(e.depth.Load()),
 		Latency:          e.m.latency.snapshot(),
 		BatchSize:        e.m.batchSize.snapshot(),
+		QueueWait:        e.m.queueWait.snapshot(),
+		StagePlan:        e.m.stagePlan.snapshot(),
+		StageEncode:      e.m.stageEncode.snapshot(),
+		StageClassify:    e.m.stageClassify.snapshot(),
+		StageEscalate:    e.m.stageEscalate.snapshot(),
 	}
 }
 
@@ -223,21 +339,71 @@ func WriteMetrics(w io.Writer, m Metrics, pred interface {
 	ks := hdc.Kernels()
 	p("# HELP graphhd_kernel_info SIMD kernel tier serving the encode/query hot paths (info gauge; the value is always 1).\n# TYPE graphhd_kernel_info gauge\ngraphhd_kernel_info{tier=%q,features=%q} 1\n",
 		ks.Active.String(), ks.CPUFeatures)
-	writeHistogram(p, "graphhd_request_latency_seconds", "Per-call latency from admission to response.", m.Latency)
-	writeHistogram(p, "graphhd_batch_size", "Dispatched micro-batch sizes.", m.BatchSize)
+	bi := Build()
+	p("# HELP graphhd_build_info Build identity of the serving binary (info gauge; the value is always 1).\n# TYPE graphhd_build_info gauge\ngraphhd_build_info{go_version=%q,vcs_revision=%q} 1\n",
+		bi.GoVersion, bi.VCSRevision)
+
+	// Go runtime health, scraped alongside the engine counters so a GC
+	// or goroutine-leak regression correlates with the latency
+	// histograms on the same timeline. ReadMemStats briefly stops the
+	// world; at scrape cadence that is noise.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p("# HELP graphhd_go_goroutines Goroutines in the serving process.\n# TYPE graphhd_go_goroutines gauge\ngraphhd_go_goroutines %d\n", runtime.NumGoroutine())
+	p("# HELP graphhd_go_heap_alloc_bytes Live heap bytes.\n# TYPE graphhd_go_heap_alloc_bytes gauge\ngraphhd_go_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	p("# HELP graphhd_go_gc_cycles_total Completed GC cycles.\n# TYPE graphhd_go_gc_cycles_total counter\ngraphhd_go_gc_cycles_total %d\n", ms.NumGC)
+	p("# HELP graphhd_go_gc_pause_seconds_total Cumulative GC stop-the-world pause time.\n# TYPE graphhd_go_gc_pause_seconds_total counter\ngraphhd_go_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)*1e-9)
+
+	writeHistogram(p, "graphhd_request_latency_seconds", "Per-call latency from admission to response.", "", m.Latency)
+	writeHistogram(p, "graphhd_batch_size", "Dispatched micro-batch sizes.", "", m.BatchSize)
+	writeHistogram(p, "graphhd_queue_wait_seconds", "Per-task admission-queue wait, queue-enter to dispatcher pickup.", "", m.QueueWait)
+
+	// One family, one series per pipeline stage: where a dispatched
+	// batch's wall time goes.
+	p("# HELP graphhd_stage_seconds Per-batch wall time by pipeline stage.\n# TYPE graphhd_stage_seconds histogram\n")
+	for _, st := range []struct {
+		label string
+		h     HistogramSnapshot
+	}{
+		{"plan", m.StagePlan},
+		{"encode", m.StageEncode},
+		{"classify", m.StageClassify},
+		{"escalate", m.StageEscalate},
+	} {
+		writeHistogramSeries(p, "graphhd_stage_seconds", `stage="`+st.label+`"`, st.h)
+	}
 	return err
 }
 
-func writeHistogram(p func(string, ...any), name, help string, h HistogramSnapshot) {
+// writeHistogram renders one single-series histogram family: HELP/TYPE
+// header plus its bucket/sum/count series. labels, when non-empty, is a
+// preformatted `k="v"` list applied to every series.
+func writeHistogram(p func(string, ...any), name, help, labels string, h HistogramSnapshot) {
 	p("# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	writeHistogramSeries(p, name, labels, h)
+}
+
+// writeHistogramSeries renders the bucket/sum/count series of one
+// histogram under an already-written family header — the shared tail of
+// plain and labeled (per-stage) families. Buckets are cumulative with a
+// final +Inf bucket equal to the total count, per the text exposition
+// contract.
+func writeHistogramSeries(p func(string, ...any), name, labels string, h HistogramSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = labels + ","
+	}
 	cum := uint64(0)
 	for i, b := range h.Bounds {
 		cum += h.Counts[i]
-		p("%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum)
+		p("%s_bucket{%sle=%q} %d\n", name, sep, strconv.FormatFloat(b, 'g', -1, 64), cum)
 	}
 	if n := len(h.Counts); n > 0 {
 		cum += h.Counts[n-1]
 	}
-	p("%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	p("%s_sum %g\n%s_count %d\n", name, h.Sum, name, h.Count)
+	p("%s_bucket{%sle=\"+Inf\"} %d\n", name, sep, cum)
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	p("%s_sum%s %g\n%s_count%s %d\n", name, labels, h.Sum, name, labels, h.Count)
 }

@@ -1,0 +1,485 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"graphhd/internal/core"
+)
+
+// promSample is one parsed exposition sample: metric name, sorted label
+// pairs, and value.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parsePromText is a strict parser for the Prometheus text exposition
+// format (version 0.0.4) subset WriteMetrics emits. It enforces the
+// format contract a real scraper relies on — any deviation fails the
+// test with a line-numbered error:
+//
+//   - every sample line is `name value` or `name{k="v",...} value`
+//   - every family has exactly one # HELP and one # TYPE line, both
+//     before its first sample
+//   - a family's samples are contiguous (no interleaving)
+//   - label values are properly quoted, values parse as Go floats
+func parsePromText(t *testing.T, text string) []promSample {
+	t.Helper()
+	var samples []promSample
+	helped := map[string]bool{}
+	typed := map[string]string{}
+	seen := map[string]bool{} // families with at least one sample
+	lastFamily := ""
+	family := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if typed[base] == "histogram" {
+				return base
+			}
+		}
+		return name
+	}
+	for i, line := range strings.Split(text, "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: HELP without docstring: %q", lineNo, line)
+			}
+			if helped[name] {
+				t.Fatalf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			if seen[name] {
+				t.Fatalf("line %d: HELP for %s after its samples", lineNo, name)
+			}
+			helped[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown TYPE %q for %s", lineNo, typ, name)
+			}
+			if _, dup := typed[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			if seen[name] {
+				t.Fatalf("line %d: TYPE for %s after its samples", lineNo, name)
+			}
+			typed[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unrecognized comment: %q", lineNo, line)
+		}
+
+		s := promSample{labels: map[string]string{}}
+		rest := line
+		if open := strings.IndexByte(rest, '{'); open >= 0 {
+			s.name = rest[:open]
+			close := strings.LastIndexByte(rest, '}')
+			if close < open {
+				t.Fatalf("line %d: unclosed label set: %q", lineNo, line)
+			}
+			for _, pair := range splitLabels(t, lineNo, rest[open+1:close]) {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok {
+					t.Fatalf("line %d: malformed label %q", lineNo, pair)
+				}
+				uq, err := strconv.Unquote(v)
+				if err != nil {
+					t.Fatalf("line %d: label %s value not quoted: %q", lineNo, k, v)
+				}
+				if _, dup := s.labels[k]; dup {
+					t.Fatalf("line %d: duplicate label %s", lineNo, k)
+				}
+				s.labels[k] = uq
+			}
+			rest = rest[close+1:]
+		} else {
+			var ok bool
+			s.name, rest, ok = strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: sample without value: %q", lineNo, line)
+			}
+			rest = " " + rest
+		}
+		valStr := strings.TrimSpace(rest)
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		s.value = v
+
+		fam := family(s.name)
+		if !helped[fam] {
+			t.Fatalf("line %d: sample %s before # HELP %s", lineNo, s.name, fam)
+		}
+		if _, ok := typed[fam]; !ok {
+			t.Fatalf("line %d: sample %s before # TYPE %s", lineNo, s.name, fam)
+		}
+		if seen[fam] && fam != lastFamily {
+			t.Fatalf("line %d: family %s interleaved (reopened after %s)", lineNo, fam, lastFamily)
+		}
+		seen[fam] = true
+		lastFamily = fam
+		samples = append(samples, s)
+	}
+	for name := range helped {
+		if _, ok := typed[name]; !ok {
+			t.Fatalf("HELP without TYPE for %s", name)
+		}
+		if !seen[name] {
+			t.Fatalf("family %s declared but has no samples", name)
+		}
+	}
+	return samples
+}
+
+// splitLabels splits a label body on commas outside quoted values.
+func splitLabels(t *testing.T, lineNo int, body string) []string {
+	t.Helper()
+	var out []string
+	inQuote, escaped, start := false, false, 0
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\':
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == ',' && !inQuote:
+			out = append(out, body[start:i])
+			start = i + 1
+		}
+	}
+	if inQuote {
+		t.Fatalf("line %d: unterminated quote in labels %q", lineNo, body)
+	}
+	if start < len(body) {
+		out = append(out, body[start:])
+	}
+	return out
+}
+
+// checkHistogram validates one (possibly labeled) histogram series:
+// cumulative non-decreasing le buckets, a +Inf bucket, +Inf == _count,
+// and a _sum consistent with the observation count.
+func checkHistogram(t *testing.T, samples []promSample, name string, want map[string]string) {
+	t.Helper()
+	match := func(s promSample) bool {
+		for k, v := range want {
+			if s.labels[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	type bkt struct {
+		le  float64
+		cum float64
+	}
+	var buckets []bkt
+	var sum, count float64
+	var haveSum, haveCount, haveInf bool
+	for _, s := range samples {
+		switch s.name {
+		case name + "_bucket":
+			if !match(s) {
+				continue
+			}
+			le := s.labels["le"]
+			if le == "" {
+				t.Fatalf("%s: bucket without le label: %v", name, s.labels)
+			}
+			if le == "+Inf" {
+				haveInf = true
+				buckets = append(buckets, bkt{math.Inf(1), s.value})
+				continue
+			}
+			f, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatalf("%s: unparseable le %q", name, le)
+			}
+			buckets = append(buckets, bkt{f, s.value})
+		case name + "_sum":
+			if !match(s) {
+				continue
+			}
+			sum, haveSum = s.value, true
+		case name + "_count":
+			if !match(s) {
+				continue
+			}
+			count, haveCount = s.value, true
+		}
+	}
+	if len(buckets) == 0 {
+		t.Fatalf("%s%v: no buckets found", name, want)
+	}
+	if !haveInf {
+		t.Fatalf("%s%v: no +Inf bucket", name, want)
+	}
+	if !haveSum || !haveCount {
+		t.Fatalf("%s%v: missing _sum or _count", name, want)
+	}
+	if !sort.SliceIsSorted(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le }) {
+		t.Fatalf("%s%v: le bounds not sorted: %v", name, want, buckets)
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].cum < buckets[i-1].cum {
+			t.Fatalf("%s%v: buckets not cumulative at le=%v: %v < %v",
+				name, want, buckets[i].le, buckets[i].cum, buckets[i-1].cum)
+		}
+	}
+	if inf := buckets[len(buckets)-1].cum; inf != count {
+		t.Fatalf("%s%v: +Inf bucket %v != _count %v", name, want, inf, count)
+	}
+	if count > 0 && sum < 0 {
+		t.Fatalf("%s%v: negative sum %v with %v observations", name, want, sum, count)
+	}
+}
+
+// TestWriteMetricsExposition round-trips WriteMetrics output through a
+// strict text-exposition parser after real traffic (including a cascade
+// model, so every stage series has observations) and checks the
+// histogram contract on every family plus the presence and labeling of
+// the observability additions: the stage-clock family, the queue-wait
+// histogram, and the build-info gauge.
+func TestWriteMetricsExposition(t *testing.T) {
+	pred, ds := testModel(t, 2048, 1)
+	if err := pred.SetCascade(core.Cascade{DPrefix: 512, Margin: 8}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(pred, Options{Workers: 2, MaxBatch: 8, MaxDelay: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.PredictBatch(context.Background(), ds.Graphs); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := WriteMetrics(&sb, e.Metrics(), e.Predictor()); err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePromText(t, sb.String())
+
+	byName := map[string][]promSample{}
+	for _, s := range samples {
+		byName[s.name] = append(byName[s.name], s)
+	}
+	for _, name := range []string{
+		"graphhd_requests_total", "graphhd_graphs_processed_total",
+		"graphhd_model_dimension", "graphhd_kernel_info",
+	} {
+		if len(byName[name]) == 0 {
+			t.Errorf("missing metric %s", name)
+		}
+	}
+
+	bi := byName["graphhd_build_info"]
+	if len(bi) != 1 {
+		t.Fatalf("graphhd_build_info: want 1 sample, got %d", len(bi))
+	}
+	if bi[0].value != 1 {
+		t.Errorf("graphhd_build_info value = %v, want 1", bi[0].value)
+	}
+	if gv := bi[0].labels["go_version"]; gv == "" || !strings.HasPrefix(gv, "go") {
+		t.Errorf("graphhd_build_info go_version = %q, want go toolchain version", gv)
+	}
+	if _, ok := bi[0].labels["vcs_revision"]; !ok {
+		t.Errorf("graphhd_build_info missing vcs_revision label")
+	}
+
+	checkHistogram(t, samples, "graphhd_request_latency_seconds", nil)
+	checkHistogram(t, samples, "graphhd_batch_size", nil)
+	checkHistogram(t, samples, "graphhd_queue_wait_seconds", nil)
+	for _, stage := range []string{"plan", "encode", "classify", "escalate"} {
+		checkHistogram(t, samples, "graphhd_stage_seconds", map[string]string{"stage": stage})
+	}
+
+	// The batch ran through the engine, so the mandatory stage series
+	// must have counted it; queue wait is observed per task.
+	for _, stage := range []string{"plan", "encode", "classify"} {
+		var n float64
+		for _, s := range byName["graphhd_stage_seconds_count"] {
+			if s.labels["stage"] == stage {
+				n = s.value
+			}
+		}
+		if n == 0 {
+			t.Errorf("graphhd_stage_seconds_count{stage=%q} = 0 after traffic", stage)
+		}
+	}
+}
+
+// TestHistogramBucketBranchFree cross-checks the unrolled 16-bound
+// bucket search against a straightforward linear scan, including the
+// v == bound edge (bounds are inclusive upper limits: v lands in the
+// bucket whose bound equals v) and both tails.
+func TestHistogramBucketBranchFree(t *testing.T) {
+	var h histogram
+	h.init(powerBounds(250e-9, 16))
+	if h.b16 == nil {
+		t.Fatal("16-bound histogram did not take the unrolled path")
+	}
+	ref := func(v float64) int {
+		i := 0
+		for i < len(h.bounds) && v > h.bounds[i] {
+			i++
+		}
+		return i
+	}
+	var vals []float64
+	vals = append(vals, 0, -1, 1e-12, 1, math.Inf(1))
+	for _, b := range h.bounds {
+		vals = append(vals, b, math.Nextafter(b, 0), math.Nextafter(b, math.Inf(1)))
+	}
+	for _, v := range vals {
+		if got, want := h.bucket(v), ref(v); got != want {
+			t.Errorf("bucket(%g) = %d, want %d", v, got, want)
+		}
+	}
+
+	// And a non-16-bound histogram must fall back to the loop with the
+	// same semantics.
+	var h5 histogram
+	h5.init([]float64{1, 2, 4, 8, 16})
+	for v, want := range map[float64]int{0.5: 0, 1: 0, 1.5: 1, 16: 4, 17: 5} {
+		if got := h5.bucket(v); got != want {
+			t.Errorf("5-bound bucket(%g) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+// TestHistogramObserveSum drives concurrent observes and checks the
+// CAS-accumulated sum and total count stay exact (the sum previously
+// used a racy read-modify-write).
+func TestHistogramObserveSum(t *testing.T) {
+	var h histogram
+	h.init(powerBounds(1, 16))
+	const workers, per = 8, 1000
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				h.observe(2.0)
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	s := h.snapshot()
+	if want := uint64(workers * per); s.Count != want {
+		t.Fatalf("count = %d, want %d", s.Count, want)
+	}
+	if want := float64(workers*per) * 2.0; s.Sum != want {
+		t.Fatalf("sum = %v, want %v (lost updates)", s.Sum, want)
+	}
+	var bucketTotal uint64
+	for _, c := range s.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+// TestHistogramQuantile checks the interpolation estimator on a known
+// distribution and its edge cases (empty, +Inf bucket).
+func TestHistogramQuantile(t *testing.T) {
+	empty := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []uint64{0, 0, 0}}
+	if q := empty.Quantile(0.5); !math.IsNaN(q) {
+		t.Errorf("empty quantile = %v, want NaN", q)
+	}
+
+	// 100 observations uniform in (0, 10]: bounds 10/20/40, all in the
+	// first bucket. Median interpolates to the bucket midpoint.
+	s := HistogramSnapshot{
+		Bounds: []float64{10, 20, 40},
+		Counts: []uint64{100, 0, 0, 0},
+		Count:  100,
+		Sum:    500,
+	}
+	if q := s.Quantile(0.5); math.Abs(q-5) > 1e-9 {
+		t.Errorf("median = %v, want 5", q)
+	}
+	if q := s.Quantile(1); math.Abs(q-10) > 1e-9 {
+		t.Errorf("p100 = %v, want 10", q)
+	}
+
+	// Observations beyond the last bound land in +Inf; quantiles there
+	// clamp to the highest finite bound rather than inventing a value.
+	inf := HistogramSnapshot{
+		Bounds: []float64{10, 20},
+		Counts: []uint64{0, 0, 50},
+		Count:  50,
+	}
+	if q := inf.Quantile(0.99); q != 20 {
+		t.Errorf("+Inf-bucket quantile = %v, want 20", q)
+	}
+
+	// Split across two buckets: 50 in (0,10], 50 in (10,20] — p75 is
+	// the midpoint of the second bucket.
+	split := HistogramSnapshot{
+		Bounds: []float64{10, 20},
+		Counts: []uint64{50, 50, 0},
+		Count:  100,
+	}
+	if q := split.Quantile(0.75); math.Abs(q-15) > 1e-9 {
+		t.Errorf("p75 = %v, want 15", q)
+	}
+}
+
+// TestQuantileMatchesObservations sanity-checks Quantile against a live
+// histogram fed a known ramp.
+func TestQuantileMatchesObservations(t *testing.T) {
+	var h histogram
+	h.init(powerBounds(1, 16))
+	for i := 1; i <= 1000; i++ {
+		h.observe(float64(i) / 100) // 0.01 .. 10
+	}
+	med := h.snapshot().Quantile(0.5)
+	if med < 2 || med > 8 {
+		t.Fatalf("median of ramp = %v, want within (2, 8)", med)
+	}
+}
+
+func ExampleWriteMetrics() {
+	var m Metrics
+	m.Latency = HistogramSnapshot{Bounds: []float64{0.001}, Counts: []uint64{1, 0}, Count: 1, Sum: 0.0005}
+	var sb strings.Builder
+	_ = WriteMetrics(&sb, m, nil)
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, "graphhd_request_latency_seconds_bucket") {
+			fmt.Println(line)
+		}
+	}
+	// Output:
+	// graphhd_request_latency_seconds_bucket{le="0.001"} 1
+	// graphhd_request_latency_seconds_bucket{le="+Inf"} 1
+}
