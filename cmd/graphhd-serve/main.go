@@ -1,12 +1,16 @@
-// Command graphhd-serve is the online inference server: it loads a packed
-// GraphHD model artifact (GRAPHHD1, GRAPHHD2 or GRAPHHD3, see cmd/graphhd
-// -save / -save-packed) and serves classifications over HTTP through the
-// micro-batching engine in internal/serve.
+// Command graphhd-serve is the online inference server: it loads packed
+// GraphHD model artifacts (GRAPHHD1, GRAPHHD2 or GRAPHHD3, see cmd/graphhd
+// -save / -save-packed) into a multi-tenant model registry and serves
+// classifications over HTTP through a router that fans requests across
+// per-model engine replicas (internal/serve).
 //
 // Usage:
 //
-//	graphhd-serve -model model.ghdp                     # listen on :8080
-//	graphhd-serve -model model.ghdp -addr 127.0.0.1:9090
+//	graphhd-serve -model model.ghdp                     # one model, listen on :8080
+//	graphhd-serve -models models/                       # every artifact in a directory
+//	graphhd-serve -models alpha=a.ghdp,beta=b.ghdp -default-model alpha
+//	graphhd-serve -model model.ghdp -replicas 4 -tenant-quota 4096
+//	graphhd-serve -models models/ -max-resident-bytes 67108864
 //	graphhd-serve -model model.ghdp -workers 4 -max-batch 32 -max-delay 500us
 //	graphhd-serve -model model.ghdp -class-names mutagenic,non-mutagenic
 //	graphhd-serve -model model.ghdp -cascade-prefix 1024 -cascade-margin 12
@@ -14,13 +18,21 @@
 //
 // Endpoints:
 //
-//	POST /v1/predict        {"graph": {"num_vertices": n, "edges": [[u,v],...]}}
-//	POST /v1/predict/batch  {"graphs": [...]}
-//	GET  /v1/model          model card (config, build identity)
-//	GET  /healthz           liveness probe
-//	GET  /metrics           Prometheus text metrics (incl. per-stage histograms)
-//	GET  /debug/traces      flight recorder: last-N per-batch trace records
-//	POST /admin/reload      hot-swap the model from -model
+//	POST /v1/predict                       predict against the default model
+//	POST /v1/predict/batch                 {"graphs": [...]}
+//	POST /v1/models/{name}/predict         predict against a named model
+//	POST /v1/models/{name}/predict/batch
+//	GET  /v1/model          default model card (config, build identity)
+//	GET  /v1/models         registry table: models, replicas, tenants
+//	GET  /healthz           liveness probe (+ resident-model summary)
+//	GET  /metrics           Prometheus text metrics, {model,replica} labeled
+//	GET  /debug/traces      flight recorder, merged across replicas
+//	POST /admin/reload      rolling-reload every file-backed model
+//	POST /admin/models      load/evict/reload one model by name
+//
+// Tenancy rides on the X-Tenant request header; -tenant-quota bounds each
+// tenant's in-flight graphs, shedding excess with 429 before it can touch
+// a replica queue.
 //
 // With -debug-addr a second listener serves the diagnostics surface
 // (/debug/pprof/*, /debug/vars, /debug/runtime, plus /debug/traces and
@@ -32,8 +44,9 @@
 // per-request access logs carry the X-Request-Id echoed to clients and
 // appear at -log-level debug.
 //
-// SIGHUP also hot-swaps the model; in-flight requests never fail during a
-// swap. SIGINT/SIGTERM shut down gracefully.
+// SIGHUP rolling-reloads every file-backed model across its replicas;
+// in-flight requests never fail during a swap. SIGINT/SIGTERM shut down
+// gracefully.
 package main
 
 import (
@@ -45,6 +58,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -55,23 +70,66 @@ import (
 	"graphhd/internal/serve"
 )
 
+// parseModelSpec resolves -models: either a directory (every *.ghdp/*.ghd
+// file becomes a model named after its basename) or a comma-separated
+// name=path list. Returns name→path pairs sorted by name.
+func parseModelSpec(spec string) ([][2]string, error) {
+	if fi, err := os.Stat(spec); err == nil && fi.IsDir() {
+		entries, err := os.ReadDir(spec)
+		if err != nil {
+			return nil, err
+		}
+		var out [][2]string
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			ext := filepath.Ext(e.Name())
+			if ext != ".ghdp" && ext != ".ghd" {
+				continue
+			}
+			name := strings.TrimSuffix(e.Name(), ext)
+			out = append(out, [2]string{name, filepath.Join(spec, e.Name())})
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("no *.ghdp/*.ghd artifacts in %s", spec)
+		}
+		return out, nil
+	}
+	var out [][2]string
+	for _, ent := range strings.Split(spec, ",") {
+		name, path, ok := strings.Cut(strings.TrimSpace(ent), "=")
+		if !ok || name == "" || path == "" {
+			return nil, fmt.Errorf("bad -models entry %q (want name=path or a directory)", ent)
+		}
+		out = append(out, [2]string{name, path})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out, nil
+}
+
 func main() {
 	var (
-		model      = flag.String("model", "", "model artifact to serve (required; GRAPHHD1 or GRAPHHD2)")
-		addr       = flag.String("addr", ":8080", "HTTP listen address")
-		debugAddr  = flag.String("debug-addr", "", "diagnostics listen address (pprof, expvar, runtime stats); keep it loopback/operator-only — empty disables")
-		workers    = flag.Int("workers", 0, "inference workers (0 = all cores)")
-		maxBatch   = flag.Int("max-batch", 0, "micro-batch flush size (0 = default)")
-		maxDelay   = flag.Duration("max-delay", 0, "micro-batch flush deadline (0 = default)")
-		queueSize  = flag.Int("queue", 0, "admission queue bound in graphs (0 = default)")
-		traceDepth = flag.Int("trace-depth", 0, "flight-recorder capacity in per-batch trace records, rounded up to a power of two (0 = default 256)")
-		classNames = flag.String("class-names", "", "comma-separated class names echoed in responses")
-		maxVerts   = flag.Int("max-vertices", 0, "per-request vertex cap (0 = default; bounds server-side basis-vector memory)")
-		maxEdges   = flag.Int("max-edges", 0, "per-request edge cap (0 = default)")
-		cascPrefix = flag.Int("cascade-prefix", 0, "stage-1 dimension for two-stage cascade classification (0 = off, or as saved in a GRAPHHD3 artifact; must be in [64, model dimension))")
-		cascMargin = flag.Int("cascade-margin", 0, "cascade escalation margin: stage-1 decisions with top-two Hamming margin at most this re-decide at full dimension (calibrate with cmd/graphhd -calibrate-cascade)")
-		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn or error (debug enables per-request access logs)")
-		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		model       = flag.String("model", "", "single model artifact served as \"default\" (this or -models is required)")
+		models      = flag.String("models", "", "multi-model spec: a directory of *.ghdp/*.ghd artifacts, or name=path,name=path")
+		defModel    = flag.String("default-model", "", "model the unnamed /v1/predict routes serve (default \"default\", else the first -models entry)")
+		replicas    = flag.Int("replicas", 1, "engine replicas per model")
+		maxResident = flag.Int64("max-resident-bytes", 0, "total packed bytes of resident models; loading past it evicts least-recently-used models (0 = unbounded)")
+		tenantQuota = flag.Int("tenant-quota", 0, "per-tenant in-flight graph quota, shed with 429 before queueing (0 = unlimited)")
+		addr        = flag.String("addr", ":8080", "HTTP listen address")
+		debugAddr   = flag.String("debug-addr", "", "diagnostics listen address (pprof, expvar, runtime stats); keep it loopback/operator-only — empty disables")
+		workers     = flag.Int("workers", 0, "inference workers per replica (0 = all cores)")
+		maxBatch    = flag.Int("max-batch", 0, "micro-batch flush size (0 = default)")
+		maxDelay    = flag.Duration("max-delay", 0, "micro-batch flush deadline (0 = default)")
+		queueSize   = flag.Int("queue", 0, "admission queue bound in graphs per replica (0 = default)")
+		traceDepth  = flag.Int("trace-depth", 0, "flight-recorder capacity per replica in per-batch trace records, rounded up to a power of two (0 = default 256)")
+		classNames  = flag.String("class-names", "", "comma-separated class names echoed in default-model responses")
+		maxVerts    = flag.Int("max-vertices", 0, "per-request vertex cap (0 = default; bounds server-side basis-vector memory)")
+		maxEdges    = flag.Int("max-edges", 0, "per-request edge cap (0 = default)")
+		cascPrefix  = flag.Int("cascade-prefix", 0, "stage-1 dimension for two-stage cascade classification, applied to every loaded model (0 = off, or as saved in a GRAPHHD3 artifact; must be in [64, model dimension))")
+		cascMargin  = flag.Int("cascade-margin", 0, "cascade escalation margin: stage-1 decisions with top-two Hamming margin at most this re-decide at full dimension (calibrate with cmd/graphhd -calibrate-cascade)")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error (debug enables per-request access logs)")
+		logJSON     = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
 
@@ -91,8 +149,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *model == "" {
-		fmt.Fprintln(os.Stderr, "graphhd-serve: -model is required")
+	if *model == "" && *models == "" {
+		fmt.Fprintln(os.Stderr, "graphhd-serve: -model or -models is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -102,37 +160,57 @@ func main() {
 		os.Exit(2)
 	}
 
-	// prepare applies operator cascade flags to a freshly loaded model; it
-	// runs at startup and again on every SIGHUP / POST /admin/reload via
-	// the engine's PrepareModel hook, so flag config survives hot swaps.
-	// Without flags, whatever cascade the artifact itself carries
+	// prepare applies operator cascade flags to every model the registry
+	// loads from disk; it runs at startup and again on every SIGHUP /
+	// POST /admin/reload|/admin/models, so flag config survives hot
+	// swaps. Without flags, whatever cascade the artifact itself carries
 	// (GRAPHHD3) stays as loaded.
-	prepare := func(p *core.Predictor) error {
+	prepare := func(name string, p *core.Predictor) error {
 		if *cascPrefix == 0 {
 			return nil
 		}
 		return p.SetCascade(core.Cascade{DPrefix: *cascPrefix, Margin: *cascMargin})
 	}
 
-	pred, err := core.LoadPredictorFile(*model)
-	if err != nil {
-		fatal("load model", err)
-	}
-	if err := prepare(pred); err != nil {
-		fatal("configure cascade", err)
-	}
-	engine, err := serve.NewEngine(pred, serve.Options{
-		Workers:      *workers,
-		MaxBatch:     *maxBatch,
-		MaxDelay:     *maxDelay,
-		QueueSize:    *queueSize,
-		TraceDepth:   *traceDepth,
-		PrepareModel: prepare,
+	registry := serve.NewRegistry(serve.RegistryOptions{
+		Replicas: *replicas,
+		Engine: serve.Options{
+			Workers:    *workers,
+			MaxBatch:   *maxBatch,
+			MaxDelay:   *maxDelay,
+			QueueSize:  *queueSize,
+			TraceDepth: *traceDepth,
+		},
+		MaxResidentBytes: *maxResident,
+		PrepareModel:     prepare,
 	})
-	if err != nil {
-		fatal("start engine", err)
+	defer registry.Close()
+
+	var entries [][2]string
+	if *model != "" {
+		entries = append(entries, [2]string{"default", *model})
 	}
-	defer engine.Close()
+	if *models != "" {
+		more, err := parseModelSpec(*models)
+		if err != nil {
+			fatal("parse -models", err)
+		}
+		entries = append(entries, more...)
+	}
+	for _, ent := range entries {
+		if err := registry.LoadFile(ent[0], ent[1]); err != nil {
+			fatal("load model", err)
+		}
+	}
+	defaultModel := *defModel
+	if defaultModel == "" {
+		defaultModel = entries[0][0]
+	}
+
+	router := serve.NewRouter(registry, serve.RouterOptions{
+		DefaultModel: defaultModel,
+		TenantQuota:  *tenantQuota,
+	})
 
 	var names []string
 	if *classNames != "" {
@@ -140,8 +218,7 @@ func main() {
 	}
 	srv := &http.Server{
 		Addr: *addr,
-		Handler: serve.NewHandler(engine, serve.HandlerOptions{
-			ModelPath:  *model,
+		Handler: serve.NewHandler(router, serve.HandlerOptions{
 			ClassNames: names,
 			Limits:     graph.CodecLimits{MaxVertices: *maxVerts, MaxEdges: *maxEdges},
 			Logger:     log,
@@ -153,7 +230,7 @@ func main() {
 	// serving address.
 	var dbgSrv *http.Server
 	if *debugAddr != "" {
-		dbgSrv = &http.Server{Addr: *debugAddr, Handler: serve.NewDebugHandler(engine)}
+		dbgSrv = &http.Server{Addr: *debugAddr, Handler: serve.NewDebugHandler(router)}
 		go func() {
 			log.Info("debug listener up", "addr", *debugAddr)
 			if err := dbgSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
@@ -162,21 +239,18 @@ func main() {
 		}()
 	}
 
-	// SIGHUP hot-swaps the model; SIGINT/SIGTERM drain and exit.
+	// SIGHUP rolling-reloads every file-backed model; SIGINT/SIGTERM
+	// drain and exit.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
 		for range hup {
-			if err := engine.SwapFromFile(*model); err != nil {
-				log.Warn("SIGHUP reload failed", "err", err)
+			n, err := registry.ReloadAll()
+			if err != nil {
+				log.Warn("SIGHUP reload failed", "err", err, "reloaded", n)
 				continue
 			}
-			log.Info("model reloaded",
-				"model", *model,
-				"classes", engine.Predictor().NumClasses(),
-				"dimension", engine.Predictor().Encoder().Dimension(),
-				"reloads", engine.Reloads(),
-			)
+			log.Info("models reloaded", "models", n)
 		}
 	}()
 	stop := make(chan os.Signal, 1)
@@ -196,30 +270,38 @@ func main() {
 		close(shutdownDone)
 	}()
 
-	opts := engine.Options()
 	ks := hdc.Kernels()
 	bi := serve.Build()
 	log.Info("starting",
 		"build", bi.GoVersion, "revision", bi.VCSRevision,
 		"kernel", ks.Active.String(), "cpu", ks.CPUFeatures,
 	)
-	log.Info("serving",
-		"model", *model, "addr", *addr,
-		"dimension", pred.Encoder().Dimension(),
-		"classes", pred.NumClasses(),
-		"packed_bytes", pred.MemoryBytes(),
-		"workers", opts.Workers, "max_batch", opts.MaxBatch,
-		"max_delay", opts.MaxDelay, "queue", opts.QueueSize,
-		"trace_depth", engine.TraceDepth(),
+	st := registry.Status()
+	log.Info("registry",
+		"addr", *addr,
+		"models", len(st.Models),
+		"replicas_per_model", st.ReplicasPerModel,
+		"resident_bytes", st.TotalBytes,
+		"max_resident_bytes", *maxResident,
+		"default_model", defaultModel,
+		"tenant_quota", *tenantQuota,
 	)
-	if c, ok := pred.Cascade(); ok {
-		log.Info("cascade enabled", "stage1_dimension", c.DPrefix, "margin", c.Margin)
+	for _, ms := range st.Models {
+		args := []any{
+			"model", ms.Name, "path", ms.Path,
+			"dimension", ms.Dimension, "classes", ms.Classes,
+			"packed_bytes", ms.PackedBytes,
+		}
+		if ms.CascadePrefix > 0 {
+			args = append(args, "cascade_prefix", ms.CascadePrefix, "cascade_margin", ms.CascadeMargin)
+		}
+		log.Info("model loaded", args...)
 	}
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		fatal("listen", err)
 	}
 	// ListenAndServe returns as soon as the listener closes; wait for
 	// Shutdown to finish draining in-flight responses before Close tears
-	// the engine down.
+	// the registry down.
 	<-shutdownDone
 }

@@ -11,6 +11,7 @@
 //	inspect -data ./data -name MUTAG -per-class
 //	inspect -model model.ghdp                          # model artifact card
 //	inspect -traces http://127.0.0.1:8080              # server flight recorder
+//	inspect -models http://127.0.0.1:8080              # server registry table
 package main
 
 import (
@@ -37,10 +38,15 @@ func main() {
 		perClass  = flag.Bool("per-class", false, "break extended statistics down by class")
 		modelPath = flag.String("model", "", "inspect a saved model artifact (GRAPHHD1/GRAPHHD2/GRAPHHD3) instead of a dataset")
 		tracesURL = flag.String("traces", "", "dump the flight recorder of a running graphhd-serve (base URL, e.g. http://127.0.0.1:8080)")
+		modelsURL = flag.String("models", "", "dump the model registry of a running graphhd-serve (base URL, e.g. http://127.0.0.1:8080)")
 	)
 	flag.Parse()
 	if *tracesURL != "" {
 		inspectTraces(*tracesURL)
+		return
+	}
+	if *modelsURL != "" {
+		inspectModels(*modelsURL)
 		return
 	}
 	if *modelPath != "" {
@@ -162,6 +168,61 @@ func inspectTraces(base string) {
 			us(r.QueueWaitNanos), us(r.DispatchNanos), us(r.PlanNanos),
 			us(r.EncodeNanos), us(r.ClassifyNanos), us(r.EscalateNanos),
 			us(r.TotalNanos), dedup, casc, r.Kernel)
+	}
+}
+
+// inspectModels fetches a running server's registry table
+// (GET /v1/models) and prints one row per model — name, version,
+// dimension, classes, packed bytes, cascade config — with per-replica
+// in-flight/accepted/processed counts, plus the tenant admission
+// accounts.
+func inspectModels(base string) {
+	url := strings.TrimRight(base, "/") + "/v1/models"
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "inspect:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "inspect: GET %s: %s\n", url, resp.Status)
+		os.Exit(1)
+	}
+	var mr serve.ModelsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		fmt.Fprintf(os.Stderr, "inspect: decode %s: %v\n", url, err)
+		os.Exit(1)
+	}
+	reg := mr.Registry
+	budget := "unbounded"
+	if reg.MaxBytes > 0 {
+		budget = fmt.Sprintf("%d", reg.MaxBytes)
+	}
+	fmt.Printf("registry at %s: %d models, %d bytes resident (budget %s), %d evicted, %d replicas/model, default %q\n",
+		base, len(reg.Models), reg.TotalBytes, budget, reg.Evictions, reg.ReplicasPerModel, mr.DefaultModel)
+	if len(reg.Models) > 0 {
+		fmt.Printf("%-16s %4s %7s %7s %9s %-14s %s\n",
+			"model", "ver", "dim", "classes", "bytes", "cascade", "replicas (inflight/accepted/processed)")
+		for _, m := range reg.Models {
+			casc := "off"
+			if m.CascadePrefix > 0 {
+				casc = fmt.Sprintf("d=%d m=%d", m.CascadePrefix, m.CascadeMargin)
+			}
+			reps := make([]string, 0, len(m.Replicas))
+			for _, r := range m.Replicas {
+				reps = append(reps, fmt.Sprintf("#%d %d/%d/%d", r.Replica, r.InFlight, r.Accepted, r.Processed))
+			}
+			fmt.Printf("%-16s %4d %7d %7d %9d %-14s %s\n",
+				m.Name, m.Version, m.Dimension, m.Classes, m.PackedBytes, casc,
+				strings.Join(reps, "  "))
+		}
+	}
+	if len(mr.Tenants) > 0 {
+		fmt.Println("tenants:")
+		for _, t := range mr.Tenants {
+			fmt.Printf("  %-16s in-flight %6d   quota-rejected %6d\n", t.Tenant, t.InFlight, t.Rejected)
+		}
 	}
 }
 

@@ -145,17 +145,17 @@ func main() {
 	// --- serving side -----------------------------------------------------
 	// Mount the same artifact behind the online inference server and check
 	// that a batch served over HTTP is bit-identical to the offline path.
-	engine, err := serve.NewEngine(device, serve.Options{})
-	if err != nil {
+	registry := serve.NewRegistry(serve.RegistryOptions{})
+	defer registry.Close()
+	if err := registry.LoadFile("default", packedPath); err != nil {
 		log.Fatal(err)
 	}
-	defer engine.Close()
+	router := serve.NewRouter(registry, serve.RouterOptions{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: serve.NewHandler(engine, serve.HandlerOptions{
-		ModelPath:  packedPath,
+	srv := &http.Server{Handler: serve.NewHandler(router, serve.HandlerOptions{
 		ClassNames: test.ClassNames,
 	})}
 	go srv.Serve(ln)

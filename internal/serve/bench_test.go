@@ -121,6 +121,41 @@ func reportStageMedians(b *testing.B, m Metrics, cascading bool) {
 	}
 }
 
+// BenchmarkRouterPredictBatch is BenchmarkServePredictBatch through the
+// full registry→router path (model lookup, tenant admission, replica
+// placement) with one model and one replica — the same 32-graph workload,
+// so the delta between the two benchmarks in one run is the router's
+// added overhead. The acceptance bound is ≤10% over the direct engine
+// path.
+func BenchmarkRouterPredictBatch(b *testing.B) {
+	ds := dataset.MustGenerate("MUTAG", dataset.Options{Seed: 7, GraphCount: 48})
+	cfg := core.DefaultConfig()
+	m, err := core.Train(cfg, ds.Graphs, ds.Labels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred := m.Snapshot()
+	reg := NewRegistry(RegistryOptions{Engine: Options{MaxBatch: 64, MaxDelay: 200 * time.Microsecond}})
+	defer reg.Close()
+	if err := reg.Load("default", pred); err != nil {
+		b.Fatal(err)
+	}
+	rt := NewRouter(reg, RouterOptions{})
+	ctx := context.Background()
+	graphs := ds.Graphs[:32]
+	out := make([]int, len(graphs))
+	if err := rt.PredictBatchInto(ctx, DefaultTenant, "", graphs, out); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rt.PredictBatchInto(ctx, DefaultTenant, "", graphs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkServePredictCascade is BenchmarkServePredictBatch with
 // two-stage cascade classification enabled: stage 1 decides at a 1024-bit
 // prefix of the same basis and only margin-ambiguous graphs escalate to

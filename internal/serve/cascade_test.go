@@ -104,9 +104,9 @@ func TestHTTPCascadeSurfaces(t *testing.T) {
 	body := string(raw)
 	m := e.Metrics()
 	for _, line := range []string{
-		fmt.Sprintf("graphhd_cascade_stage1_total %d", m.CascadeStage1),
-		fmt.Sprintf("graphhd_cascade_escalated_total %d", m.CascadeEscalated),
-		"graphhd_model_dimension 2048",
+		fmt.Sprintf(`graphhd_cascade_stage1_total{model="default",replica="0"} %d`, m.CascadeStage1),
+		fmt.Sprintf(`graphhd_cascade_escalated_total{model="default",replica="0"} %d`, m.CascadeEscalated),
+		`graphhd_model_dimension{model="default"} 2048`,
 	} {
 		if !strings.Contains(body, line) {
 			t.Fatalf("/metrics missing %q in:\n%s", line, body)
@@ -114,46 +114,83 @@ func TestHTTPCascadeSurfaces(t *testing.T) {
 	}
 }
 
-// TestSwapFromFilePrepareModel checks the reload hook: operator cascade
-// flags re-apply to models loaded by SwapFromFile (the SIGHUP path), and a
-// hook error aborts the swap, leaving the current model serving.
-func TestSwapFromFilePrepareModel(t *testing.T) {
+// TestRegistryPrepareModel checks the artifact-load hook: operator
+// cascade flags apply to every model the registry reads from disk — both
+// the initial LoadFile and the Reload (SIGHUP / admin) path — and a hook
+// error aborts the reload, leaving the current model serving.
+func TestRegistryPrepareModel(t *testing.T) {
 	pred, _ := testModel(t, 2048, 1)
 	casc := core.Cascade{DPrefix: 512, Margin: 9}
-	e, err := NewEngine(pred, Options{
-		Workers: 1,
-		PrepareModel: func(p *core.Predictor) error {
+	reg := NewRegistry(RegistryOptions{
+		Engine: Options{Workers: 1},
+		PrepareModel: func(name string, p *core.Predictor) error {
+			if name != "default" {
+				return fmt.Errorf("hook saw model %q", name)
+			}
 			return p.SetCascade(casc)
 		},
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer e.Close()
+	defer reg.Close()
 
 	path := filepath.Join(t.TempDir(), "model.ghdp")
 	if err := pred.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.SwapFromFile(path); err != nil {
+	if err := reg.LoadFile("default", path); err != nil {
 		t.Fatal(err)
 	}
-	got, on := e.Predictor().Cascade()
+	serving, err := serveRegistryPredictor(reg, "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, on := serving.Cascade()
 	if !on || got != casc {
+		t.Fatalf("loaded model cascade = %+v (active %v), want %+v", got, on, casc)
+	}
+
+	// Reload re-reads the artifact and re-applies the hook.
+	if err := pred.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Reload("default"); err != nil {
+		t.Fatal(err)
+	}
+	serving, err = serveRegistryPredictor(reg, "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, on := serving.Cascade(); !on || got != casc {
 		t.Fatalf("reloaded model cascade = %+v (active %v), want %+v", got, on, casc)
 	}
 
 	// A failing hook (here: prefix too wide for a narrower model) aborts
-	// the swap without installing the new model.
+	// the reload without installing the new model.
 	small, _ := testModel(t, 256, 5)
 	if err := small.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
-	before := e.Predictor()
-	if err := e.SwapFromFile(path); err == nil {
+	before, err := serveRegistryPredictor(reg, "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Reload("default"); err == nil {
 		t.Fatal("reload with failing PrepareModel succeeded")
 	}
-	if e.Predictor() != before {
+	after, err := serveRegistryPredictor(reg, "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
 		t.Fatal("failed reload replaced the serving model")
 	}
+}
+
+// serveRegistryPredictor returns the predictor currently serving the
+// named model's first replica.
+func serveRegistryPredictor(reg *Registry, name string) (*core.Predictor, error) {
+	m, ok := reg.model(name)
+	if !ok {
+		return nil, fmt.Errorf("model %q not resident", name)
+	}
+	return m.replicas[0].eng.Predictor(), nil
 }

@@ -1,7 +1,12 @@
-// Package serve is the online-inference subsystem: a transport-agnostic
-// Engine that turns an immutable core.Predictor into a long-running,
-// hot-swappable service. The Engine owns the three serving concerns the
-// batch pipeline has no notion of:
+// Package serve is the online-inference subsystem. It is layered:
+//
+//	Registry (named models, LRU by packed bytes, rolling hot-swap)
+//	  └─ Router (per-tenant quotas, least-in-flight replica placement)
+//	       └─ N replica Engines per model (micro-batching, admission)
+//
+// The transport-agnostic Engine turns an immutable core.Predictor into a
+// long-running, hot-swappable service. The Engine owns the three serving
+// concerns the batch pipeline has no notion of:
 //
 //   - Micro-batching. Requests land in a bounded queue; a dispatcher
 //     groups them into batches, flushing on MaxBatch, on MaxDelay, or
@@ -65,13 +70,12 @@ type Options struct {
 	// batch requests). Requests beyond it fail with ErrOverloaded.
 	// Default 4096.
 	QueueSize int
-	// PrepareModel, when set, is applied to every predictor loaded by
-	// SwapFromFile before it is installed — the hook cmd/graphhd-serve
-	// uses to re-apply operator cascade flags across SIGHUP reloads. A
-	// returned error aborts the swap, leaving the current model serving.
-	// It is NOT applied to the initial predictor or to direct Swap calls;
-	// callers configure those predictors themselves.
-	PrepareModel func(*core.Predictor) error
+	// ModelName and Replica identify this engine's slot in a multi-model
+	// deployment: the Registry stamps them so metrics and trace records
+	// name the model and replica that served each batch. A standalone
+	// engine defaults to model "default", replica 0.
+	ModelName string
+	Replica   int
 	// TraceDepth is the flight-recorder capacity in per-batch trace
 	// records, rounded up to a power of two. Non-positive selects
 	// DefaultTraceDepth. Memory is fixed at roughly 160 bytes per record.
@@ -90,6 +94,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueSize <= 0 {
 		o.QueueSize = 4096
+	}
+	if o.ModelName == "" {
+		o.ModelName = "default"
 	}
 	return o
 }
@@ -231,22 +238,6 @@ func (e *Engine) Swap(pred *core.Predictor) error {
 	e.pred.Store(pred)
 	e.m.reloads.Add(1)
 	return nil
-}
-
-// SwapFromFile re-reads a GRAPHHD1/GRAPHHD2/GRAPHHD3 model artifact,
-// applies the PrepareModel hook if configured, and installs the result;
-// the reload path behind SIGHUP and POST /admin/reload.
-func (e *Engine) SwapFromFile(path string) error {
-	pred, err := core.LoadPredictorFile(path)
-	if err != nil {
-		return fmt.Errorf("serve: reload: %w", err)
-	}
-	if e.opts.PrepareModel != nil {
-		if err := e.opts.PrepareModel(pred); err != nil {
-			return fmt.Errorf("serve: reload: %w", err)
-		}
-	}
-	return e.Swap(pred)
 }
 
 // Predict classifies one graph through the micro-batching queue and
@@ -518,6 +509,8 @@ func (e *Engine) worker() {
 		e.m.observePlan(pairs, distinct)
 		rec = TraceRecord{
 			Time:           e.epoch.Add(time.Duration(start)),
+			Model:          e.opts.ModelName,
+			Replica:        e.opts.Replica,
 			BatchSize:      b.size,
 			Tasks:          len(b.tasks),
 			QueueWaitNanos: b.qmax,

@@ -14,35 +14,44 @@ import (
 	"sync/atomic"
 	"time"
 
+	"graphhd/internal/core"
 	"graphhd/internal/graph"
 	"graphhd/internal/hdc"
 )
 
-// HTTP front end for the Engine: the wire protocol of cmd/graphhd-serve.
+// HTTP front end for the Router: the wire protocol of cmd/graphhd-serve.
 //
-//	POST /v1/predict        {"graph": {...}}            → {"class": c}
-//	POST /v1/predict/batch  {"graphs": [{...}, ...]}    → {"classes": [...]}
-//	GET  /v1/model          model card (dimension, classes, footprint, config, build)
-//	GET  /healthz           liveness probe
-//	GET  /metrics           Prometheus text exposition
-//	GET  /debug/traces      flight recorder: last-N per-batch trace records
-//	POST /admin/reload      re-read the model artifact and hot-swap it
+//	POST /v1/predict                       {"graph": {...}}         → {"class": c}
+//	POST /v1/predict/batch                 {"graphs": [{...}, ...]} → {"classes": [...]}
+//	POST /v1/models/{model}/predict        same, routed to a named model
+//	POST /v1/models/{model}/predict/batch  same, routed to a named model
+//	GET  /v1/model          default model card (dimension, classes, config, build)
+//	GET  /v1/models         registry table: every resident model and replica
+//	GET  /healthz           liveness probe (+ resident-model summary)
+//	GET  /metrics           Prometheus text exposition, {model,replica} labeled
+//	GET  /debug/traces      flight recorder, merged across replicas
+//	POST /admin/reload      rolling-reload every file-backed model
+//	POST /admin/models      {"action": "load"|"evict"|"reload", "name": ..., "path": ...}
 //
-// Graphs travel in the internal/graph JSON wire form. Admission-control
-// rejections map to 429, malformed or config-incompatible graphs to 400.
-// Every response carries an X-Request-Id header; with a Logger configured
-// each request is logged structurally under that id.
+// The unnamed predict routes delegate to the router's default model, so a
+// single-model deployment keeps its PR 3 wire protocol unchanged. Tenancy
+// rides on the X-Tenant request header (absent → "default"); a tenant past
+// its in-flight quota gets 429 without its request touching any replica
+// queue. Admission-control rejections map to 429, unknown models to 404,
+// malformed or config-incompatible graphs to 400.
+//
+// Graphs travel in the internal/graph JSON wire form. Every response
+// carries an X-Request-Id header; with a Logger configured each request
+// is logged structurally under that id.
 //
 // NewDebugHandler builds the separate diagnostics surface (pprof, expvar,
 // runtime stats) cmd/graphhd-serve mounts on -debug-addr.
 
 // HandlerOptions configures NewHandler.
 type HandlerOptions struct {
-	// ModelPath is the artifact /admin/reload re-reads. Empty disables the
-	// reload endpoint.
-	ModelPath string
 	// ClassNames optionally maps class indices to names echoed in predict
-	// responses (e.g. Dataset.ClassNames).
+	// responses (e.g. Dataset.ClassNames). They describe the default
+	// model; responses for other named models carry indices only.
 	ClassNames []string
 	// Limits bounds decoded request graphs; the zero value applies
 	// graph.DefaultCodecLimits.
@@ -77,11 +86,13 @@ type PredictBatchResponse struct {
 	ClassNames []string `json:"class_names,omitempty"`
 }
 
-// ModelInfo is the body of GET /v1/model: the model card of the currently
-// installed predictor, plus the SIMD kernel tier the replica is actually
-// running (a replica silently degraded to a lower tier shows up here and
-// in /healthz, not just in node-level CPU inventory).
+// ModelInfo is the body of GET /v1/model: the model card of the default
+// model's current predictor, plus the SIMD kernel tier the replica is
+// actually running and a summary of the registry it lives in.
 type ModelInfo struct {
+	Model              string `json:"model"`
+	Version            uint64 `json:"version"`
+	Replicas           int    `json:"replicas"`
 	Dimension          int    `json:"dimension"`
 	Classes            int    `json:"classes"`
 	MemoryBytes        int    `json:"memory_bytes"`
@@ -89,9 +100,10 @@ type ModelInfo struct {
 	PageRankIterations int    `json:"page_rank_iterations"`
 	Seed               uint64 `json:"seed"`
 	UseVertexLabels    bool   `json:"use_vertex_labels"`
-	Reloads            uint64 `json:"reloads"`
-	KernelTier         string `json:"kernel_tier"`
-	CPUFeatures        string `json:"cpu_features,omitempty"`
+	// Reloads counts rolling swaps since the model was loaded.
+	Reloads     uint64 `json:"reloads"`
+	KernelTier  string `json:"kernel_tier"`
+	CPUFeatures string `json:"cpu_features,omitempty"`
 	// GoVersion and VCSRevision identify the build serving this model
 	// (see BuildInfo); VCSRevision is empty for unstamped builds.
 	GoVersion   string `json:"go_version"`
@@ -100,6 +112,27 @@ type ModelInfo struct {
 	// classification is active on the installed predictor.
 	CascadePrefix int `json:"cascade_prefix,omitempty"`
 	CascadeMargin int `json:"cascade_margin,omitempty"`
+	// ModelsResident and RegistryBytes summarize the registry this model
+	// is resident in.
+	ModelsResident int   `json:"models_resident"`
+	RegistryBytes  int64 `json:"registry_bytes"`
+}
+
+// ModelsResponse is the body of GET /v1/models: the registry table plus
+// router-level tenancy state — what cmd/inspect -models renders.
+type ModelsResponse struct {
+	DefaultModel string         `json:"default_model"`
+	Registry     RegistryStatus `json:"registry"`
+	Tenants      []TenantStatus `json:"tenants,omitempty"`
+}
+
+// AdminModelRequest is the body of POST /admin/models.
+type AdminModelRequest struct {
+	// Action is "load" (read Path, install under Name), "evict" (remove
+	// Name), or "reload" (re-read Name's remembered artifact path).
+	Action string `json:"action"`
+	Name   string `json:"name"`
+	Path   string `json:"path,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx response.
@@ -108,24 +141,36 @@ type errorResponse struct {
 }
 
 type handler struct {
-	e    *Engine
+	rt   *Router
 	opts HandlerOptions
 }
 
-// NewHandler wraps an engine in the HTTP API described above.
-func NewHandler(e *Engine, opts HandlerOptions) http.Handler {
+// NewHandler wraps a router in the HTTP API described above.
+func NewHandler(rt *Router, opts HandlerOptions) http.Handler {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 32 << 20
 	}
-	h := &handler{e: e, opts: opts}
+	h := &handler{rt: rt, opts: opts}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/predict", h.predict)
-	mux.HandleFunc("POST /v1/predict/batch", h.predictBatch)
+	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		h.predict(w, r, "")
+	})
+	mux.HandleFunc("POST /v1/predict/batch", func(w http.ResponseWriter, r *http.Request) {
+		h.predictBatch(w, r, "")
+	})
+	mux.HandleFunc("POST /v1/models/{model}/predict", func(w http.ResponseWriter, r *http.Request) {
+		h.predict(w, r, r.PathValue("model"))
+	})
+	mux.HandleFunc("POST /v1/models/{model}/predict/batch", func(w http.ResponseWriter, r *http.Request) {
+		h.predictBatch(w, r, r.PathValue("model"))
+	})
 	mux.HandleFunc("GET /v1/model", h.model)
+	mux.HandleFunc("GET /v1/models", h.models)
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /metrics", h.metrics)
 	mux.HandleFunc("GET /debug/traces", h.traces)
 	mux.HandleFunc("POST /admin/reload", h.reload)
+	mux.HandleFunc("POST /admin/models", h.adminModels)
 	return requestLog(opts.Logger, mux)
 }
 
@@ -206,21 +251,31 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
-// writeEngineError maps engine admission errors onto HTTP status codes.
+// writeEngineError maps router/engine admission errors onto HTTP status
+// codes. Both shed-load conditions — a full replica queue and an
+// exhausted tenant quota — map to 429; the distinction is visible in the
+// body and in which counter moved.
 func writeEngineError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, ErrOverloaded):
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrQuotaExceeded):
 		writeError(w, http.StatusTooManyRequests, err)
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrModelNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrRegistryClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
 	default:
 		writeError(w, http.StatusInternalServerError, err)
 	}
 }
 
+// tenantOf extracts the request's tenant from the X-Tenant header.
+func tenantOf(r *http.Request) string {
+	return r.Header.Get("X-Tenant")
+}
+
 // decodeGraph validates one wire graph against the codec limits and the
-// installed encoder's configuration.
-func (h *handler) decodeGraph(w *graph.GraphJSON) (*graph.Graph, error) {
+// target model's encoder configuration.
+func (h *handler) decodeGraph(w *graph.GraphJSON, pred *core.Predictor) (*graph.Graph, error) {
 	if w == nil {
 		return nil, errors.New("serve: missing graph")
 	}
@@ -228,74 +283,95 @@ func (h *handler) decodeGraph(w *graph.GraphJSON) (*graph.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	if g.Labeled() && !h.e.Predictor().Encoder().Config().UseVertexLabels {
+	if g.Labeled() && !pred.Encoder().Config().UseVertexLabels {
 		return nil, errors.New("serve: vertex_labels supplied but the loaded model does not use vertex labels")
 	}
 	return g, nil
 }
 
-func (h *handler) className(c int) string {
-	if c >= 0 && c < len(h.opts.ClassNames) {
+// className maps a class index onto the configured default-model class
+// names; named-model responses (model != "") carry indices only.
+func (h *handler) className(model string, c int) string {
+	if model == "" && c >= 0 && c < len(h.opts.ClassNames) {
 		return h.opts.ClassNames[c]
 	}
 	return ""
 }
 
-func (h *handler) predict(w http.ResponseWriter, r *http.Request) {
+func (h *handler) predict(w http.ResponseWriter, r *http.Request, model string) {
 	var req PredictRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode request: %w", err))
 		return
 	}
-	g, err := h.decodeGraph(req.Graph)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	class, err := h.e.Predict(r.Context(), g)
+	pred, err := h.rt.Predictor(model)
 	if err != nil {
 		writeEngineError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, PredictResponse{Class: class, ClassName: h.className(class)})
+	g, err := h.decodeGraph(req.Graph, pred)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	class, err := h.rt.Predict(r.Context(), tenantOf(r), model, g)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{Class: class, ClassName: h.className(model, class)})
 }
 
-func (h *handler) predictBatch(w http.ResponseWriter, r *http.Request) {
+func (h *handler) predictBatch(w http.ResponseWriter, r *http.Request, model string) {
 	var req PredictBatchRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode request: %w", err))
 		return
 	}
+	pred, err := h.rt.Predictor(model)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
 	graphs := make([]*graph.Graph, len(req.Graphs))
 	for i, wg := range req.Graphs {
-		g, err := h.decodeGraph(wg)
+		g, err := h.decodeGraph(wg, pred)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("graphs[%d]: %w", i, err))
 			return
 		}
 		graphs[i] = g
 	}
-	classes, err := h.e.PredictBatch(r.Context(), graphs)
+	classes, err := h.rt.PredictBatch(r.Context(), tenantOf(r), model, graphs)
 	if err != nil {
 		writeEngineError(w, err)
 		return
 	}
 	resp := PredictBatchResponse{Classes: classes}
-	if len(h.opts.ClassNames) > 0 {
+	if model == "" && len(h.opts.ClassNames) > 0 {
 		resp.ClassNames = make([]string, len(classes))
 		for i, c := range classes {
-			resp.ClassNames[i] = h.className(c)
+			resp.ClassNames[i] = h.className(model, c)
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (h *handler) model(w http.ResponseWriter, r *http.Request) {
-	p := h.e.Predictor()
+	m, err := h.rt.target("")
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	reg := h.rt.Registry()
+	p := m.pred.Load()
 	cfg := p.Encoder().Config()
 	ks := hdc.Kernels()
 	bi := Build()
 	info := ModelInfo{
+		Model:              m.name,
+		Version:            m.version.Load(),
+		Replicas:           len(m.replicas),
 		Dimension:          cfg.Dimension,
 		Classes:            p.NumClasses(),
 		MemoryBytes:        p.MemoryBytes(),
@@ -303,11 +379,13 @@ func (h *handler) model(w http.ResponseWriter, r *http.Request) {
 		PageRankIterations: cfg.PageRankIterations,
 		Seed:               cfg.Seed,
 		UseVertexLabels:    cfg.UseVertexLabels,
-		Reloads:            h.e.Reloads(),
+		Reloads:            m.version.Load() - 1,
 		KernelTier:         ks.Active.String(),
 		CPUFeatures:        ks.CPUFeatures,
 		GoVersion:          bi.GoVersion,
 		VCSRevision:        bi.VCSRevision,
+		ModelsResident:     reg.Len(),
+		RegistryBytes:      reg.Bytes(),
 	}
 	if c, ok := p.Cascade(); ok {
 		info.CascadePrefix, info.CascadeMargin = c.DPrefix, c.Margin
@@ -315,53 +393,116 @@ func (h *handler) model(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+func (h *handler) models(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ModelsResponse{
+		DefaultModel: h.rt.DefaultModel(),
+		Registry:     h.rt.Registry().Status(),
+		Tenants:      h.rt.Tenants(),
+	})
+}
+
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	// First line stays exactly "ok" for probes that match on it; the
-	// kernel lines surface the dispatch decision per replica.
+	// kernel lines surface the dispatch decision per replica, the model
+	// lines the registry's residency.
 	ks := hdc.Kernels()
+	reg := h.rt.Registry()
 	fmt.Fprintln(w, "ok")
 	fmt.Fprintf(w, "kernel: %s\n", ks.Active)
 	if ks.CPUFeatures != "" {
 		fmt.Fprintf(w, "cpu: %s\n", ks.CPUFeatures)
 	}
+	fmt.Fprintf(w, "models: %d\n", reg.Len())
+	fmt.Fprintf(w, "model_bytes: %d\n", reg.Bytes())
 }
 
 func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	WriteMetrics(w, h.e.Metrics(), h.e.Predictor())
+	WriteRouterMetrics(w, h.rt)
 }
 
-// TracesResponse is the body of GET /debug/traces: the flight recorder's
-// retained per-batch trace records, newest first.
+// TracesResponse is the body of GET /debug/traces: the per-batch trace
+// records retained across every replica's flight recorder, newest first.
 type TracesResponse struct {
-	Depth  int           `json:"depth"` // ring capacity in records
+	Depth  int           `json:"depth"` // summed ring capacity in records
 	Traces []TraceRecord `json:"traces"`
 }
 
 func (h *handler) traces(w http.ResponseWriter, r *http.Request) {
+	reg := h.rt.Registry()
 	writeJSON(w, http.StatusOK, TracesResponse{
-		Depth:  h.e.TraceDepth(),
-		Traces: h.e.Traces(),
+		Depth:  reg.TraceDepth(),
+		Traces: reg.Traces(),
 	})
 }
 
 func (h *handler) reload(w http.ResponseWriter, r *http.Request) {
-	if h.opts.ModelPath == "" {
-		writeError(w, http.StatusNotFound, errors.New("serve: no model path configured for reload"))
-		return
-	}
-	if err := h.e.SwapFromFile(h.opts.ModelPath); err != nil {
+	n, err := h.rt.Registry().ReloadAll()
+	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	p := h.e.Predictor()
+	if n == 0 {
+		writeError(w, http.StatusNotFound, errors.New("serve: no model has an artifact path to reload"))
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"reloaded":     true,
-		"classes":      p.NumClasses(),
-		"dimension":    p.Encoder().Dimension(),
-		"memory_bytes": p.MemoryBytes(),
+		"reloaded": true,
+		"models":   n,
+	})
+}
+
+// adminModels is the model-lifecycle endpoint: load a new artifact under
+// a name, evict a resident model, or reload one from its remembered path.
+func (h *handler) adminModels(w http.ResponseWriter, r *http.Request) {
+	var req AdminModelRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode request: %w", err))
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, errors.New("serve: model name required"))
+		return
+	}
+	reg := h.rt.Registry()
+	var err error
+	switch req.Action {
+	case "load":
+		if req.Path == "" {
+			writeError(w, http.StatusBadRequest, errors.New("serve: load needs a path"))
+			return
+		}
+		err = reg.LoadFile(req.Name, req.Path)
+	case "evict":
+		err = reg.Evict(req.Name)
+	case "reload":
+		err = reg.Reload(req.Name)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: unknown action %q", req.Action))
+		return
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrModelNotFound):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, ErrModelTooLarge):
+		writeError(w, http.StatusInsufficientStorage, err)
+		return
+	case errors.Is(err, ErrRegistryClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":     true,
+		"action": req.Action,
+		"name":   req.Name,
+		"models": reg.Len(),
 	})
 }
 
@@ -383,7 +524,7 @@ type RuntimeStats struct {
 //
 //	/debug/pprof/*   net/http/pprof profiles (CPU, heap, goroutine, ...)
 //	/debug/vars      expvar (cmdline, memstats)
-//	/debug/traces    the engine's flight recorder (same payload as the API)
+//	/debug/traces    the merged flight recorders (same payload as the API)
 //	/debug/runtime   RuntimeStats JSON
 //	/metrics         Prometheus exposition (so the debug port is scrapable)
 //
@@ -391,7 +532,7 @@ type RuntimeStats struct {
 // stop-the-world sample, heap dumps are large) and leak operational
 // detail, which is why they live on their own listener: bind it to
 // loopback or an operator-only network, never the serving address.
-func NewDebugHandler(e *Engine) http.Handler {
+func NewDebugHandler(rt *Router) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -400,7 +541,8 @@ func NewDebugHandler(e *Engine) http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, TracesResponse{Depth: e.TraceDepth(), Traces: e.Traces()})
+		reg := rt.Registry()
+		writeJSON(w, http.StatusOK, TracesResponse{Depth: reg.TraceDepth(), Traces: reg.Traces()})
 	})
 	mux.HandleFunc("GET /debug/runtime", func(w http.ResponseWriter, r *http.Request) {
 		var ms runtime.MemStats
@@ -421,7 +563,7 @@ func NewDebugHandler(e *Engine) http.Handler {
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		WriteMetrics(w, e.Metrics(), e.Predictor())
+		WriteRouterMetrics(w, rt)
 	})
 	return mux
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -18,16 +19,43 @@ import (
 	"graphhd/internal/graph"
 )
 
-// startTestServer stands up the full HTTP stack over a fresh engine.
+// testEngineOptions is the per-replica engine shape every HTTP test runs.
+func testEngineOptions() Options {
+	return Options{Workers: 2, MaxBatch: 8, MaxDelay: 100 * time.Microsecond}
+}
+
+// startTestStack stands up registry → router → HTTP over pred installed
+// as the default model.
+func startTestStack(t *testing.T, pred *core.Predictor, ropts RouterOptions, opts HandlerOptions) (*httptest.Server, *Router) {
+	t.Helper()
+	reg := NewRegistry(RegistryOptions{Engine: testEngineOptions()})
+	if pred != nil {
+		if err := reg.Load("default", pred); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt := NewRouter(reg, ropts)
+	srv := httptest.NewServer(NewHandler(rt, opts))
+	t.Cleanup(func() { srv.Close(); reg.Close() })
+	return srv, rt
+}
+
+// startTestServer is the single-model shorthand, returning the default
+// model's only replica engine for white-box assertions.
 func startTestServer(t *testing.T, pred *core.Predictor, opts HandlerOptions) (*httptest.Server, *Engine) {
 	t.Helper()
-	e, err := NewEngine(pred, Options{Workers: 2, MaxBatch: 8, MaxDelay: 100 * time.Microsecond})
-	if err != nil {
-		t.Fatal(err)
+	srv, rt := startTestStack(t, pred, RouterOptions{}, opts)
+	return srv, replicaEngine(t, rt, "default", 0)
+}
+
+// replicaEngine digs one replica's engine out of the registry.
+func replicaEngine(t *testing.T, rt *Router, model string, rep int) *Engine {
+	t.Helper()
+	m, ok := rt.reg.model(model)
+	if !ok {
+		t.Fatalf("model %q not resident", model)
 	}
-	srv := httptest.NewServer(NewHandler(e, opts))
-	t.Cleanup(func() { srv.Close(); e.Close() })
-	return srv, e
+	return m.replicas[rep].eng
 }
 
 func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
@@ -104,6 +132,205 @@ func TestHTTPPredictMatchesOffline(t *testing.T) {
 	}
 }
 
+// TestHTTPModelRoutes serves two named models and requires the named
+// routes to answer under the right model, unknown names to 404, the
+// registry table to list both, and /admin/models to evict and re-load.
+func TestHTTPModelRoutes(t *testing.T) {
+	predA, ds := testModel(t, 2048, 1)
+	predB, _ := testModel(t, 1024, 99)
+	wantA := predA.PredictAll(ds.Graphs)
+	wantB := predB.PredictAll(ds.Graphs)
+
+	pathB := filepath.Join(t.TempDir(), "beta.ghdp")
+	if err := predB.SaveFile(pathB); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, rt := startTestStack(t, predA, RouterOptions{}, HandlerOptions{})
+	if err := rt.Registry().LoadFile("beta", pathB); err != nil {
+		t.Fatal(err)
+	}
+
+	// Disagreeing graphs prove routing actually switches models; with
+	// these tiny models at least one of 48 graphs disagrees in practice.
+	for i := range ds.Graphs {
+		resp, body := postJSON(t, srv.URL+"/v1/models/beta/predict", PredictRequest{Graph: graph.ToJSON(ds.Graphs[i])})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("beta graph %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var pr PredictResponse
+		if err := json.Unmarshal(body, &pr); err != nil {
+			t.Fatal(err)
+		}
+		if pr.Class != wantB[i] {
+			t.Fatalf("beta graph %d: class %d, want %d", i, pr.Class, wantB[i])
+		}
+	}
+	resp, body := postJSON(t, srv.URL+"/v1/models/default/predict", PredictRequest{Graph: graph.ToJSON(ds.Graphs[0])})
+	var pr PredictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || pr.Class != wantA[0] {
+		t.Fatalf("default by name: status %d class %d, want 200 class %d", resp.StatusCode, pr.Class, wantA[0])
+	}
+
+	// Unknown model → 404, on both single and batch routes.
+	resp, _ = postJSON(t, srv.URL+"/v1/models/nope/predict", PredictRequest{Graph: graph.ToJSON(ds.Graphs[0])})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model: status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/v1/models/nope/predict/batch", PredictBatchRequest{Graphs: []*graph.GraphJSON{graph.ToJSON(ds.Graphs[0])}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model batch: status %d, want 404", resp.StatusCode)
+	}
+
+	// Registry table lists both models.
+	hresp, err := http.Get(srv.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr ModelsResponse
+	err = json.NewDecoder(hresp.Body).Decode(&mr)
+	hresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.DefaultModel != "default" || len(mr.Registry.Models) != 2 {
+		t.Fatalf("models response: default %q, %d models", mr.DefaultModel, len(mr.Registry.Models))
+	}
+	if mr.Registry.Models[0].Name != "beta" || mr.Registry.Models[1].Name != "default" {
+		t.Fatalf("models not sorted by name: %q, %q", mr.Registry.Models[0].Name, mr.Registry.Models[1].Name)
+	}
+	if mr.Registry.Models[0].Dimension != 1024 {
+		t.Fatalf("beta dimension %d, want 1024", mr.Registry.Models[0].Dimension)
+	}
+
+	// Evict beta over the admin endpoint; its routes go 404.
+	resp, body = postJSON(t, srv.URL+"/admin/models", AdminModelRequest{Action: "evict", Name: "beta"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evict: status %d: %s", resp.StatusCode, body)
+	}
+	resp, _ = postJSON(t, srv.URL+"/v1/models/beta/predict", PredictRequest{Graph: graph.ToJSON(ds.Graphs[0])})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted model: status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/admin/models", AdminModelRequest{Action: "evict", Name: "beta"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double evict: status %d, want 404", resp.StatusCode)
+	}
+
+	// Load it back; routes work again.
+	resp, body = postJSON(t, srv.URL+"/admin/models", AdminModelRequest{Action: "load", Name: "beta", Path: pathB})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("load: status %d: %s", resp.StatusCode, body)
+	}
+	resp, _ = postJSON(t, srv.URL+"/v1/models/beta/predict", PredictRequest{Graph: graph.ToJSON(ds.Graphs[0])})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-loaded model: status %d, want 200", resp.StatusCode)
+	}
+
+	// Per-model reload through the admin endpoint.
+	resp, body = postJSON(t, srv.URL+"/admin/models", AdminModelRequest{Action: "reload", Name: "beta"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin reload: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Bad admin requests.
+	resp, _ = postJSON(t, srv.URL+"/admin/models", AdminModelRequest{Action: "load", Name: "x"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("load without path: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/admin/models", AdminModelRequest{Action: "frobnicate", Name: "x"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown action: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/admin/models", AdminModelRequest{Action: "evict"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("evict without name: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/admin/models", AdminModelRequest{Action: "load", Name: "x", Path: filepath.Join(t.TempDir(), "missing.ghdp")})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("load missing artifact: status %d, want 500", resp.StatusCode)
+	}
+	rawResp, err := http.Post(srv.URL+"/admin/models", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawResp.Body.Close()
+	if rawResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed admin JSON: status %d, want 400", rawResp.StatusCode)
+	}
+}
+
+// TestHTTPAdminLoadTooLarge maps ErrModelTooLarge to 507.
+func TestHTTPAdminLoadTooLarge(t *testing.T) {
+	small, _ := testModel(t, 1024, 1) // 256 bytes, fits
+	big, _ := testModel(t, 4096, 2)  // 1024 bytes, over budget
+	path := filepath.Join(t.TempDir(), "big.ghdp")
+	if err := big.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(RegistryOptions{Engine: testEngineOptions(), MaxResidentBytes: 600})
+	if err := reg.Load("default", small); err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRouter(reg, RouterOptions{})
+	srv := httptest.NewServer(NewHandler(rt, HandlerOptions{}))
+	t.Cleanup(func() { srv.Close(); reg.Close() })
+
+	resp, body := postJSON(t, srv.URL+"/admin/models", AdminModelRequest{Action: "load", Name: "big", Path: path})
+	if resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("over-budget load: status %d, want 507 (%s)", resp.StatusCode, body)
+	}
+}
+
+// TestHTTPQuota429 bounds a tenant at 4 in-flight graphs and requires a
+// 5-graph batch to shed with 429 — without touching any engine queue —
+// while another tenant's requests pass.
+func TestHTTPQuota429(t *testing.T) {
+	pred, ds := testModel(t, 1024, 1)
+	srv, rt := startTestStack(t, pred, RouterOptions{TenantQuota: 4}, HandlerOptions{})
+	e := replicaEngine(t, rt, "default", 0)
+
+	wire := make([]*graph.GraphJSON, 5)
+	for i := range wire {
+		wire[i] = graph.ToJSON(ds.Graphs[i])
+	}
+	data, _ := json.Marshal(PredictBatchRequest{Graphs: wire})
+	req, _ := http.NewRequest("POST", srv.URL+"/v1/predict/batch", bytes.NewReader(data))
+	req.Header.Set("X-Tenant", "noisy")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota batch: status %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	if got := e.Metrics().AcceptedGraphs; got != 0 {
+		t.Fatalf("quota rejection reached the engine queue: %d graphs accepted", got)
+	}
+
+	// A different tenant (default, no header) is unaffected.
+	resp2, body2 := postJSON(t, srv.URL+"/v1/predict", PredictRequest{Graph: graph.ToJSON(ds.Graphs[0])})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant: status %d: %s", resp2.StatusCode, body2)
+	}
+
+	ten := rt.Tenants()
+	var noisy *TenantStatus
+	for i := range ten {
+		if ten[i].Tenant == "noisy" {
+			noisy = &ten[i]
+		}
+	}
+	if noisy == nil || noisy.Rejected != 1 {
+		t.Fatalf("noisy tenant status %+v, want 1 rejection", noisy)
+	}
+}
+
 func TestHTTPModelAndHealth(t *testing.T) {
 	pred, _ := testModel(t, 2048, 1)
 	srv, _ := startTestServer(t, pred, HandlerOptions{})
@@ -112,9 +339,13 @@ func TestHTTPModelAndHealth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	hbody, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(hbody), "models: 1") {
+		t.Fatalf("healthz missing registry summary:\n%s", hbody)
 	}
 
 	resp, err = http.Get(srv.URL + "/v1/model")
@@ -133,6 +364,12 @@ func TestHTTPModelAndHealth(t *testing.T) {
 	}
 	if info.Centrality != "pagerank" {
 		t.Fatalf("model card centrality %q", info.Centrality)
+	}
+	if info.Model != "default" || info.Version != 1 || info.Replicas != 1 {
+		t.Fatalf("model card registry fields: %+v", info)
+	}
+	if info.ModelsResident != 1 || info.RegistryBytes != int64(pred.MemoryBytes()) {
+		t.Fatalf("registry summary: %d models, %d bytes", info.ModelsResident, info.RegistryBytes)
 	}
 }
 
@@ -153,7 +390,13 @@ func TestHTTPMetricsEndpoint(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
 		t.Fatalf("metrics content type %q", ct)
 	}
-	for _, want := range []string{"graphhd_requests_total 1", "graphhd_request_latency_seconds_count 1", "graphhd_model_classes"} {
+	for _, want := range []string{
+		`graphhd_requests_total{model="default",replica="0"} 1`,
+		`graphhd_request_latency_seconds_count{model="default",replica="0"} 1`,
+		`graphhd_model_classes{model="default"}`,
+		`graphhd_models_resident 1`,
+		`graphhd_quota_rejected_total{tenant="default"} 0`,
+	} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("metrics missing %q:\n%s", want, body)
 		}
@@ -216,7 +459,14 @@ func TestHTTPHotReload(t *testing.T) {
 	if err := predA.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
-	srv, e := startTestServer(t, predA, HandlerOptions{ModelPath: path})
+	reg := NewRegistry(RegistryOptions{Engine: testEngineOptions()})
+	if err := reg.LoadFile("default", path); err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRouter(reg, RouterOptions{})
+	srv := httptest.NewServer(NewHandler(rt, HandlerOptions{}))
+	t.Cleanup(func() { srv.Close(); reg.Close() })
+	e := replicaEngine(t, rt, "default", 0)
 
 	var wg sync.WaitGroup
 	var failures atomic.Int64
@@ -267,6 +517,9 @@ func TestHTTPHotReload(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("reload %d: status %d: %s", swap, resp.StatusCode, body)
 		}
+		if !strings.Contains(string(body), `"reloaded":true`) {
+			t.Fatalf("reload %d: body %s", swap, body)
+		}
 		time.Sleep(5 * time.Millisecond)
 	}
 	close(stop)
@@ -279,7 +532,7 @@ func TestHTTPHotReload(t *testing.T) {
 	}
 
 	// The last reload (swap 5) installed predA; the model card must
-	// reflect the final artifact.
+	// reflect the final artifact, and the registry version the 6 swaps.
 	resp, err := http.Get(srv.URL + "/v1/model")
 	if err != nil {
 		t.Fatal(err)
@@ -293,24 +546,47 @@ func TestHTTPHotReload(t *testing.T) {
 	if info.Dimension != predA.Encoder().Dimension() {
 		t.Fatalf("final model dimension %d, want %d", info.Dimension, predA.Encoder().Dimension())
 	}
+	if info.Version != 7 || info.Reloads != 6 {
+		t.Fatalf("version %d reloads %d, want 7 and 6", info.Version, info.Reloads)
+	}
 }
 
 func TestHTTPReloadErrors(t *testing.T) {
-	pred, _ := testModel(t, 1024, 1)
+	pred, ds := testModel(t, 1024, 1)
+	// Model loaded in-memory: nothing has an artifact path to reload.
 	srv, _ := startTestServer(t, pred, HandlerOptions{})
 	resp, body := postJSON(t, srv.URL+"/admin/reload", struct{}{})
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("reload without model path: status %d: %s", resp.StatusCode, body)
 	}
 
-	srv2, _ := startTestServer(t, pred, HandlerOptions{ModelPath: filepath.Join(t.TempDir(), "missing.ghdp")})
+	// File-backed model whose artifact disappears: reload must fail 500
+	// and leave the current model serving.
+	path := filepath.Join(t.TempDir(), "model.ghdp")
+	if err := pred.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(RegistryOptions{Engine: testEngineOptions()})
+	if err := reg.LoadFile("default", path); err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRouter(reg, RouterOptions{})
+	srv2 := httptest.NewServer(NewHandler(rt, HandlerOptions{}))
+	t.Cleanup(func() { srv2.Close(); reg.Close() })
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
 	resp, body = postJSON(t, srv2.URL+"/admin/reload", struct{}{})
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("reload of missing file: status %d: %s", resp.StatusCode, body)
 	}
+	resp, _ = postJSON(t, srv2.URL+"/v1/predict", PredictRequest{Graph: graph.ToJSON(ds.Graphs[0])})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("model stopped serving after failed reload: status %d", resp.StatusCode)
+	}
 }
 
-// TestHTTPOverloadMaps429 drives requests at an engine whose queue is
+// TestHTTPOverloadMaps429 drives requests at a replica whose queue is
 // pre-filled (unstarted worker pool) and checks the HTTP mapping.
 func TestHTTPOverloadMaps429(t *testing.T) {
 	pred, ds := testModel(t, 1024, 1)
@@ -318,7 +594,9 @@ func TestHTTPOverloadMaps429(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(NewHandler(e, HandlerOptions{}))
+	reg := registryWithEngines(t, "default", pred, e)
+	rt := NewRouter(reg, RouterOptions{})
+	srv := httptest.NewServer(NewHandler(rt, HandlerOptions{}))
 	defer srv.Close()
 
 	done := make(chan struct{})
@@ -340,4 +618,28 @@ func TestHTTPOverloadMaps429(t *testing.T) {
 	e.start()
 	<-done
 	e.Close()
+
+	// A closed replica maps to 503 Service Unavailable.
+	resp, body = postJSON(t, srv.URL+"/v1/predict", PredictRequest{Graph: graph.ToJSON(ds.Graphs[1])})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("closed engine: status %d, want 503 (%s)", resp.StatusCode, body)
+	}
+}
+
+// registryWithEngines hand-installs pre-built (possibly unstarted)
+// engines as one model — the white-box seam for admission tests.
+func registryWithEngines(t *testing.T, name string, pred *core.Predictor, engines ...*Engine) *Registry {
+	t.Helper()
+	reg := NewRegistry(RegistryOptions{Replicas: len(engines)})
+	m := &regModel{name: name, bytes: int64(pred.MemoryBytes()), replicas: make([]*replica, len(engines))}
+	m.pred.Store(pred)
+	m.version.Store(1)
+	for i, e := range engines {
+		m.replicas[i] = &replica{id: i, eng: e}
+	}
+	reg.mu.Lock()
+	reg.publish(func(tbl map[string]*regModel) { tbl[name] = m })
+	reg.bytes.Add(m.bytes)
+	reg.mu.Unlock()
+	return reg
 }

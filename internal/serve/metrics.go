@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -336,23 +337,7 @@ func WriteMetrics(w io.Writer, m Metrics, pred interface {
 		p("# HELP graphhd_model_memory_bytes Packed class-vector bytes of the installed model.\n# TYPE graphhd_model_memory_bytes gauge\ngraphhd_model_memory_bytes %d\n", pred.MemoryBytes())
 		p("# HELP graphhd_model_dimension Hypervector dimensionality of the installed model.\n# TYPE graphhd_model_dimension gauge\ngraphhd_model_dimension %d\n", pred.Dimension())
 	}
-	ks := hdc.Kernels()
-	p("# HELP graphhd_kernel_info SIMD kernel tier serving the encode/query hot paths (info gauge; the value is always 1).\n# TYPE graphhd_kernel_info gauge\ngraphhd_kernel_info{tier=%q,features=%q} 1\n",
-		ks.Active.String(), ks.CPUFeatures)
-	bi := Build()
-	p("# HELP graphhd_build_info Build identity of the serving binary (info gauge; the value is always 1).\n# TYPE graphhd_build_info gauge\ngraphhd_build_info{go_version=%q,vcs_revision=%q} 1\n",
-		bi.GoVersion, bi.VCSRevision)
-
-	// Go runtime health, scraped alongside the engine counters so a GC
-	// or goroutine-leak regression correlates with the latency
-	// histograms on the same timeline. ReadMemStats briefly stops the
-	// world; at scrape cadence that is noise.
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	p("# HELP graphhd_go_goroutines Goroutines in the serving process.\n# TYPE graphhd_go_goroutines gauge\ngraphhd_go_goroutines %d\n", runtime.NumGoroutine())
-	p("# HELP graphhd_go_heap_alloc_bytes Live heap bytes.\n# TYPE graphhd_go_heap_alloc_bytes gauge\ngraphhd_go_heap_alloc_bytes %d\n", ms.HeapAlloc)
-	p("# HELP graphhd_go_gc_cycles_total Completed GC cycles.\n# TYPE graphhd_go_gc_cycles_total counter\ngraphhd_go_gc_cycles_total %d\n", ms.NumGC)
-	p("# HELP graphhd_go_gc_pause_seconds_total Cumulative GC stop-the-world pause time.\n# TYPE graphhd_go_gc_pause_seconds_total counter\ngraphhd_go_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)*1e-9)
+	writeProcessGauges(p)
 
 	writeHistogram(p, "graphhd_request_latency_seconds", "Per-call latency from admission to response.", "", m.Latency)
 	writeHistogram(p, "graphhd_batch_size", "Dispatched micro-batch sizes.", "", m.BatchSize)
@@ -371,6 +356,157 @@ func WriteMetrics(w io.Writer, m Metrics, pred interface {
 		{"escalate", m.StageEscalate},
 	} {
 		writeHistogramSeries(p, "graphhd_stage_seconds", `stage="`+st.label+`"`, st.h)
+	}
+	return err
+}
+
+// writeProcessGauges renders the process-wide identity and Go-runtime
+// families shared by the single-engine and router expositions. These are
+// per-process facts, so they stay unlabeled even in multi-model
+// deployments.
+func writeProcessGauges(p func(string, ...any)) {
+	ks := hdc.Kernels()
+	p("# HELP graphhd_kernel_info SIMD kernel tier serving the encode/query hot paths (info gauge; the value is always 1).\n# TYPE graphhd_kernel_info gauge\ngraphhd_kernel_info{tier=%q,features=%q} 1\n",
+		ks.Active.String(), ks.CPUFeatures)
+	bi := Build()
+	p("# HELP graphhd_build_info Build identity of the serving binary (info gauge; the value is always 1).\n# TYPE graphhd_build_info gauge\ngraphhd_build_info{go_version=%q,vcs_revision=%q} 1\n",
+		bi.GoVersion, bi.VCSRevision)
+
+	// Go runtime health, scraped alongside the engine counters so a GC
+	// or goroutine-leak regression correlates with the latency
+	// histograms on the same timeline. ReadMemStats briefly stops the
+	// world; at scrape cadence that is noise.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p("# HELP graphhd_go_goroutines Goroutines in the serving process.\n# TYPE graphhd_go_goroutines gauge\ngraphhd_go_goroutines %d\n", runtime.NumGoroutine())
+	p("# HELP graphhd_go_heap_alloc_bytes Live heap bytes.\n# TYPE graphhd_go_heap_alloc_bytes gauge\ngraphhd_go_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	p("# HELP graphhd_go_gc_cycles_total Completed GC cycles.\n# TYPE graphhd_go_gc_cycles_total counter\ngraphhd_go_gc_cycles_total %d\n", ms.NumGC)
+	p("# HELP graphhd_go_gc_pause_seconds_total Cumulative GC stop-the-world pause time.\n# TYPE graphhd_go_gc_pause_seconds_total counter\ngraphhd_go_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)*1e-9)
+}
+
+// WriteRouterMetrics renders the multi-model deployment in Prometheus
+// text exposition format: registry residency and tenant-quota families,
+// every engine counter and histogram labeled {model,replica}, per-model
+// gauges labeled {model}, and the unlabeled process families. Families
+// are emitted family-major (all series of a family contiguous under one
+// HELP/TYPE header), which is what the text exposition contract — and
+// the strict parser in the tests — requires.
+func WriteRouterMetrics(w io.Writer, rt *Router) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	// Snapshot everything first so each family can be written
+	// contiguously: one Metrics snapshot per replica, in (model name,
+	// replica id) order.
+	type slot struct {
+		labels string
+		m      Metrics
+	}
+	table := *rt.reg.models.Load()
+	names := make([]string, 0, len(table))
+	for name := range table {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var slots []slot
+	for _, name := range names {
+		for _, rep := range table[name].replicas {
+			slots = append(slots, slot{
+				labels: fmt.Sprintf("model=%q,replica=\"%d\"", name, rep.id),
+				m:      rep.eng.Metrics(),
+			})
+		}
+	}
+	tenants := rt.Tenants()
+
+	// Registry residency.
+	p("# HELP graphhd_models_resident Named models resident in the registry.\n# TYPE graphhd_models_resident gauge\ngraphhd_models_resident %d\n", len(names))
+	p("# HELP graphhd_registry_bytes Summed packed footprint of resident models.\n# TYPE graphhd_registry_bytes gauge\ngraphhd_registry_bytes %d\n", rt.reg.Bytes())
+	p("# HELP graphhd_registry_evictions_total Models evicted by the resident-bytes bound.\n# TYPE graphhd_registry_evictions_total counter\ngraphhd_registry_evictions_total %d\n", rt.reg.Evictions())
+
+	// Tenant admission.
+	p("# HELP graphhd_quota_rejected_total Requests refused by the per-tenant in-flight quota.\n# TYPE graphhd_quota_rejected_total counter\n")
+	for _, t := range tenants {
+		p("graphhd_quota_rejected_total{tenant=%q} %d\n", t.Tenant, t.Rejected)
+	}
+	p("# HELP graphhd_tenant_inflight_graphs Graphs in flight per tenant.\n# TYPE graphhd_tenant_inflight_graphs gauge\n")
+	for _, t := range tenants {
+		p("graphhd_tenant_inflight_graphs{tenant=%q} %d\n", t.Tenant, t.InFlight)
+	}
+
+	// Engine counters, one series per (model, replica).
+	counter := func(name, help string, get func(*Metrics) uint64) {
+		p("# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for i := range slots {
+			p("%s{%s} %d\n", name, slots[i].labels, get(&slots[i].m))
+		}
+	}
+	counter("graphhd_requests_total", "Completed predict calls.", func(m *Metrics) uint64 { return m.Requests })
+	counter("graphhd_rejected_total", "Predict calls refused by admission control.", func(m *Metrics) uint64 { return m.Rejected })
+	counter("graphhd_graphs_accepted_total", "Graphs admitted past admission control.", func(m *Metrics) uint64 { return m.AcceptedGraphs })
+	counter("graphhd_graphs_processed_total", "Graphs classified.", func(m *Metrics) uint64 { return m.Processed })
+	counter("graphhd_model_reloads_total", "Successful hot model swaps.", func(m *Metrics) uint64 { return m.Reloads })
+	counter("graphhd_batch_plan_pairs_total", "Edge rank-pair instances encoded through batch operand plans.", func(m *Metrics) uint64 { return m.PlanPairs })
+	counter("graphhd_batch_plan_distinct_total", "Deduplicated operands materialized by batch operand plans.", func(m *Metrics) uint64 { return m.PlanDistinct })
+	counter("graphhd_cascade_stage1_total", "Graphs decided at cascade prefix width.", func(m *Metrics) uint64 { return m.CascadeStage1 })
+	counter("graphhd_cascade_escalated_total", "Graphs escalated to full dimension by the cascade.", func(m *Metrics) uint64 { return m.CascadeEscalated })
+
+	// Engine gauges, one series per (model, replica).
+	p("# HELP graphhd_inflight_graphs Graphs admitted but not yet classified.\n# TYPE graphhd_inflight_graphs gauge\n")
+	for i := range slots {
+		p("graphhd_inflight_graphs{%s} %d\n", slots[i].labels, slots[i].m.InFlight)
+	}
+	p("# HELP graphhd_queue_depth Graphs admitted but not yet dispatched.\n# TYPE graphhd_queue_depth gauge\n")
+	for i := range slots {
+		p("graphhd_queue_depth{%s} %d\n", slots[i].labels, slots[i].m.QueueDepth)
+	}
+
+	// Model cards, one series per model.
+	modelGauge := func(name, help string, get func(*regModel) int64) {
+		p("# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, n := range names {
+			p("%s{model=%q} %d\n", name, n, get(table[n]))
+		}
+	}
+	modelGauge("graphhd_model_classes", "Classes in the installed model.",
+		func(m *regModel) int64 { return int64(m.pred.Load().NumClasses()) })
+	modelGauge("graphhd_model_memory_bytes", "Packed class-vector bytes of the installed model.",
+		func(m *regModel) int64 { return int64(m.pred.Load().MemoryBytes()) })
+	modelGauge("graphhd_model_dimension", "Hypervector dimensionality of the installed model.",
+		func(m *regModel) int64 { return int64(m.pred.Load().Dimension()) })
+	modelGauge("graphhd_model_version", "Registry version of the installed model (bumps on every rolling swap).",
+		func(m *regModel) int64 { return int64(m.version.Load()) })
+
+	writeProcessGauges(p)
+
+	// Histograms, one series set per (model, replica).
+	hist := func(name, help string, get func(*Metrics) HistogramSnapshot) {
+		p("# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for i := range slots {
+			writeHistogramSeries(p, name, slots[i].labels, get(&slots[i].m))
+		}
+	}
+	hist("graphhd_request_latency_seconds", "Per-call latency from admission to response.", func(m *Metrics) HistogramSnapshot { return m.Latency })
+	hist("graphhd_batch_size", "Dispatched micro-batch sizes.", func(m *Metrics) HistogramSnapshot { return m.BatchSize })
+	hist("graphhd_queue_wait_seconds", "Per-task admission-queue wait, queue-enter to dispatcher pickup.", func(m *Metrics) HistogramSnapshot { return m.QueueWait })
+
+	p("# HELP graphhd_stage_seconds Per-batch wall time by pipeline stage.\n# TYPE graphhd_stage_seconds histogram\n")
+	for i := range slots {
+		for _, st := range []struct {
+			label string
+			h     HistogramSnapshot
+		}{
+			{"plan", slots[i].m.StagePlan},
+			{"encode", slots[i].m.StageEncode},
+			{"classify", slots[i].m.StageClassify},
+			{"escalate", slots[i].m.StageEscalate},
+		} {
+			writeHistogramSeries(p, "graphhd_stage_seconds", slots[i].labels+`,stage="`+st.label+`"`, st.h)
+		}
 	}
 	return err
 }

@@ -335,6 +335,123 @@ func TestWriteMetricsExposition(t *testing.T) {
 	}
 }
 
+// TestWriteRouterMetricsExposition round-trips the multi-model exposition
+// through the same strict parser: two models × two replicas plus a quota
+// rejection, checking the registry/tenant families, the {model,replica}
+// labeling of every engine counter and histogram, the per-model gauges,
+// and the family-major contiguity the parser enforces.
+func TestWriteRouterMetricsExposition(t *testing.T) {
+	predA, ds := testModel(t, 2048, 1)
+	predB, _ := testModel(t, 1024, 2)
+	reg := NewRegistry(RegistryOptions{
+		Replicas: 2,
+		Engine:   Options{Workers: 2, MaxBatch: 8, MaxDelay: 50 * time.Microsecond},
+	})
+	defer reg.Close()
+	if err := reg.Load("alpha", predA); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Load("beta", predB); err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRouter(reg, RouterOptions{DefaultModel: "alpha", TenantQuota: 8})
+	ctx := context.Background()
+	if _, err := rt.PredictBatch(ctx, "t1", "alpha", ds.Graphs[:8]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.PredictBatch(ctx, "t1", "beta", ds.Graphs[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.PredictBatch(ctx, "greedy", "alpha", ds.Graphs[:9]); err == nil {
+		t.Fatal("over-quota batch was admitted")
+	}
+
+	var sb strings.Builder
+	if err := WriteRouterMetrics(&sb, rt); err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePromText(t, sb.String())
+
+	find := func(name string, labels map[string]string) (float64, bool) {
+		for _, s := range samples {
+			if s.name != name {
+				continue
+			}
+			match := true
+			for k, v := range labels {
+				if s.labels[k] != v {
+					match = false
+					break
+				}
+			}
+			if match {
+				return s.value, true
+			}
+		}
+		return 0, false
+	}
+
+	if v, ok := find("graphhd_models_resident", nil); !ok || v != 2 {
+		t.Errorf("graphhd_models_resident = %v (found %v), want 2", v, ok)
+	}
+	if v, ok := find("graphhd_registry_bytes", nil); !ok || v != float64(predA.MemoryBytes()+predB.MemoryBytes()) {
+		t.Errorf("graphhd_registry_bytes = %v (found %v)", v, ok)
+	}
+	if _, ok := find("graphhd_registry_evictions_total", nil); !ok {
+		t.Error("graphhd_registry_evictions_total missing")
+	}
+	if v, ok := find("graphhd_quota_rejected_total", map[string]string{"tenant": "greedy"}); !ok || v != 1 {
+		t.Errorf(`graphhd_quota_rejected_total{tenant="greedy"} = %v (found %v), want 1`, v, ok)
+	}
+	if v, ok := find("graphhd_quota_rejected_total", map[string]string{"tenant": "t1"}); !ok || v != 0 {
+		t.Errorf(`graphhd_quota_rejected_total{tenant="t1"} = %v (found %v), want 0`, v, ok)
+	}
+	if v, ok := find("graphhd_tenant_inflight_graphs", map[string]string{"tenant": "t1"}); !ok || v != 0 {
+		t.Errorf(`graphhd_tenant_inflight_graphs{tenant="t1"} = %v (found %v), want 0`, v, ok)
+	}
+
+	// Every (model, replica) slot carries the full engine counter set, and
+	// the per-model accepted totals equal the routed traffic.
+	for _, model := range []string{"alpha", "beta"} {
+		var accepted float64
+		for _, rep := range []string{"0", "1"} {
+			labels := map[string]string{"model": model, "replica": rep}
+			v, ok := find("graphhd_graphs_accepted_total", labels)
+			if !ok {
+				t.Fatalf("graphhd_graphs_accepted_total missing for %v", labels)
+			}
+			accepted += v
+			if _, ok := find("graphhd_queue_depth", labels); !ok {
+				t.Errorf("graphhd_queue_depth missing for %v", labels)
+			}
+			checkHistogram(t, samples, "graphhd_request_latency_seconds", labels)
+			checkHistogram(t, samples, "graphhd_queue_wait_seconds", labels)
+			for _, stage := range []string{"plan", "encode", "classify", "escalate"} {
+				sl := map[string]string{"model": model, "replica": rep, "stage": stage}
+				checkHistogram(t, samples, "graphhd_stage_seconds", sl)
+			}
+		}
+		want := 8.0
+		if model == "beta" {
+			want = 4
+		}
+		if accepted != want {
+			t.Errorf("model %s accepted %v graphs across replicas, want %v", model, accepted, want)
+		}
+	}
+
+	// Per-model gauges carry the model label only.
+	if v, ok := find("graphhd_model_dimension", map[string]string{"model": "beta"}); !ok || v != 1024 {
+		t.Errorf(`graphhd_model_dimension{model="beta"} = %v (found %v), want 1024`, v, ok)
+	}
+	if v, ok := find("graphhd_model_version", map[string]string{"model": "alpha"}); !ok || v != 1 {
+		t.Errorf(`graphhd_model_version{model="alpha"} = %v (found %v), want 1`, v, ok)
+	}
+	if _, ok := find("graphhd_kernel_info", nil); !ok {
+		t.Error("graphhd_kernel_info missing from router exposition")
+	}
+}
+
 // TestHistogramBucketBranchFree cross-checks the unrolled 16-bound
 // bucket search against a straightforward linear scan, including the
 // v == bound edge (bounds are inclusive upper limits: v lands in the

@@ -1,0 +1,533 @@
+package serve
+
+// The Registry is the multi-tenant model store above the Engine: a set of
+// named packed predictors, each served by a fixed group of engine
+// replicas. Packed GraphHD predictors are tiny (k·d/8 bytes — a few KB at
+// d=10k), so the natural deployment keeps *many* models resident in one
+// process; the registry makes that explicit with a total-packed-bytes
+// budget and LRU eviction, and owns everything about a model's lifecycle
+// that the Engine deliberately does not:
+//
+//   - Loading artifacts (LoadFile/Reload) and the PrepareModel hook that
+//     re-applies operator cascade config to every predictor read from
+//     disk — an error from the hook aborts the install, leaving the
+//     current model serving.
+//   - Rolling hot-swap. Swap walks a model's replicas in ascending id
+//     order, installing the new predictor one engine at a time through
+//     the Engine's atomic-pointer swap — zero failed in-flight requests,
+//     and a monotone version front: replica i+1 never serves the new
+//     model before replica i has installed it.
+//   - Residency. The request path reads the model table through a
+//     copy-on-write map behind an atomic pointer (no lock, no contention
+//     with loads/evictions); each lookup stamps an atomic last-used
+//     timestamp, and a Load that would exceed MaxResidentBytes evicts
+//     least-recently-used models until the newcomer fits.
+//
+// Mutations (load, evict, swap, reload) serialize on one mutex; evicted
+// models drain outside it so a slow shutdown never blocks the table.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphhd/internal/core"
+)
+
+// Errors returned by the registry and router layers.
+var (
+	// ErrModelNotFound means the named model is not resident; the HTTP
+	// front end maps it to 404.
+	ErrModelNotFound = errors.New("serve: model not found")
+	// ErrModelTooLarge means a single model's packed footprint exceeds
+	// MaxResidentBytes — no amount of eviction can make it fit.
+	ErrModelTooLarge = errors.New("serve: model exceeds resident-bytes budget")
+	// ErrRegistryClosed means the registry has been shut down.
+	ErrRegistryClosed = errors.New("serve: registry closed")
+)
+
+// RegistryOptions configures a Registry. The zero value of any field
+// selects its default.
+type RegistryOptions struct {
+	// Replicas is the number of engine replicas serving each model.
+	// Default 1.
+	Replicas int
+	// Engine is the per-replica engine configuration template; ModelName
+	// and Replica are overwritten per slot.
+	Engine Options
+	// MaxResidentBytes bounds the summed packed footprint of resident
+	// models. A Load past the bound evicts least-recently-used models
+	// until the newcomer fits; a model that alone exceeds the bound is
+	// refused with ErrModelTooLarge. Zero means unbounded.
+	MaxResidentBytes int64
+	// PrepareModel, when set, is applied to every predictor the registry
+	// reads from a file (LoadFile, Reload, ReloadAll) before it is
+	// installed — the hook cmd/graphhd-serve uses to re-apply cascade
+	// flags across SIGHUP reloads. A returned error aborts the install,
+	// leaving the current model (if any) serving. It is NOT applied to
+	// predictors handed in directly via Load or Swap.
+	PrepareModel func(name string, p *core.Predictor) error
+}
+
+func (o RegistryOptions) withDefaults() RegistryOptions {
+	if o.Replicas <= 0 {
+		o.Replicas = 1
+	}
+	return o
+}
+
+// replica is one engine slot of a model. inflight is the router's
+// placement signal: graphs routed to this replica and not yet answered.
+type replica struct {
+	id       int
+	eng      *Engine
+	inflight atomic.Int64
+}
+
+// regModel is one resident named model. bytes and path are guarded by
+// Registry.mu; pred, version, and lastUsed are atomics read lock-free on
+// the request path.
+type regModel struct {
+	name     string
+	pred     atomic.Pointer[core.Predictor]
+	version  atomic.Uint64 // 1 on load, +1 per rolling swap
+	lastUsed atomic.Int64  // registry-epoch nanos of the last lookup
+	bytes    int64
+	path     string // artifact path for Reload; "" if loaded in-memory
+	replicas []*replica
+}
+
+func (m *regModel) closeEngines() {
+	for _, rep := range m.replicas {
+		rep.eng.Close()
+	}
+}
+
+// Registry is the named-model store. Create one with NewRegistry; it is
+// safe for concurrent use.
+type Registry struct {
+	opts  RegistryOptions
+	epoch time.Time
+
+	// models is the copy-on-write lookup table: readers load the pointer,
+	// writers build a fresh map under mu and publish it atomically.
+	models atomic.Pointer[map[string]*regModel]
+
+	bytes     atomic.Int64  // summed packed footprint of resident models
+	evictions atomic.Uint64 // models evicted by the resident-bytes bound
+
+	mu     sync.Mutex // serializes load/evict/swap/reload/close
+	closed bool
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry(opts RegistryOptions) *Registry {
+	r := &Registry{opts: opts.withDefaults(), epoch: time.Now()}
+	m := map[string]*regModel{}
+	r.models.Store(&m)
+	return r
+}
+
+// nanos is the registry's monotonic clock for LRU stamps.
+func (r *Registry) nanos() int64 { return int64(time.Since(r.epoch)) }
+
+// Options returns the registry's resolved configuration.
+func (r *Registry) Options() RegistryOptions { return r.opts }
+
+// model is the request-path lookup: lock-free through the COW table,
+// stamping the LRU clock on hit.
+func (r *Registry) model(name string) (*regModel, bool) {
+	m, ok := (*r.models.Load())[name]
+	if ok {
+		m.lastUsed.Store(r.nanos())
+	}
+	return m, ok
+}
+
+// publish installs a mutated copy of the model table. Callers hold mu.
+func (r *Registry) publish(mut func(map[string]*regModel)) {
+	old := *r.models.Load()
+	nm := make(map[string]*regModel, len(old)+1)
+	for k, v := range old {
+		nm[k] = v
+	}
+	mut(nm)
+	r.models.Store(&nm)
+}
+
+func validModelName(name string) error {
+	if name == "" {
+		return errors.New("serve: empty model name")
+	}
+	if strings.ContainsAny(name, "/ \t\n") {
+		return fmt.Errorf("serve: invalid model name %q", name)
+	}
+	return nil
+}
+
+// Load installs pred under name, replacing an existing model of the same
+// name via rolling swap. A new model gets Replicas fresh engines; loading
+// past MaxResidentBytes evicts least-recently-used models first.
+func (r *Registry) Load(name string, pred *core.Predictor) error {
+	return r.install(name, pred, "")
+}
+
+// LoadFile reads a GRAPHHD1/2/3 model artifact, applies the PrepareModel
+// hook if configured, and installs the result under name. The path is
+// remembered so Reload can re-read it.
+func (r *Registry) LoadFile(name, path string) error {
+	pred, err := r.loadArtifact(name, path)
+	if err != nil {
+		return err
+	}
+	return r.install(name, pred, path)
+}
+
+// loadArtifact reads and prepares a predictor without touching the table.
+func (r *Registry) loadArtifact(name, path string) (*core.Predictor, error) {
+	pred, err := core.LoadPredictorFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: load %q: %w", name, err)
+	}
+	if r.opts.PrepareModel != nil {
+		if err := r.opts.PrepareModel(name, pred); err != nil {
+			return nil, fmt.Errorf("serve: load %q: %w", name, err)
+		}
+	}
+	return pred, nil
+}
+
+func (r *Registry) install(name string, pred *core.Predictor, path string) error {
+	if err := validModelName(name); err != nil {
+		return err
+	}
+	if pred == nil {
+		return errors.New("serve: nil predictor")
+	}
+	bytes := int64(pred.MemoryBytes())
+	if r.opts.MaxResidentBytes > 0 && bytes > r.opts.MaxResidentBytes {
+		return fmt.Errorf("%w: %q needs %d bytes of %d",
+			ErrModelTooLarge, name, bytes, r.opts.MaxResidentBytes)
+	}
+
+	var victims []*regModel
+	// Deferred LIFO: mu unlocks first, then evicted engines drain outside
+	// the lock.
+	defer func() {
+		for _, v := range victims {
+			v.closeEngines()
+		}
+	}()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrRegistryClosed
+	}
+
+	if m, ok := (*r.models.Load())[name]; ok {
+		victims = r.swapLocked(m, pred, path)
+		return nil
+	}
+
+	victims = r.evictForLocked(bytes, name)
+	m := &regModel{name: name, bytes: bytes, path: path,
+		replicas: make([]*replica, r.opts.Replicas)}
+	m.pred.Store(pred)
+	m.version.Store(1)
+	m.lastUsed.Store(r.nanos())
+	for i := range m.replicas {
+		eo := r.opts.Engine
+		eo.ModelName, eo.Replica = name, i
+		eng, err := NewEngine(pred, eo)
+		if err != nil {
+			for _, rep := range m.replicas[:i] {
+				rep.eng.Close()
+			}
+			return err
+		}
+		m.replicas[i] = &replica{id: i, eng: eng}
+	}
+	r.publish(func(t map[string]*regModel) { t[name] = m })
+	r.bytes.Add(bytes)
+	return nil
+}
+
+// Swap rolls a new predictor across name's replicas: each engine installs
+// it via the atomic-pointer swap, one at a time in ascending replica
+// order, so in-flight requests never fail and the version front is
+// monotone across replicas.
+func (r *Registry) Swap(name string, pred *core.Predictor) error {
+	if pred == nil {
+		return errors.New("serve: swap to nil predictor")
+	}
+	bytes := int64(pred.MemoryBytes())
+	if r.opts.MaxResidentBytes > 0 && bytes > r.opts.MaxResidentBytes {
+		return fmt.Errorf("%w: %q needs %d bytes of %d",
+			ErrModelTooLarge, name, bytes, r.opts.MaxResidentBytes)
+	}
+	var victims []*regModel
+	defer func() {
+		for _, v := range victims {
+			v.closeEngines()
+		}
+	}()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrRegistryClosed
+	}
+	m, ok := (*r.models.Load())[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrModelNotFound, name)
+	}
+	victims = r.swapLocked(m, pred, "")
+	return nil
+}
+
+// swapLocked is the rolling walk plus byte accounting. Callers hold mu
+// and close the returned victims after unlocking.
+func (r *Registry) swapLocked(m *regModel, pred *core.Predictor, path string) []*regModel {
+	bytes := int64(pred.MemoryBytes())
+	var victims []*regModel
+	if grow := bytes - m.bytes; grow > 0 {
+		victims = r.evictForLocked(grow, m.name)
+	}
+	for _, rep := range m.replicas {
+		rep.eng.Swap(pred)
+	}
+	m.pred.Store(pred)
+	m.version.Add(1)
+	r.bytes.Add(bytes - m.bytes)
+	m.bytes = bytes
+	if path != "" {
+		m.path = path
+	}
+	return victims
+}
+
+// evictForLocked removes least-recently-used models (never keep) until
+// need more bytes fit under the budget, returning the victims for the
+// caller to drain outside mu.
+func (r *Registry) evictForLocked(need int64, keep string) []*regModel {
+	if r.opts.MaxResidentBytes <= 0 {
+		return nil
+	}
+	var victims []*regModel
+	for r.bytes.Load()+need > r.opts.MaxResidentBytes {
+		var lru *regModel
+		for _, m := range *r.models.Load() {
+			if m.name == keep {
+				continue
+			}
+			if lru == nil || m.lastUsed.Load() < lru.lastUsed.Load() {
+				lru = m
+			}
+		}
+		if lru == nil {
+			break
+		}
+		r.publish(func(t map[string]*regModel) { delete(t, lru.name) })
+		r.bytes.Add(-lru.bytes)
+		r.evictions.Add(1)
+		victims = append(victims, lru)
+	}
+	return victims
+}
+
+// Evict removes name from the registry and drains its engines. Requests
+// already admitted complete; later lookups see ErrModelNotFound.
+func (r *Registry) Evict(name string) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrRegistryClosed
+	}
+	m, ok := (*r.models.Load())[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrModelNotFound, name)
+	}
+	r.publish(func(t map[string]*regModel) { delete(t, name) })
+	r.bytes.Add(-m.bytes)
+	r.mu.Unlock()
+	m.closeEngines()
+	return nil
+}
+
+// Reload re-reads name's remembered artifact path, applies PrepareModel,
+// and rolls the result across the replicas. Models loaded in-memory (no
+// path) return an error.
+func (r *Registry) Reload(name string) error {
+	r.mu.Lock()
+	m, ok := (*r.models.Load())[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrModelNotFound, name)
+	}
+	path := m.path
+	r.mu.Unlock()
+	if path == "" {
+		return fmt.Errorf("serve: model %q has no artifact path to reload", name)
+	}
+	// File IO and the prepare hook run outside mu; only the swap locks.
+	pred, err := r.loadArtifact(name, path)
+	if err != nil {
+		return err
+	}
+	return r.install(name, pred, path)
+}
+
+// ReloadAll reloads every model that has an artifact path — the SIGHUP
+// and POST /admin/reload path. It returns the number of models reloaded
+// and the joined errors of any that failed (each failure leaves that
+// model's current version serving).
+func (r *Registry) ReloadAll() (int, error) {
+	r.mu.Lock()
+	var names []string
+	for name, m := range *r.models.Load() {
+		if m.path != "" {
+			names = append(names, name)
+		}
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	n := 0
+	var errs []error
+	for _, name := range names {
+		if err := r.Reload(name); err != nil {
+			errs = append(errs, err)
+		} else {
+			n++
+		}
+	}
+	return n, errors.Join(errs...)
+}
+
+// Len reports the number of resident models.
+func (r *Registry) Len() int { return len(*r.models.Load()) }
+
+// Bytes reports the summed packed footprint of resident models.
+func (r *Registry) Bytes() int64 { return r.bytes.Load() }
+
+// Evictions reports how many models the resident-bytes bound has evicted.
+func (r *Registry) Evictions() uint64 { return r.evictions.Load() }
+
+// ReplicaStatus is one engine slot's row in a ModelStatus.
+type ReplicaStatus struct {
+	Replica   int    `json:"replica"`
+	InFlight  int64  `json:"in_flight"` // router-placed graphs awaiting answers
+	Accepted  uint64 `json:"accepted"`
+	Processed uint64 `json:"processed"`
+	Reloads   uint64 `json:"reloads"`
+}
+
+// ModelStatus is one resident model's row in a RegistryStatus.
+type ModelStatus struct {
+	Name          string          `json:"name"`
+	Version       uint64          `json:"version"`
+	Dimension     int             `json:"dimension"`
+	Classes       int             `json:"classes"`
+	PackedBytes   int64           `json:"packed_bytes"`
+	Path          string          `json:"path,omitempty"`
+	CascadePrefix int             `json:"cascade_prefix,omitempty"`
+	CascadeMargin int             `json:"cascade_margin,omitempty"`
+	Replicas      []ReplicaStatus `json:"replicas"`
+}
+
+// RegistryStatus is the registry table snapshot behind GET /v1/models and
+// cmd/inspect -models.
+type RegistryStatus struct {
+	Models           []ModelStatus `json:"models"` // sorted by name
+	TotalBytes       int64         `json:"total_bytes"`
+	MaxBytes         int64         `json:"max_bytes,omitempty"`
+	Evictions        uint64        `json:"evictions"`
+	ReplicasPerModel int           `json:"replicas_per_model"`
+}
+
+// Status snapshots the registry table, models sorted by name.
+func (r *Registry) Status() RegistryStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	table := *r.models.Load()
+	st := RegistryStatus{
+		Models:           make([]ModelStatus, 0, len(table)),
+		TotalBytes:       r.bytes.Load(),
+		MaxBytes:         r.opts.MaxResidentBytes,
+		Evictions:        r.evictions.Load(),
+		ReplicasPerModel: r.opts.Replicas,
+	}
+	for _, m := range table {
+		p := m.pred.Load()
+		ms := ModelStatus{
+			Name:        m.name,
+			Version:     m.version.Load(),
+			Dimension:   p.Dimension(),
+			Classes:     p.NumClasses(),
+			PackedBytes: m.bytes,
+			Path:        m.path,
+			Replicas:    make([]ReplicaStatus, 0, len(m.replicas)),
+		}
+		if c, ok := p.Cascade(); ok {
+			ms.CascadePrefix, ms.CascadeMargin = c.DPrefix, c.Margin
+		}
+		for _, rep := range m.replicas {
+			ms.Replicas = append(ms.Replicas, ReplicaStatus{
+				Replica:   rep.id,
+				InFlight:  rep.inflight.Load(),
+				Accepted:  rep.eng.m.accepted.Load(),
+				Processed: rep.eng.m.processed.Load(),
+				Reloads:   rep.eng.m.reloads.Load(),
+			})
+		}
+		st.Models = append(st.Models, ms)
+	}
+	sort.Slice(st.Models, func(i, j int) bool { return st.Models[i].Name < st.Models[j].Name })
+	return st
+}
+
+// Traces merges the flight-recorder snapshots of every replica of every
+// resident model, newest first.
+func (r *Registry) Traces() []TraceRecord {
+	var out []TraceRecord
+	for _, m := range *r.models.Load() {
+		for _, rep := range m.replicas {
+			out = append(out, rep.eng.Traces()...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.After(out[j].Time) })
+	return out
+}
+
+// TraceDepth sums the flight-recorder capacities across replicas.
+func (r *Registry) TraceDepth() int {
+	n := 0
+	for _, m := range *r.models.Load() {
+		for _, rep := range m.replicas {
+			n += rep.eng.TraceDepth()
+		}
+	}
+	return n
+}
+
+// Close evicts every model and drains its engines. The registry rejects
+// all mutations afterwards. Close is idempotent.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	table := *r.models.Load()
+	empty := map[string]*regModel{}
+	r.models.Store(&empty)
+	r.bytes.Store(0)
+	r.mu.Unlock()
+	for _, m := range table {
+		m.closeEngines()
+	}
+}

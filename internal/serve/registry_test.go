@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// regOptions is the small-engine registry shape the unit tests use.
+func regOptions() RegistryOptions {
+	return RegistryOptions{Engine: Options{Workers: 1}}
+}
+
+// TestRegistryLoadEvictList covers the table basics: load, lookup,
+// byte accounting, listing via Status, evict, and the error surface.
+func TestRegistryLoadEvictList(t *testing.T) {
+	predA, _ := testModel(t, 1024, 1) // 2 classes → 256 packed bytes
+	predB, _ := testModel(t, 2048, 2) // 512 packed bytes
+	reg := NewRegistry(regOptions())
+	defer reg.Close()
+
+	if err := reg.Load("alpha", predA); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Load("beta", predB); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", reg.Len())
+	}
+	if want := int64(predA.MemoryBytes() + predB.MemoryBytes()); reg.Bytes() != want {
+		t.Fatalf("Bytes = %d, want %d", reg.Bytes(), want)
+	}
+	if _, ok := reg.model("alpha"); !ok {
+		t.Fatal("alpha not resident after Load")
+	}
+	if _, ok := reg.model("gamma"); ok {
+		t.Fatal("lookup of unknown model succeeded")
+	}
+
+	st := reg.Status()
+	if len(st.Models) != 2 || st.Models[0].Name != "alpha" || st.Models[1].Name != "beta" {
+		t.Fatalf("Status models %+v, want [alpha beta]", st.Models)
+	}
+	if st.Models[0].Version != 1 || st.Models[0].Dimension != 1024 {
+		t.Fatalf("alpha status %+v", st.Models[0])
+	}
+	if st.ReplicasPerModel != 1 || len(st.Models[0].Replicas) != 1 {
+		t.Fatalf("replica shape: %d per model, %d on alpha", st.ReplicasPerModel, len(st.Models[0].Replicas))
+	}
+
+	if err := reg.Evict("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.model("alpha"); ok {
+		t.Fatal("alpha resident after Evict")
+	}
+	if want := int64(predB.MemoryBytes()); reg.Bytes() != want {
+		t.Fatalf("Bytes after evict = %d, want %d", reg.Bytes(), want)
+	}
+	if err := reg.Evict("alpha"); !errors.Is(err, ErrModelNotFound) {
+		t.Fatalf("double evict: %v, want ErrModelNotFound", err)
+	}
+	// Explicit evicts are not budget evictions.
+	if reg.Evictions() != 0 {
+		t.Fatalf("Evictions = %d after explicit Evict, want 0", reg.Evictions())
+	}
+
+	// Name and argument validation.
+	if err := reg.Load("", predA); err == nil {
+		t.Fatal("empty model name accepted")
+	}
+	if err := reg.Load("has space", predA); err == nil {
+		t.Fatal("model name with space accepted")
+	}
+	if err := reg.Load("ok", nil); err == nil {
+		t.Fatal("nil predictor accepted")
+	}
+	if err := reg.Swap("gamma", predA); !errors.Is(err, ErrModelNotFound) {
+		t.Fatalf("swap of unknown model: %v, want ErrModelNotFound", err)
+	}
+
+	// A closed registry rejects mutations; Close is idempotent.
+	reg.Close()
+	reg.Close()
+	if err := reg.Load("late", predA); !errors.Is(err, ErrRegistryClosed) {
+		t.Fatalf("load after close: %v, want ErrRegistryClosed", err)
+	}
+	if err := reg.Swap("beta", predA); !errors.Is(err, ErrRegistryClosed) {
+		t.Fatalf("swap after close: %v, want ErrRegistryClosed", err)
+	}
+	if reg.Len() != 0 {
+		t.Fatalf("Len after close = %d, want 0", reg.Len())
+	}
+}
+
+// TestRegistryErrorSurface covers the remaining argument and lifecycle
+// errors: Options round-trip, nil/oversized swaps, and mutations against
+// a closed registry.
+func TestRegistryErrorSurface(t *testing.T) {
+	small, _ := testModel(t, 1024, 1) // 256 bytes
+	big, _ := testModel(t, 2048, 2)  // 512 bytes
+	opts := regOptions()
+	opts.MaxResidentBytes = 300
+	reg := NewRegistry(opts)
+	defer reg.Close()
+
+	if got := reg.Options(); got.MaxResidentBytes != 300 || got.Replicas != 1 {
+		t.Fatalf("Options round-trip: %+v", got)
+	}
+	if err := reg.Load("m", small); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Swap("m", nil); err == nil {
+		t.Fatal("swap to nil predictor accepted")
+	}
+	if err := reg.Swap("m", big); !errors.Is(err, ErrModelTooLarge) {
+		t.Fatalf("oversized swap: %v, want ErrModelTooLarge", err)
+	}
+	if v, _ := reg.model("m"); v.version.Load() != 1 {
+		t.Fatal("refused swap bumped the version")
+	}
+
+	reg.Close()
+	if err := reg.Evict("m"); !errors.Is(err, ErrRegistryClosed) {
+		t.Fatalf("evict after close: %v, want ErrRegistryClosed", err)
+	}
+}
+
+// TestRegistryLRUEviction proves the memory bound: loading past
+// MaxResidentBytes evicts the least-recently-used model (a lookup
+// refreshes recency), the byte and eviction counters account for it, and
+// a model that alone exceeds the bound is refused outright.
+func TestRegistryLRUEviction(t *testing.T) {
+	predA, _ := testModel(t, 1024, 1) // 256 bytes each
+	predB, _ := testModel(t, 1024, 2)
+	predC, _ := testModel(t, 1024, 3)
+	opts := regOptions()
+	opts.MaxResidentBytes = 600
+	reg := NewRegistry(opts)
+	defer reg.Close()
+
+	if err := reg.Load("a", predA); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Load("b", predB); err != nil {
+		t.Fatal(err)
+	}
+	// Touch "a" so "b" is the LRU when "c" needs room.
+	if _, ok := reg.model("a"); !ok {
+		t.Fatal("a not resident")
+	}
+	if err := reg.Load("c", predC); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.model("b"); ok {
+		t.Fatal("LRU model b survived an over-budget load")
+	}
+	if _, ok := reg.model("a"); !ok {
+		t.Fatal("recently used model a was evicted")
+	}
+	if _, ok := reg.model("c"); !ok {
+		t.Fatal("newly loaded model c not resident")
+	}
+	if reg.Evictions() != 1 {
+		t.Fatalf("Evictions = %d, want 1", reg.Evictions())
+	}
+	if want := int64(2 * predA.MemoryBytes()); reg.Bytes() != want {
+		t.Fatalf("Bytes = %d, want %d", reg.Bytes(), want)
+	}
+
+	// One model bigger than the whole budget can never fit.
+	big, _ := testModel(t, 4096, 4) // 1024 bytes > 600
+	if err := reg.Load("big", big); !errors.Is(err, ErrModelTooLarge) {
+		t.Fatalf("oversized load: %v, want ErrModelTooLarge", err)
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("refused load changed residency: %d models", reg.Len())
+	}
+}
+
+// TestRegistryRollingSwap walks a 3-replica model through rolling swaps
+// and checks the version front, the per-replica reload counters, and that
+// every replica serves the new predictor afterwards — including a
+// dimension change, which forces worker scratch re-binding.
+func TestRegistryRollingSwap(t *testing.T) {
+	predA, _ := testModel(t, 1024, 1)
+	predB, _ := testModel(t, 512, 2)
+	opts := regOptions()
+	opts.Replicas = 3
+	reg := NewRegistry(opts)
+	defer reg.Close()
+
+	if err := reg.Load("m", predA); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := reg.model("m")
+	if len(m.replicas) != 3 {
+		t.Fatalf("replicas = %d, want 3", len(m.replicas))
+	}
+	if err := reg.Swap("m", predB); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.version.Load(); got != 2 {
+		t.Fatalf("version = %d after swap, want 2", got)
+	}
+	for _, rep := range m.replicas {
+		if rep.eng.Predictor() != predB {
+			t.Fatalf("replica %d still serves the old predictor", rep.id)
+		}
+		if got := rep.eng.Reloads(); got != 1 {
+			t.Fatalf("replica %d reloads = %d, want 1", rep.id, got)
+		}
+	}
+	// Byte accounting follows the swap (512-bit model is half the size).
+	if want := int64(predB.MemoryBytes()); reg.Bytes() != want {
+		t.Fatalf("Bytes after swap = %d, want %d", reg.Bytes(), want)
+	}
+
+	// Loading under an existing name is the same rolling replace.
+	if err := reg.Load("m", predA); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.version.Load(); got != 3 {
+		t.Fatalf("version = %d after replacing load, want 3", got)
+	}
+	if m2, _ := reg.model("m"); m2 != m {
+		t.Fatal("replacing load rebuilt the model entry instead of swapping")
+	}
+}
+
+// TestRegistryLoadFileAndReload covers the artifact path: LoadFile
+// remembers the path, Reload re-reads it and bumps the version, and
+// ReloadAll skips in-memory models while reporting the reload count.
+func TestRegistryLoadFileAndReload(t *testing.T) {
+	predA, _ := testModel(t, 1024, 1)
+	predB, _ := testModel(t, 2048, 2)
+	path := filepath.Join(t.TempDir(), "m.ghdp")
+	if err := predA.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(regOptions())
+	defer reg.Close()
+	if err := reg.LoadFile("disk", path); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Load("mem", predB); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.LoadFile("disk", filepath.Join(t.TempDir(), "missing.ghdp")); err == nil {
+		t.Fatal("LoadFile of missing artifact succeeded")
+	}
+
+	// Write a new artifact and reload: version bumps, dimension follows.
+	if err := predB.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	n, err := reg.ReloadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("ReloadAll reloaded %d models, want 1 (mem has no path)", n)
+	}
+	st := reg.Status()
+	for _, ms := range st.Models {
+		if ms.Name == "disk" {
+			if ms.Version != 2 || ms.Dimension != 2048 {
+				t.Fatalf("disk after reload: %+v", ms)
+			}
+		}
+	}
+	if err := reg.Reload("mem"); err == nil {
+		t.Fatal("Reload of in-memory model succeeded")
+	}
+	if err := reg.Reload("nope"); !errors.Is(err, ErrModelNotFound) {
+		t.Fatalf("Reload of unknown model: %v, want ErrModelNotFound", err)
+	}
+}

@@ -1,0 +1,330 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRouterRoutesByName serves two models through one router and checks
+// each name answers under its own model, the empty name selects the
+// default, and unknown names surface ErrModelNotFound.
+func TestRouterRoutesByName(t *testing.T) {
+	predA, ds := testModel(t, 2048, 1)
+	predB, _ := testModel(t, 1024, 99)
+	wantA := predA.PredictAll(ds.Graphs)
+	wantB := predB.PredictAll(ds.Graphs)
+
+	reg := NewRegistry(RegistryOptions{Engine: Options{Workers: 2, MaxBatch: 8, MaxDelay: 50 * time.Microsecond}})
+	defer reg.Close()
+	if err := reg.Load("alpha", predA); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Load("beta", predB); err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRouter(reg, RouterOptions{DefaultModel: "alpha"})
+	ctx := context.Background()
+
+	gotA, err := rt.PredictBatch(ctx, "", "alpha", ds.Graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := rt.PredictBatch(ctx, "", "beta", ds.Graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDefault, err := rt.PredictBatch(ctx, "", "", ds.Graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Graphs {
+		if gotA[i] != wantA[i] {
+			t.Fatalf("alpha graph %d: class %d, want %d", i, gotA[i], wantA[i])
+		}
+		if gotB[i] != wantB[i] {
+			t.Fatalf("beta graph %d: class %d, want %d", i, gotB[i], wantB[i])
+		}
+		if gotDefault[i] != wantA[i] {
+			t.Fatalf("default graph %d: class %d, want alpha's %d", i, gotDefault[i], wantA[i])
+		}
+	}
+	if c, err := rt.Predict(ctx, "", "beta", ds.Graphs[0]); err != nil || c != wantB[0] {
+		t.Fatalf("single predict on beta: class %d err %v, want %d", c, err, wantB[0])
+	}
+
+	if _, err := rt.Predict(ctx, "", "gamma", ds.Graphs[0]); !errors.Is(err, ErrModelNotFound) {
+		t.Fatalf("unknown model: %v, want ErrModelNotFound", err)
+	}
+	if _, err := rt.Predictor("gamma"); !errors.Is(err, ErrModelNotFound) {
+		t.Fatalf("Predictor of unknown model: %v, want ErrModelNotFound", err)
+	}
+	if p, err := rt.Predictor(""); err != nil || p != predA {
+		t.Fatalf("default predictor: %v, %v", p, err)
+	}
+}
+
+// TestRouterQuota checks tenant admission: an over-quota batch is
+// rejected before any engine sees it, the rejection is accounted to the
+// tenant, and other tenants are untouched.
+func TestRouterQuota(t *testing.T) {
+	pred, ds := testModel(t, 1024, 1)
+	reg := NewRegistry(RegistryOptions{Engine: Options{Workers: 1}})
+	defer reg.Close()
+	if err := reg.Load("default", pred); err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRouter(reg, RouterOptions{TenantQuota: 4})
+	ctx := context.Background()
+
+	if _, err := rt.PredictBatch(ctx, "noisy", "", ds.Graphs[:5]); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-quota batch: %v, want ErrQuotaExceeded", err)
+	}
+	m, _ := reg.model("default")
+	if got := m.replicas[0].eng.Metrics().AcceptedGraphs; got != 0 {
+		t.Fatalf("quota rejection reached the engine: %d graphs accepted", got)
+	}
+
+	// At quota is fine; sequential calls release their reservation.
+	for i := 0; i < 3; i++ {
+		if _, err := rt.PredictBatch(ctx, "noisy", "", ds.Graphs[:4]); err != nil {
+			t.Fatalf("at-quota batch %d: %v", i, err)
+		}
+	}
+	// Another tenant has its own account.
+	if _, err := rt.PredictBatch(ctx, "quiet", "", ds.Graphs[:4]); err != nil {
+		t.Fatalf("other tenant: %v", err)
+	}
+
+	ten := rt.Tenants()
+	byName := map[string]TenantStatus{}
+	for _, ts := range ten {
+		byName[ts.Tenant] = ts
+	}
+	if byName["noisy"].Rejected != 1 || byName["noisy"].InFlight != 0 {
+		t.Fatalf("noisy account %+v", byName["noisy"])
+	}
+	if byName["quiet"].Rejected != 0 {
+		t.Fatalf("quiet account %+v", byName["quiet"])
+	}
+	if _, ok := byName[DefaultTenant]; !ok {
+		t.Fatal("default tenant not pre-created")
+	}
+}
+
+// TestRouterPlacementSpreads drives sequential traffic at a 4-replica
+// model and checks power-of-two-choices actually lands work on every
+// replica rather than pinning one.
+func TestRouterPlacementSpreads(t *testing.T) {
+	pred, ds := testModel(t, 1024, 1)
+	reg := NewRegistry(RegistryOptions{Replicas: 4, Engine: Options{Workers: 1}})
+	defer reg.Close()
+	if err := reg.Load("default", pred); err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRouter(reg, RouterOptions{})
+	ctx := context.Background()
+	for i := 0; i < 200; i++ {
+		if _, err := rt.Predict(ctx, "", "", ds.Graphs[i%len(ds.Graphs)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, _ := reg.model("default")
+	var total uint64
+	for _, rep := range m.replicas {
+		n := rep.eng.Metrics().AcceptedGraphs
+		if n == 0 {
+			t.Fatalf("replica %d received no traffic over 200 placements", rep.id)
+		}
+		total += n
+	}
+	if total != 200 {
+		t.Fatalf("replicas accepted %d graphs, want 200", total)
+	}
+}
+
+// TestRouterSoakRollingSwap is the multi-replica acceptance soak, run
+// under -race in CI: a 3-replica model takes sustained mixed single/batch
+// traffic from a client fleet (including an always-over-quota tenant and
+// an over-queue batch size) while rolling swaps walk the replicas between
+// two models of different dimensions. At quiesce it asserts the hard
+// invariants the architecture promises:
+//
+//   - zero failed in-flight requests across every rolling swap;
+//   - exact conservation: client-observed answered graphs ==
+//     Σ accepted == Σ processed over the replicas;
+//   - quota rejections never touched an engine queue: engine-side
+//     admissions account exactly for the answered graphs, and the quota
+//     tenant's rejection count matches its client-side observations.
+func TestRouterSoakRollingSwap(t *testing.T) {
+	predA, ds := testModel(t, 1024, 1)
+	predB, _ := testModel(t, 512, 99) // dimension change: swaps re-bind scratch
+	reg := NewRegistry(RegistryOptions{
+		Replicas: 3,
+		Engine: Options{
+			Workers:   2,
+			MaxBatch:  8,
+			MaxDelay:  50 * time.Microsecond,
+			QueueSize: 64, // small enough for the 65-graph client to overrun
+		},
+	})
+	if err := reg.Load("default", predA); err != nil {
+		t.Fatal(err)
+	}
+	// Quota 100: wide enough that the 65-graph batch passes admission and
+	// exercises queue overload, tight enough for a 128-graph batch to shed.
+	rt := NewRouter(reg, RouterOptions{TenantQuota: 100})
+
+	duration := 800 * time.Millisecond
+	if testing.Short() {
+		duration = 150 * time.Millisecond
+	}
+	stop := make(chan struct{})
+	go func() {
+		time.Sleep(duration)
+		close(stop)
+	}()
+
+	// Swapper: roll between the two models across all three replicas.
+	var swaps atomic.Uint64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			next := predA
+			if i%2 == 1 {
+				next = predB
+			}
+			if err := reg.Swap("default", next); err != nil {
+				t.Errorf("rolling swap: %v", err)
+				return
+			}
+			swaps.Add(1)
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	var graphsOK, overloads, failures atomic.Uint64
+	var quotaRejections atomic.Uint64
+	ctx := context.Background()
+
+	// Pool long enough for any batch window.
+	pool := ds.Graphs
+	for len(pool) < 128+len(ds.Graphs) {
+		pool = append(pool, ds.Graphs...)
+	}
+
+	client := func(tenant string, batch int, wantQuotaReject bool) {
+		defer wg.Done()
+		out := make([]int, batch)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			lo := i % len(ds.Graphs)
+			var err error
+			if batch == 1 {
+				_, err = rt.Predict(ctx, tenant, "", pool[lo])
+			} else {
+				err = rt.PredictBatchInto(ctx, tenant, "", pool[lo:lo+batch], out)
+			}
+			switch {
+			case err == nil:
+				if wantQuotaReject {
+					t.Error("over-quota batch was admitted")
+					return
+				}
+				graphsOK.Add(uint64(batch))
+			case errors.Is(err, ErrQuotaExceeded):
+				if !wantQuotaReject {
+					t.Errorf("tenant %q rejected by quota unexpectedly", tenant)
+					return
+				}
+				quotaRejections.Add(1)
+			case errors.Is(err, ErrOverloaded):
+				overloads.Add(1)
+			default:
+				failures.Add(1)
+				t.Errorf("request failed in flight: %v", err)
+				return
+			}
+		}
+	}
+
+	// Fleet: singles, mid batches, a segmented batch, one batch that can
+	// overrun a replica queue (65 > QueueSize), and a tenant whose batch
+	// always exceeds the quota (128 > 100) so every one of its calls must
+	// shed at admission.
+	for _, c := range []struct {
+		tenant string
+		batch  int
+		reject bool
+	}{
+		{"t1", 1, false}, {"t1", 1, false}, {"t2", 3, false}, {"t2", 8, false},
+		{"t3", 17, false}, {"t3", 65, false}, {"greedy", 128, true},
+	} {
+		wg.Add(1)
+		go client(c.tenant, c.batch, c.reject)
+	}
+	wg.Wait()
+	m, ok := reg.model("default") // grab the entry before Close empties the table
+	if !ok {
+		t.Fatal("model vanished during soak")
+	}
+	reg.Close() // drains every admitted request
+
+	if failures.Load() != 0 {
+		t.Fatalf("%d requests failed in flight across %d rolling swaps", failures.Load(), swaps.Load())
+	}
+	if swaps.Load() == 0 {
+		t.Fatal("no rolling swaps happened during the soak")
+	}
+	if quotaRejections.Load() == 0 {
+		t.Fatal("the over-quota tenant was never rejected")
+	}
+
+	var accepted, processed, inflight uint64
+	for _, rep := range m.replicas {
+		em := rep.eng.Metrics()
+		accepted += em.AcceptedGraphs
+		processed += em.Processed
+		inflight += em.InFlight
+		if em.Reloads != swaps.Load() {
+			t.Errorf("replica %d saw %d reloads, want %d (rolling swap skipped it)",
+				rep.id, em.Reloads, swaps.Load())
+		}
+		if rep.inflight.Load() != 0 {
+			t.Errorf("replica %d placement counter %d at quiesce", rep.id, rep.inflight.Load())
+		}
+	}
+	if accepted != processed || inflight != 0 {
+		t.Fatalf("fleet did not quiesce clean: accepted %d, processed %d, inflight %d",
+			accepted, processed, inflight)
+	}
+	if accepted != graphsOK.Load() {
+		t.Fatalf("replicas accepted %d graphs but clients saw %d answered "+
+			"(quota rejections leaked into a queue, or answers were lost)",
+			accepted, graphsOK.Load())
+	}
+	for _, ts := range rt.Tenants() {
+		if ts.InFlight != 0 {
+			t.Errorf("tenant %q in-flight %d at quiesce", ts.Tenant, ts.InFlight)
+		}
+		if ts.Tenant == "greedy" && ts.Rejected != quotaRejections.Load() {
+			t.Errorf("greedy tenant rejected %d, clients counted %d", ts.Rejected, quotaRejections.Load())
+		}
+	}
+	t.Logf("soak: %d graphs answered, %d overload shed, %d quota shed, %d rolling swaps across 3 replicas",
+		graphsOK.Load(), overloads.Load(), quotaRejections.Load(), swaps.Load())
+}

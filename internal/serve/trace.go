@@ -34,6 +34,11 @@ type TraceRecord struct {
 	Seq  uint64    `json:"seq"`
 	Time time.Time `json:"time"` // wall clock at worker pickup
 
+	// Model and Replica name the engine slot that served the batch in a
+	// registry/router deployment (model "default", replica 0 standalone).
+	Model   string `json:"model,omitempty"`
+	Replica int    `json:"replica"`
+
 	BatchSize int `json:"batch_size"` // graphs across the batch's tasks
 	Tasks     int `json:"tasks"`      // queued tasks the batch coalesced
 

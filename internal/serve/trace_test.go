@@ -279,15 +279,16 @@ func TestHTTPTraces(t *testing.T) {
 // runtime stats, traces and metrics are all mounted and respond.
 func TestDebugHandler(t *testing.T) {
 	pred, ds := testModel(t, 2048, 1)
-	e, err := NewEngine(pred, Options{Workers: 2, MaxBatch: 8, MaxDelay: 50 * time.Microsecond})
-	if err != nil {
+	reg := NewRegistry(RegistryOptions{Engine: Options{Workers: 2, MaxBatch: 8, MaxDelay: 50 * time.Microsecond}})
+	defer reg.Close()
+	if err := reg.Load("default", pred); err != nil {
 		t.Fatal(err)
 	}
-	defer e.Close()
-	if _, err := e.PredictBatch(context.Background(), ds.Graphs[:8]); err != nil {
+	rt := NewRouter(reg, RouterOptions{})
+	if _, err := rt.PredictBatch(context.Background(), DefaultTenant, "", ds.Graphs[:8]); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(NewDebugHandler(e))
+	srv := httptest.NewServer(NewDebugHandler(rt))
 	defer srv.Close()
 
 	get := func(path string) (int, string) {
