@@ -15,6 +15,8 @@
 //	graphhd-serve -model model.ghdp -class-names mutagenic,non-mutagenic
 //	graphhd-serve -model model.ghdp -cascade-prefix 1024 -cascade-margin 12
 //	graphhd-serve -model model.ghdp -debug-addr 127.0.0.1:6060 -log-json
+//	graphhd-serve -model model.ghdp -feedback-model model.ghd   # online learning loop
+//	graphhd-serve -model m.ghdp -feedback-model m.ghd -snapshot-every 64 -shadow-fraction 0.25
 //
 // Endpoints:
 //
@@ -22,6 +24,8 @@
 //	POST /v1/predict/batch                 {"graphs": [...]}
 //	POST /v1/models/{name}/predict         predict against a named model
 //	POST /v1/models/{name}/predict/batch
+//	POST /v1/feedback                      labeled feedback → online trainer
+//	POST /v1/models/{name}/feedback
 //	GET  /v1/model          default model card (config, build identity)
 //	GET  /v1/models         registry table: models, replicas, tenants
 //	GET  /healthz           liveness probe (+ resident-model summary)
@@ -33,6 +37,16 @@
 // Tenancy rides on the X-Tenant request header; -tenant-quota bounds each
 // tenant's in-flight graphs, shedding excess with 429 before it can touch
 // a replica queue.
+//
+// -feedback-model attaches the online learning loop: it loads a trainable
+// full-model artifact (GRAPHHD1, cmd/graphhd -save) beside the packed
+// serving predictor, drains POSTed feedback into it as perceptron-style
+// updates, and — on the -snapshot-every / -snapshot-interval triggers —
+// validates a candidate snapshot on held-out feedback, shadow-mirrors
+// -shadow-fraction of live traffic through it, and promotes via the
+// rolling swap or rolls back (reasons surface at GET /v1/models and in
+// cmd/inspect -models). A single path attaches to the default model; use
+// name=path,name=path to attach trainers to named models.
 //
 // With -debug-addr a second listener serves the diagnostics surface
 // (/debug/pprof/*, /debug/vars, /debug/runtime, plus /debug/traces and
@@ -108,6 +122,24 @@ func parseModelSpec(spec string) ([][2]string, error) {
 	return out, nil
 }
 
+// parseFeedbackSpec resolves -feedback-model: a bare path attaches to the
+// default model, name=path entries to named models.
+func parseFeedbackSpec(spec, defaultModel string) [][2]string {
+	var out [][2]string
+	for _, ent := range strings.Split(spec, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		if name, path, ok := strings.Cut(ent, "="); ok && name != "" && path != "" {
+			out = append(out, [2]string{name, path})
+		} else {
+			out = append(out, [2]string{defaultModel, ent})
+		}
+	}
+	return out
+}
+
 func main() {
 	var (
 		model       = flag.String("model", "", "single model artifact served as \"default\" (this or -models is required)")
@@ -130,6 +162,17 @@ func main() {
 		cascMargin  = flag.Int("cascade-margin", 0, "cascade escalation margin: stage-1 decisions with top-two Hamming margin at most this re-decide at full dimension (calibrate with cmd/graphhd -calibrate-cascade)")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error (debug enables per-request access logs)")
 		logJSON     = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+
+		feedbackModel = flag.String("feedback-model", "", "trainable full-model artifact (GRAPHHD1, cmd/graphhd -save) enabling the online learning loop: a path (attaches to the default model) or name=path,name=path")
+		feedbackBuf   = flag.Int("feedback-buffer", 0, "feedback buffer bound in samples; a full buffer sheds with 429 (0 = default 1024)")
+		snapEvery     = flag.Int("snapshot-every", 0, "validate a candidate snapshot after this many trained feedback samples (0 = default 256)")
+		snapInterval  = flag.Duration("snapshot-interval", 0, "additionally validate on this timer, catching trickle feedback (0 = off)")
+		holdoutEvery  = flag.Int("holdout-every", 0, "divert every Nth feedback sample to the validation holdout instead of training (0 = default 8)")
+		valTolerance  = flag.Float64("validation-tolerance", 0, "how far candidate holdout accuracy may trail the serving predictor before rollback (0 = default 0.02)")
+		shadowFrac    = flag.Float64("shadow-fraction", 0, "fraction of live predict traffic mirrored to a candidate during its shadow phase (0 = default 0.1)")
+		shadowMinN    = flag.Int("shadow-min-samples", 0, "mirrored graphs the shadow phase waits for before deciding (0 = default 64)")
+		shadowWindow  = flag.Duration("shadow-window", 0, "shadow phase time bound (0 = default 3s)")
+		shadowMinAgr  = flag.Float64("shadow-min-agreement", 0, "roll back when shadow agreement with the primary falls below this over the mirrored sample (0 = observability only)")
 	)
 	flag.Parse()
 
@@ -211,6 +254,39 @@ func main() {
 		DefaultModel: defaultModel,
 		TenantQuota:  *tenantQuota,
 	})
+
+	// Attach online trainers. The trainable artifact is loaded beside the
+	// packed serving predictor; the registry owns the trainer's lifecycle
+	// from here (it stops when the model is evicted or the registry
+	// closes).
+	if *feedbackModel != "" {
+		topts := serve.TrainerOptions{
+			BufferSize:          *feedbackBuf,
+			SnapshotEvery:       *snapEvery,
+			SnapshotInterval:    *snapInterval,
+			HoldoutEvery:        *holdoutEvery,
+			ValidationTolerance: *valTolerance,
+			ShadowFraction:      *shadowFrac,
+			ShadowMinSamples:    *shadowMinN,
+			ShadowWindow:        *shadowWindow,
+			ShadowMinAgreement:  *shadowMinAgr,
+		}
+		for _, ent := range parseFeedbackSpec(*feedbackModel, defaultModel) {
+			m, err := core.LoadModelFile(ent[1])
+			if err != nil {
+				fatal("load -feedback-model", err)
+			}
+			tr, err := registry.AttachTrainer(ent[0], m, topts)
+			if err != nil {
+				fatal("attach trainer", err)
+			}
+			// Log the trainer's resolved options, not the zero flags.
+			eff := tr.Options()
+			log.Info("online trainer attached", "model", ent[0], "artifact", ent[1],
+				"buffer", eff.BufferSize, "snapshot_every", eff.SnapshotEvery,
+				"shadow_fraction", eff.ShadowFraction)
+		}
+	}
 
 	var names []string
 	if *classNames != "" {

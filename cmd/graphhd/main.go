@@ -103,9 +103,11 @@ func main() {
 			fatal(err)
 		}
 		if *retrain > 0 {
-			if _, err := model.Retrain(ds.Graphs, ds.Labels, graphhd.RetrainOptions{Epochs: *retrain}); err != nil {
+			updates, err := model.Retrain(ds.Graphs, ds.Labels, graphhd.RetrainOptions{Epochs: *retrain})
+			if err != nil {
 				fatal(err)
 			}
+			fmt.Print(retrainSummary(updates, *retrain))
 		}
 		if *saveModel != "" {
 			if err := model.SaveFile(*saveModel); err != nil {
@@ -160,9 +162,11 @@ func runPredict(cfg graphhd.Config, train *graphhd.Dataset, dir, name, fallback 
 		fatal(err)
 	}
 	if retrain > 0 {
-		if _, err := model.Retrain(train.Graphs, train.Labels, graphhd.RetrainOptions{Epochs: retrain}); err != nil {
+		updates, err := model.Retrain(train.Graphs, train.Labels, graphhd.RetrainOptions{Epochs: retrain})
+		if err != nil {
 			fatal(err)
 		}
+		fmt.Print(retrainSummary(updates, retrain))
 	}
 	preds := model.Snapshot().PredictAll(test.Graphs)
 	correct := 0
@@ -175,6 +179,22 @@ func runPredict(cfg graphhd.Config, train *graphhd.Dataset, dir, name, fallback 
 	if len(test.Labels) == len(preds) {
 		fmt.Printf("accuracy vs provided labels: %.4f\n", float64(correct)/float64(len(preds)))
 	}
+}
+
+// retrainSummary renders the per-epoch update counts Retrain returns.
+// The slice's length is the number of epochs actually run — Retrain stops
+// early after an error-free pass — so it, not the requested budget, bounds
+// any per-epoch iteration.
+func retrainSummary(updates []int, budget int) string {
+	total := 0
+	for _, n := range updates {
+		total += n
+	}
+	s := fmt.Sprintf("retraining: %d corrective updates over %d epoch(s)", total, len(updates))
+	if len(updates) < budget {
+		s += fmt.Sprintf(" (early stop, budget %d)", budget)
+	}
+	return s + "\n"
 }
 
 // retrainingClassifier adapts retraining into the CV harness. Inference

@@ -202,8 +202,8 @@ func inspectModels(base string) {
 	fmt.Printf("registry at %s: %d models, %d bytes resident (budget %s), %d evicted, %d replicas/model, default %q\n",
 		base, len(reg.Models), reg.TotalBytes, budget, reg.Evictions, reg.ReplicasPerModel, mr.DefaultModel)
 	if len(reg.Models) > 0 {
-		fmt.Printf("%-16s %4s %7s %7s %9s %-14s %s\n",
-			"model", "ver", "dim", "classes", "bytes", "cascade", "replicas (inflight/accepted/processed)")
+		fmt.Printf("%-16s %4s %4s %7s %7s %9s %-14s %s\n",
+			"model", "ver", "rev", "dim", "classes", "bytes", "cascade", "replicas (inflight/accepted/processed)")
 		for _, m := range reg.Models {
 			casc := "off"
 			if m.CascadePrefix > 0 {
@@ -213,9 +213,30 @@ func inspectModels(base string) {
 			for _, r := range m.Replicas {
 				reps = append(reps, fmt.Sprintf("#%d %d/%d/%d", r.Replica, r.InFlight, r.Accepted, r.Processed))
 			}
-			fmt.Printf("%-16s %4d %7d %7d %9d %-14s %s\n",
-				m.Name, m.Version, m.Dimension, m.Classes, m.PackedBytes, casc,
+			name := m.Name
+			if m.ShadowActive {
+				name += "*" // a candidate is shadow-mirroring live traffic
+			}
+			fmt.Printf("%-16s %4d %4d %7d %7d %9d %-14s %s\n",
+				name, m.Version, m.Revision, m.Dimension, m.Classes, m.PackedBytes, casc,
 				strings.Join(reps, "  "))
+		}
+	}
+	if len(mr.Trainers) > 0 {
+		fmt.Println("online trainers:")
+		for _, tr := range mr.Trainers {
+			shadow := ""
+			if tr.ShadowActive {
+				shadow = "   [shadow phase active]"
+			}
+			fmt.Printf("  %-16s buffer %d/%d   ingested %d (dropped %d)   trained %d (updates %d)   holdout %d%s\n",
+				tr.Model, tr.BufferLen, tr.BufferCap, tr.Ingested, tr.Dropped, tr.Trained, tr.Updates, tr.Holdout, shadow)
+			fmt.Printf("  %-16s revision %d (serving %d)   snapshots %d   promotions %d   rollbacks %d   shadow %d mirrored, %d/%d agree/disagree\n",
+				"", tr.Revision, tr.ServingRevision, tr.Snapshots, tr.Promotions, tr.Rollbacks,
+				tr.ShadowMirrored, tr.ShadowAgreed, tr.ShadowDisagreed)
+			if tr.LastOutcome != "" {
+				fmt.Printf("  %-16s last: %s (%s)\n", "", tr.LastOutcome, tr.LastOutcomeTime.Format("15:04:05"))
+			}
 		}
 	}
 	if len(mr.Tenants) > 0 {

@@ -48,11 +48,14 @@ func main() {
 		retrained.MeanAccuracy(), retrained.StdAccuracy(), retrained.MeanTrainTime(), retrained.MeanInferTimePerGraph())
 }
 
-// withRetraining wraps Train + Retrain behind the harness interface.
+// withRetraining wraps Train + Retrain behind the harness interface,
+// accumulating per-epoch update counts across folds.
 type withRetraining struct {
-	cfg    graphhd.Config
-	epochs int
-	model  *graphhd.Model
+	cfg       graphhd.Config
+	epochs    int
+	model     *graphhd.Model
+	epochsRun int
+	updates   int
 }
 
 func (w *withRetraining) Fit(gs []*graphhd.Graph, labels []int) error {
@@ -60,9 +63,16 @@ func (w *withRetraining) Fit(gs []*graphhd.Graph, labels []int) error {
 	if err != nil {
 		return err
 	}
-	if _, err := m.Retrain(gs, labels, graphhd.RetrainOptions{Epochs: w.epochs}); err != nil {
+	updates, err := m.Retrain(gs, labels, graphhd.RetrainOptions{Epochs: w.epochs})
+	if err != nil {
 		return err
 	}
+	// Retrain stops early on an error-free epoch, so iterate the returned
+	// slice — len(updates) <= w.epochs — never the requested budget.
+	for ep := range updates {
+		w.updates += updates[ep]
+	}
+	w.epochsRun += len(updates)
 	w.model = m
 	return nil
 }

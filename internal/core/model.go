@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"graphhd/internal/graph"
 	"graphhd/internal/hdc"
@@ -15,6 +16,13 @@ type Model struct {
 	enc *Encoder
 	am  *hdc.AssociativeMemory
 	k   int
+	// rev counts corrective online updates (Learn, OnlineUpdate, and
+	// Retrain) applied after initial fitting. Snapshot stamps the current
+	// value into the vended Predictor, so a snapshot taken before an
+	// update round is distinguishable from the live model: skew shows up
+	// as Model.Revision() > Predictor.Revision(). Fit/Train do not bump
+	// it — a freshly fitted model is revision 0.
+	rev atomic.Uint64
 }
 
 // NewModel returns an untrained model for k classes using encoder enc.
@@ -42,15 +50,22 @@ func (m *Model) ClassVector(c int) *hdc.Bipolar { return m.am.ClassVector(c) }
 
 // Learn encodes one labeled graph and bundles it into its class vector —
 // the HDC online-learning primitive. It returns the graph-hypervector so
-// callers (e.g. retraining loops) can reuse the encoding.
+// callers (e.g. retraining loops) can reuse the encoding. Each call bumps
+// the model revision.
 func (m *Model) Learn(g *graph.Graph, label int) (*hdc.Bipolar, error) {
 	if label < 0 || label >= m.k {
 		return nil, fmt.Errorf("core: label %d out of range [0,%d)", label, m.k)
 	}
 	hv := m.enc.EncodeGraph(g)
 	m.am.Learn(label, hv)
+	m.rev.Add(1)
 	return hv, nil
 }
+
+// Revision returns the number of online updates applied to the model since
+// initial fitting. Compare against Predictor.Revision to detect a stale
+// snapshot serving pre-update class vectors.
+func (m *Model) Revision() uint64 { return m.rev.Load() }
 
 // Fit trains on the whole set, encoding graphs in parallel across
 // GOMAXPROCS goroutines (HDC operations are dimension-independent, the

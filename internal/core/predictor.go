@@ -29,12 +29,22 @@ type Predictor struct {
 	// classification (see cascade.go). Atomic so serving traffic can race
 	// with reconfiguration.
 	cascade atomic.Pointer[cascadeState]
+	// revision is the source model's online-update count at snapshot
+	// time (zero for freshly fitted models and pre-revision artifacts).
+	// Immutable once set; see Model.Revision.
+	revision uint64
 }
 
 // Snapshot freezes the model's current class accumulators into a packed
-// query predictor.
+// query predictor, stamped with the model's revision at snapshot time so
+// staleness relative to further online updates stays detectable.
 func (m *Model) Snapshot() *Predictor {
-	return &Predictor{enc: m.enc, pm: m.am.Snapshot()}
+	// Revision is read before the class vectors: under a racy snapshot the
+	// stamp can only under-count, so staleness is over-reported, never
+	// missed. (With the documented single-writer discipline the two are
+	// exact.)
+	rev := m.rev.Load()
+	return &Predictor{enc: m.enc, pm: m.am.Snapshot(), revision: rev}
 }
 
 // newPredictor assembles a predictor from deserialized parts.
@@ -52,6 +62,13 @@ func newPredictor(enc *Encoder, classes []*hdc.Binary) (*Predictor, error) {
 
 // Encoder returns the predictor's encoder.
 func (p *Predictor) Encoder() *Encoder { return p.enc }
+
+// Revision returns the source model's online-update count at snapshot
+// time. A serving snapshot whose revision trails the live model's
+// Revision() is stale: it predates online updates and serves the old
+// class vectors. Zero for predictors snapshotted from never-updated
+// models and for artifacts predating revision stamping.
+func (p *Predictor) Revision() uint64 { return p.revision }
 
 // Dimension returns the hypervector dimensionality of the model — the
 // full query width (cascade stage 1, when configured, runs at

@@ -1,11 +1,19 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"graphhd/internal/graph"
 	"graphhd/internal/hdc"
 )
+
+// ErrNonPositiveEpochs is returned by Retrain when opts.Epochs <= 0.
+// Earlier versions silently substituted a default of 5 epochs, which made
+// a zero-valued RetrainOptions indistinguishable from an explicit request
+// — callers that compute an epoch budget and arrive at zero now hear
+// about it instead of burning five passes.
+var ErrNonPositiveEpochs = errors.New("core: retrain epochs must be positive")
 
 // This file implements the paper's Future Work direction 1: trading some
 // of GraphHD's efficiency for accuracy through techniques already known in
@@ -14,7 +22,8 @@ import (
 
 // RetrainOptions configures Retrain.
 type RetrainOptions struct {
-	// Epochs is the number of passes over the training set (default 5).
+	// Epochs is the maximum number of passes over the training set. It
+	// must be positive; Retrain returns ErrNonPositiveEpochs otherwise.
 	Epochs int
 	// Shuffle, when non-nil, permutes the sample order each epoch using
 	// the given seed; nil keeps input order (deterministic either way).
@@ -24,16 +33,22 @@ type RetrainOptions struct {
 // Retrain runs perceptron-style HDC retraining on a fitted model: for each
 // training sample, if the model misclassifies it, the encoded hypervector
 // is added to the correct class accumulator and subtracted from the
-// mispredicted one. Returns the number of updates per epoch; training may
-// stop early once an epoch is error-free.
+// mispredicted one.
+//
+// Contract: the returned slice holds the number of corrective updates per
+// epoch actually run, in epoch order. Training stops early once an epoch
+// is error-free, so len(updates) may be anywhere in [1, opts.Epochs] —
+// callers must iterate over the returned slice, never assume
+// len(updates) == opts.Epochs. Each corrective update bumps the model's
+// revision counter (see Revision).
 func (m *Model) Retrain(graphs []*graph.Graph, labels []int, opts RetrainOptions) ([]int, error) {
 	if len(graphs) != len(labels) {
 		return nil, fmt.Errorf("core: %d graphs but %d labels", len(graphs), len(labels))
 	}
-	epochs := opts.Epochs
-	if epochs <= 0 {
-		epochs = 5
+	if opts.Epochs <= 0 {
+		return nil, fmt.Errorf("%w (got %d)", ErrNonPositiveEpochs, opts.Epochs)
 	}
+	epochs := opts.Epochs
 	encoded := m.encodeAll(graphs)
 	order := make([]int, len(graphs))
 	for i := range order {
@@ -61,11 +76,40 @@ func (m *Model) Retrain(graphs []*graph.Graph, labels []int, opts RetrainOptions
 			}
 		}
 		updates = append(updates, n)
+		if n > 0 {
+			m.rev.Add(uint64(n))
+		}
 		if n == 0 {
 			break
 		}
 	}
 	return updates, nil
+}
+
+// OnlineUpdate applies one perceptron-style update from a single labeled
+// graph: encode, classify, and — only if mispredicted — bundle the
+// hypervector into the correct class and subtract it from the mispredicted
+// one, exactly the per-sample step Retrain runs in bulk. It reports
+// whether the model changed; a corrective update bumps the revision
+// counter. This is the streaming-feedback primitive: pair it with
+// PredictPacked for serving-side online learning. Like all training
+// methods, it requires single-writer discipline (one goroutine mutating
+// the model; concurrent readers are fine).
+func (m *Model) OnlineUpdate(g *graph.Graph, label int) (bool, error) {
+	if label < 0 || label >= m.k {
+		return false, fmt.Errorf("core: label %d out of range [0,%d)", label, m.k)
+	}
+	s := m.enc.getScratch()
+	defer m.enc.putScratch(s)
+	hv := s.EncodeGraph(g)
+	pred := m.am.Classify(hv)
+	if pred == label {
+		return false, nil
+	}
+	m.am.Learn(label, hv)
+	m.am.Unlearn(pred, hv)
+	m.rev.Add(1)
+	return true, nil
 }
 
 // MultiPrototypeModel extends GraphHD with multiple class vectors per

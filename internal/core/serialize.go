@@ -38,13 +38,22 @@ import (
 // deployment (see cascade.go) survives save/load without re-calibration.
 // Predictor.WriteTo emits GRAPHHD3 exactly when a cascade is set.
 //
+// A GRAPHHD4 record carries the model revision (see Model.Revision): a
+// revision uint64 followed by the cascade pair — dprefix uint32 + margin
+// uint32, zeroes meaning no cascade — then the packed class words.
+// Predictor.WriteTo emits GRAPHHD4 exactly when revision > 0, so
+// artifacts from never-updated models stay byte-identical to earlier
+// releases; snapshots taken after online updates round-trip their
+// staleness marker.
+//
 // The labeled-extension (rank, label) cache regenerates lazily from the
 // seed, so labeled models round-trip too.
 
 var (
-	modelMagic   = [8]byte{'G', 'R', 'A', 'P', 'H', 'H', 'D', '1'}
-	packedMagic  = [8]byte{'G', 'R', 'A', 'P', 'H', 'H', 'D', '2'}
-	cascadeMagic = [8]byte{'G', 'R', 'A', 'P', 'H', 'H', 'D', '3'}
+	modelMagic    = [8]byte{'G', 'R', 'A', 'P', 'H', 'H', 'D', '1'}
+	packedMagic   = [8]byte{'G', 'R', 'A', 'P', 'H', 'H', 'D', '2'}
+	cascadeMagic  = [8]byte{'G', 'R', 'A', 'P', 'H', 'H', 'D', '3'}
+	revisionMagic = [8]byte{'G', 'R', 'A', 'P', 'H', 'H', 'D', '4'}
 )
 
 const (
@@ -207,8 +216,9 @@ func LoadModelFile(path string) (*Model, error) {
 }
 
 // WriteTo serializes the predictor as a GRAPHHD2 packed record — or, when
-// a cascade is configured, a GRAPHHD3 record carrying the cascade config.
-// It implements io.WriterTo.
+// a cascade is configured, a GRAPHHD3 record carrying the cascade config —
+// or, when the snapshot carries a non-zero revision, a GRAPHHD4 record
+// carrying revision plus cascade config. It implements io.WriterTo.
 func (p *Predictor) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	n := int64(0)
@@ -221,11 +231,23 @@ func (p *Predictor) WriteTo(w io.Writer) (int64, error) {
 	}
 	casc, hasCasc := p.Cascade()
 	magic := packedMagic
-	if hasCasc {
+	switch {
+	case p.revision != 0:
+		magic = revisionMagic
+	case hasCasc:
 		magic = cascadeMagic
 	}
 	if err := writeHeader(write, magic, p.enc.Config(), p.NumClasses()); err != nil {
 		return n, err
+	}
+	if magic == revisionMagic {
+		if err := write(p.revision); err != nil {
+			return n, fmt.Errorf("core: serialize revision: %w", err)
+		}
+		if !hasCasc {
+			casc = Cascade{} // zeroes encode "no cascade"
+		}
+		hasCasc = true
 	}
 	if hasCasc {
 		for _, v := range []uint32{uint32(casc.DPrefix), uint32(casc.Margin)} {
@@ -259,8 +281,9 @@ func (p *Predictor) SaveFile(path string) error {
 }
 
 // ReadPredictor deserializes a packed query predictor. It accepts all
-// record versions: a GRAPHHD2/GRAPHHD3 record loads directly (the latter
-// restoring its cascade configuration), and a GRAPHHD1 full model is
+// record versions: a GRAPHHD2/GRAPHHD3/GRAPHHD4 record loads directly
+// (restoring cascade configuration and revision where present), and a
+// GRAPHHD1 full model is
 // loaded and snapshotted, so deployment code reads any format.
 // Note that snapshotting always yields the majority-voted query semantics:
 // for a GRAPHHD1 model saved with BipolarClassVectors false, the resulting
@@ -283,7 +306,7 @@ func ReadPredictor(r io.Reader) (*Predictor, error) {
 			return nil, err
 		}
 		return m.Snapshot(), nil
-	case packedMagic, cascadeMagic:
+	case packedMagic, cascadeMagic, revisionMagic:
 	default:
 		return nil, fmt.Errorf("core: bad model magic %q", magic)
 	}
@@ -291,17 +314,28 @@ func ReadPredictor(r io.Reader) (*Predictor, error) {
 	if err != nil {
 		return nil, err
 	}
+	var revision uint64
+	if magic == revisionMagic {
+		if err := read(&revision); err != nil {
+			return nil, fmt.Errorf("core: read revision: %w", err)
+		}
+	}
 	var casc Cascade
-	if magic == cascadeMagic {
+	hasCasc := false
+	if magic == cascadeMagic || magic == revisionMagic {
 		var dprefix, margin uint32
 		for _, v := range []any{&dprefix, &margin} {
 			if err := read(v); err != nil {
 				return nil, fmt.Errorf("core: read cascade config: %w", err)
 			}
 		}
-		casc = Cascade{DPrefix: int(dprefix), Margin: int(margin)}
-		if err := casc.Validate(cfg.Dimension); err != nil {
-			return nil, err
+		// In a GRAPHHD4 record all-zero cascade fields mean "none".
+		if dprefix != 0 || margin != 0 || magic == cascadeMagic {
+			casc = Cascade{DPrefix: int(dprefix), Margin: int(margin)}
+			if err := casc.Validate(cfg.Dimension); err != nil {
+				return nil, err
+			}
+			hasCasc = true
 		}
 	}
 	enc, err := NewEncoder(cfg)
@@ -322,7 +356,8 @@ func ReadPredictor(r io.Reader) (*Predictor, error) {
 	if err != nil {
 		return nil, err
 	}
-	if magic == cascadeMagic {
+	p.revision = revision
+	if hasCasc {
 		if err := p.SetCascade(casc); err != nil {
 			return nil, err
 		}

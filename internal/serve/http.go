@@ -25,6 +25,8 @@ import (
 //	POST /v1/predict/batch                 {"graphs": [{...}, ...]} → {"classes": [...]}
 //	POST /v1/models/{model}/predict        same, routed to a named model
 //	POST /v1/models/{model}/predict/batch  same, routed to a named model
+//	POST /v1/feedback                      {"graph": {...}, "label": c}  → online trainer
+//	POST /v1/models/{model}/feedback       same, for a named model; also accepts {"samples": [...]}
 //	GET  /v1/model          default model card (dimension, classes, config, build)
 //	GET  /v1/models         registry table: every resident model and replica
 //	GET  /healthz           liveness probe (+ resident-model summary)
@@ -86,6 +88,29 @@ type PredictBatchResponse struct {
 	ClassNames []string `json:"class_names,omitempty"`
 }
 
+// FeedbackRequest is the body of POST /v1/feedback: one labeled graph,
+// or several under "samples" (both forms may be combined). Labels index
+// the model's class space, [0, classes).
+type FeedbackRequest struct {
+	Graph   *graph.GraphJSON `json:"graph,omitempty"`
+	Label   *int             `json:"label,omitempty"`
+	Samples []FeedbackSample `json:"samples,omitempty"`
+}
+
+// FeedbackSample is one labeled graph in a FeedbackRequest.
+type FeedbackSample struct {
+	Graph *graph.GraphJSON `json:"graph"`
+	Label *int             `json:"label"`
+}
+
+// FeedbackResponse is the body of a successful POST /v1/feedback.
+type FeedbackResponse struct {
+	// Accepted is how many samples entered the feedback buffer.
+	Accepted int `json:"accepted"`
+	// Buffered is the buffer's fill after this request.
+	Buffered int `json:"buffered"`
+}
+
 // ModelInfo is the body of GET /v1/model: the model card of the default
 // model's current predictor, plus the SIMD kernel tier the replica is
 // actually running and a summary of the registry it lives in.
@@ -112,6 +137,11 @@ type ModelInfo struct {
 	// classification is active on the installed predictor.
 	CascadePrefix int `json:"cascade_prefix,omitempty"`
 	CascadeMargin int `json:"cascade_margin,omitempty"`
+	// Revision is the online-update count stamped into the serving
+	// predictor when it was snapshotted; 0 for predictors straight from
+	// Fit/Train. A gap against the trainer's live revision means updates
+	// not yet promoted.
+	Revision uint64 `json:"revision"`
 	// ModelsResident and RegistryBytes summarize the registry this model
 	// is resident in.
 	ModelsResident int   `json:"models_resident"`
@@ -124,6 +154,9 @@ type ModelsResponse struct {
 	DefaultModel string         `json:"default_model"`
 	Registry     RegistryStatus `json:"registry"`
 	Tenants      []TenantStatus `json:"tenants,omitempty"`
+	// Trainers lists the online learning loops attached to resident
+	// models, including each one's last promote/rollback verdict.
+	Trainers []TrainerStatus `json:"trainers,omitempty"`
 }
 
 // AdminModelRequest is the body of POST /admin/models.
@@ -163,6 +196,12 @@ func NewHandler(rt *Router, opts HandlerOptions) http.Handler {
 	})
 	mux.HandleFunc("POST /v1/models/{model}/predict/batch", func(w http.ResponseWriter, r *http.Request) {
 		h.predictBatch(w, r, r.PathValue("model"))
+	})
+	mux.HandleFunc("POST /v1/feedback", func(w http.ResponseWriter, r *http.Request) {
+		h.feedback(w, r, "")
+	})
+	mux.HandleFunc("POST /v1/models/{model}/feedback", func(w http.ResponseWriter, r *http.Request) {
+		h.feedback(w, r, r.PathValue("model"))
 	})
 	mux.HandleFunc("GET /v1/model", h.model)
 	mux.HandleFunc("GET /v1/models", h.models)
@@ -257,11 +296,15 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // body and in which counter moved.
 func writeEngineError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrQuotaExceeded):
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrQuotaExceeded),
+		errors.Is(err, ErrFeedbackBufferFull):
 		writeError(w, http.StatusTooManyRequests, err)
-	case errors.Is(err, ErrModelNotFound):
+	case errors.Is(err, ErrModelNotFound), errors.Is(err, ErrNoTrainer):
 		writeError(w, http.StatusNotFound, err)
-	case errors.Is(err, ErrClosed), errors.Is(err, ErrRegistryClosed):
+	case errors.Is(err, ErrBadFeedbackLabel):
+		writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrRegistryClosed),
+		errors.Is(err, ErrTrainerClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
 	default:
 		writeError(w, http.StatusInternalServerError, err)
@@ -357,6 +400,77 @@ func (h *handler) predictBatch(w http.ResponseWriter, r *http.Request, model str
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// feedback ingests labeled graphs into the model's online trainer. Every
+// failure mode has a deliberate non-500 mapping: malformed bodies,
+// unvalidatable graphs and out-of-range labels are the client's fault
+// (400), a model without a trainer is 404, and a full feedback buffer
+// sheds with 429 — ingest pressure never turns into server errors or
+// touches the predict path.
+func (h *handler) feedback(w http.ResponseWriter, r *http.Request, model string) {
+	var req FeedbackRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode request: %w", err))
+		return
+	}
+	m, err := h.rt.target(model)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	tr := m.trainer.Load()
+	if tr == nil {
+		writeEngineError(w, fmt.Errorf("%w: %q", ErrNoTrainer, m.name))
+		return
+	}
+
+	// Collect the single-sample and batched forms, then validate every
+	// graph and label before feeding any — a bad sample rejects the whole
+	// request instead of half-applying it.
+	samples := req.Samples
+	if req.Graph != nil || req.Label != nil {
+		samples = append([]FeedbackSample{{Graph: req.Graph, Label: req.Label}}, samples...)
+	}
+	if len(samples) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("serve: feedback needs a graph and label (or samples)"))
+		return
+	}
+	pred := m.pred.Load()
+	graphs := make([]*graph.Graph, len(samples))
+	labels := make([]int, len(samples))
+	for i, s := range samples {
+		if s.Label == nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("samples[%d]: missing label", i))
+			return
+		}
+		if *s.Label < 0 || *s.Label >= tr.NumClasses() {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("samples[%d]: %w: %d not in [0,%d)", i, ErrBadFeedbackLabel, *s.Label, tr.NumClasses()))
+			return
+		}
+		g, err := h.decodeGraph(s.Graph, pred)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("samples[%d]: %w", i, err))
+			return
+		}
+		graphs[i], labels[i] = g, *s.Label
+	}
+	accepted := 0
+	for i := range graphs {
+		if err := tr.Feed(graphs[i], labels[i]); err != nil {
+			// Partial ingest under buffer pressure is fine — feedback is
+			// best-effort by design — but the client learns how far it got.
+			if accepted > 0 && errors.Is(err, ErrFeedbackBufferFull) {
+				writeJSON(w, http.StatusAccepted, FeedbackResponse{Accepted: accepted, Buffered: len(tr.buf)})
+				return
+			}
+			writeEngineError(w, err)
+			return
+		}
+		accepted++
+	}
+	writeJSON(w, http.StatusAccepted, FeedbackResponse{Accepted: accepted, Buffered: len(tr.buf)})
+}
+
 func (h *handler) model(w http.ResponseWriter, r *http.Request) {
 	m, err := h.rt.target("")
 	if err != nil {
@@ -390,6 +504,7 @@ func (h *handler) model(w http.ResponseWriter, r *http.Request) {
 	if c, ok := p.Cascade(); ok {
 		info.CascadePrefix, info.CascadeMargin = c.DPrefix, c.Margin
 	}
+	info.Revision = p.Revision()
 	writeJSON(w, http.StatusOK, info)
 }
 
@@ -398,6 +513,7 @@ func (h *handler) models(w http.ResponseWriter, r *http.Request) {
 		DefaultModel: h.rt.DefaultModel(),
 		Registry:     h.rt.Registry().Status(),
 		Tenants:      h.rt.Tenants(),
+		Trainers:     h.rt.Registry().TrainerStatuses(),
 	})
 }
 

@@ -480,6 +480,64 @@ func WriteRouterMetrics(w io.Writer, rt *Router) error {
 		func(m *regModel) int64 { return int64(m.pred.Load().Dimension()) })
 	modelGauge("graphhd_model_version", "Registry version of the installed model (bumps on every rolling swap).",
 		func(m *regModel) int64 { return int64(m.version.Load()) })
+	modelGauge("graphhd_model_revision", "Online-update revision stamped into the serving predictor.",
+		func(m *regModel) int64 { return int64(m.pred.Load().Revision()) })
+
+	// Online-learning families, one series per model with a trainer
+	// attached. Snapshot first (name order follows names) so each family
+	// is contiguous.
+	type trainerSlot struct {
+		name string
+		tr   *Trainer
+	}
+	var trainers []trainerSlot
+	for _, n := range names {
+		if tr := table[n].trainer.Load(); tr != nil {
+			trainers = append(trainers, trainerSlot{n, tr})
+		}
+	}
+	// The strict exposition contract forbids a declared family with zero
+	// series, so every trainer family is emitted only when a trainer
+	// exists.
+	trainerCounter := func(name, help string, get func(*Trainer) uint64) {
+		if len(trainers) == 0 {
+			return
+		}
+		p("# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, t := range trainers {
+			p("%s{model=%q} %d\n", name, t.name, get(t.tr))
+		}
+	}
+	trainerCounter("graphhd_feedback_ingested_total", "Labeled feedback samples accepted into the trainer buffer.",
+		func(t *Trainer) uint64 { return t.ingested.Load() })
+	trainerCounter("graphhd_feedback_dropped_total", "Labeled feedback samples shed by the full trainer buffer.",
+		func(t *Trainer) uint64 { return t.dropped.Load() })
+	trainerCounter("graphhd_trainer_updates_total", "Corrective perceptron updates applied by the online trainer.",
+		func(t *Trainer) uint64 { return t.updates.Load() })
+	trainerCounter("graphhd_trainer_snapshots_total", "Candidate snapshots taken and validated by the online trainer.",
+		func(t *Trainer) uint64 { return t.snapshots.Load() })
+	trainerCounter("graphhd_trainer_promotions_total", "Validated candidates promoted via rolling swap.",
+		func(t *Trainer) uint64 { return t.promoted.Load() })
+	trainerCounter("graphhd_trainer_rollbacks_total", "Candidates rolled back by holdout or shadow gates.",
+		func(t *Trainer) uint64 { return t.rolledX.Load() })
+	trainerCounter("graphhd_shadow_mirrored_total", "Live graphs mirrored through shadow candidate engines.",
+		func(t *Trainer) uint64 { return t.shadowMirrored.Load() })
+	trainerCounter("graphhd_shadow_agreed_total", "Mirrored graphs where the candidate agreed with the primary.",
+		func(t *Trainer) uint64 { return t.shadowAgreed.Load() })
+	trainerCounter("graphhd_shadow_disagreed_total", "Mirrored graphs where the candidate disagreed with the primary.",
+		func(t *Trainer) uint64 { return t.shadowDisagreed.Load() })
+	trainerCounter("graphhd_shadow_dropped_total", "Mirror jobs shed by the full shadow queue or a failed replay.",
+		func(t *Trainer) uint64 { return t.shadowDropped.Load() })
+	if len(trainers) > 0 {
+		p("# HELP graphhd_trainer_buffer_len Feedback samples buffered, awaiting the trainer goroutine.\n# TYPE graphhd_trainer_buffer_len gauge\n")
+		for _, t := range trainers {
+			p("graphhd_trainer_buffer_len{model=%q} %d\n", t.name, len(t.tr.buf))
+		}
+		p("# HELP graphhd_trainer_model_revision Online-update revision of the live trainable model.\n# TYPE graphhd_trainer_model_revision gauge\n")
+		for _, t := range trainers {
+			p("graphhd_trainer_model_revision{model=%q} %d\n", t.name, t.tr.model.Revision())
+		}
+	}
 
 	writeProcessGauges(p)
 
@@ -493,6 +551,14 @@ func WriteRouterMetrics(w io.Writer, rt *Router) error {
 	hist("graphhd_request_latency_seconds", "Per-call latency from admission to response.", func(m *Metrics) HistogramSnapshot { return m.Latency })
 	hist("graphhd_batch_size", "Dispatched micro-batch sizes.", func(m *Metrics) HistogramSnapshot { return m.BatchSize })
 	hist("graphhd_queue_wait_seconds", "Per-task admission-queue wait, queue-enter to dispatcher pickup.", func(m *Metrics) HistogramSnapshot { return m.QueueWait })
+
+	if len(trainers) > 0 {
+		p("# HELP graphhd_shadow_latency_seconds Per-mirror-batch replay latency through shadow candidate engines.\n# TYPE graphhd_shadow_latency_seconds histogram\n")
+		for _, t := range trainers {
+			writeHistogramSeries(p, "graphhd_shadow_latency_seconds",
+				fmt.Sprintf("model=%q", t.name), t.tr.shadowLatency.snapshot())
+		}
+	}
 
 	p("# HELP graphhd_stage_seconds Per-batch wall time by pipeline stage.\n# TYPE graphhd_stage_seconds histogram\n")
 	for i := range slots {

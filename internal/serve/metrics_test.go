@@ -452,6 +452,69 @@ func TestWriteRouterMetricsExposition(t *testing.T) {
 	}
 }
 
+// TestWriteRouterMetricsTrainerFamilies round-trips the online-learning
+// families through the strict parser with a trainer attached: the
+// feedback/trainer/shadow counters, the revision gauges, and the shadow
+// latency histogram must all render family-major with {model} labels —
+// and none of them may appear when no trainer exists (a declared family
+// with zero series violates the exposition contract, which is exactly
+// what the trainer-less TestWriteRouterMetricsExposition above pins).
+func TestWriteRouterMetricsTrainerFamilies(t *testing.T) {
+	m, ds := trainableModel(t, 1024, false)
+	reg := NewRegistry(RegistryOptions{Engine: Options{Workers: 1}})
+	defer reg.Close()
+	if err := reg.Load("alpha", m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRouter(reg, RouterOptions{DefaultModel: "alpha"})
+	tr, err := reg.AttachTrainer("alpha", m, TrainerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := tr.Feed(ds.Graphs[i], ds.Labels[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var sb strings.Builder
+	if err := WriteRouterMetrics(&sb, rt); err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePromText(t, sb.String())
+	byName := map[string][]promSample{}
+	for _, s := range samples {
+		byName[s.name] = append(byName[s.name], s)
+	}
+	for _, name := range []string{
+		"graphhd_feedback_ingested_total", "graphhd_feedback_dropped_total",
+		"graphhd_trainer_updates_total", "graphhd_trainer_snapshots_total",
+		"graphhd_trainer_promotions_total", "graphhd_trainer_rollbacks_total",
+		"graphhd_shadow_mirrored_total", "graphhd_shadow_agreed_total",
+		"graphhd_shadow_disagreed_total", "graphhd_shadow_dropped_total",
+		"graphhd_trainer_buffer_len", "graphhd_trainer_model_revision",
+		"graphhd_model_revision",
+	} {
+		ss := byName[name]
+		if len(ss) == 0 {
+			t.Errorf("missing trainer family %s", name)
+			continue
+		}
+		if ss[0].labels["model"] != "alpha" {
+			t.Errorf("%s labels = %v, want model=\"alpha\"", name, ss[0].labels)
+		}
+	}
+	checkHistogram(t, samples, "graphhd_shadow_latency_seconds", map[string]string{"model": "alpha"})
+
+	got := 0.0
+	for _, s := range byName["graphhd_feedback_ingested_total"] {
+		got = s.value
+	}
+	if got != 4 {
+		t.Errorf("graphhd_feedback_ingested_total = %v, want 4", got)
+	}
+}
+
 // TestHistogramBucketBranchFree cross-checks the unrolled 16-bound
 // bucket search against a straightforward linear scan, including the
 // v == bound edge (bounds are inclusive upper limits: v lands in the

@@ -99,9 +99,21 @@ type regModel struct {
 	bytes    int64
 	path     string // artifact path for Reload; "" if loaded in-memory
 	replicas []*replica
+
+	// trainer is the online learning loop attached to this model, if any.
+	// shadow is non-nil only while that trainer has a candidate in its
+	// shadow phase; the router samples answered traffic through it.
+	trainer atomic.Pointer[Trainer]
+	shadow  atomic.Pointer[shadowMirror]
 }
 
 func (m *regModel) closeEngines() {
+	// The trainer stops first: its goroutine swaps into these engines and
+	// owns the shadow engine's lifecycle. Callers never hold Registry.mu
+	// here, so a trainer mid-promotion can finish its Swap call.
+	if tr := m.trainer.Load(); tr != nil {
+		tr.Close()
+	}
 	for _, rep := range m.replicas {
 		rep.eng.Close()
 	}
@@ -427,14 +439,20 @@ type ReplicaStatus struct {
 
 // ModelStatus is one resident model's row in a RegistryStatus.
 type ModelStatus struct {
-	Name          string          `json:"name"`
-	Version       uint64          `json:"version"`
-	Dimension     int             `json:"dimension"`
-	Classes       int             `json:"classes"`
-	PackedBytes   int64           `json:"packed_bytes"`
+	Name        string `json:"name"`
+	Version     uint64 `json:"version"`
+	Dimension   int    `json:"dimension"`
+	Classes     int    `json:"classes"`
+	PackedBytes int64  `json:"packed_bytes"`
+	// Revision is the online-update count stamped into the serving
+	// predictor when it was snapshotted — 0 for predictors straight from
+	// Fit/Train. Compare against TrainerStatus.Revision to see unpromoted
+	// drift.
+	Revision      uint64          `json:"revision,omitempty"`
 	Path          string          `json:"path,omitempty"`
 	CascadePrefix int             `json:"cascade_prefix,omitempty"`
 	CascadeMargin int             `json:"cascade_margin,omitempty"`
+	ShadowActive  bool            `json:"shadow_active,omitempty"`
 	Replicas      []ReplicaStatus `json:"replicas"`
 }
 
@@ -463,13 +481,15 @@ func (r *Registry) Status() RegistryStatus {
 	for _, m := range table {
 		p := m.pred.Load()
 		ms := ModelStatus{
-			Name:        m.name,
-			Version:     m.version.Load(),
-			Dimension:   p.Dimension(),
-			Classes:     p.NumClasses(),
-			PackedBytes: m.bytes,
-			Path:        m.path,
-			Replicas:    make([]ReplicaStatus, 0, len(m.replicas)),
+			Name:         m.name,
+			Version:      m.version.Load(),
+			Dimension:    p.Dimension(),
+			Classes:      p.NumClasses(),
+			PackedBytes:  m.bytes,
+			Revision:     p.Revision(),
+			Path:         m.path,
+			ShadowActive: m.shadow.Load() != nil,
+			Replicas:     make([]ReplicaStatus, 0, len(m.replicas)),
 		}
 		if c, ok := p.Cascade(); ok {
 			ms.CascadePrefix, ms.CascadeMargin = c.DPrefix, c.Margin
@@ -496,6 +516,11 @@ func (r *Registry) Traces() []TraceRecord {
 	for _, m := range *r.models.Load() {
 		for _, rep := range m.replicas {
 			out = append(out, rep.eng.Traces()...)
+		}
+		// A live shadow engine's batches show up too, under "name#shadow"
+		// — how mirrored candidate traffic becomes debuggable.
+		if sh := m.shadow.Load(); sh != nil {
+			out = append(out, sh.eng.Traces()...)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Time.After(out[j].Time) })

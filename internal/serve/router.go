@@ -190,7 +190,20 @@ func (rt *Router) Predict(ctx context.Context, tenant, model string, g *graph.Gr
 		class, err = second.eng.Predict(ctx, g)
 		second.inflight.Add(-1)
 	}
+	if err == nil {
+		rt.mirror(m, g, class)
+	}
 	return class, err
+}
+
+// mirror offers one answered request to the model's shadow mirror, if a
+// candidate is in its shadow phase. One atomic load when idle; sampling
+// and the queue hand-off never block the caller — the primary response is
+// already determined.
+func (rt *Router) mirror(m *regModel, g *graph.Graph, class int) {
+	if sh := m.shadow.Load(); sh != nil {
+		sh.offer([]*graph.Graph{g}, []int{class})
+	}
 }
 
 // PredictBatch routes a whole batch to one replica, returning one class
@@ -225,6 +238,11 @@ func (rt *Router) PredictBatchInto(ctx context.Context, tenant, model string, gr
 		second.inflight.Add(n)
 		err = second.eng.PredictBatchInto(ctx, graphs, out)
 		second.inflight.Add(-n)
+	}
+	if err == nil {
+		if sh := m.shadow.Load(); sh != nil {
+			sh.offer(graphs, out)
+		}
 	}
 	return err
 }

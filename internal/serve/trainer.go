@@ -1,0 +1,670 @@
+package serve
+
+// The Trainer closes the train-serve loop the paper's cheap-training claim
+// makes possible: labeled feedback from live traffic flows back into an
+// int32-accumulator core.Model running beside the packed serving
+// predictor, and validated snapshots of it roll out through the registry's
+// existing hot swap. The pipeline per model is
+//
+//	POST /v1/models/{name}/feedback
+//	   → bounded feedback buffer (reject with 429 when full, never block
+//	     the request path)
+//	   → trainer goroutine: every HoldoutEvery-th sample is diverted to a
+//	     bounded holdout ring, the rest apply perceptron-style updates
+//	     (core.Model.OnlineUpdate — encode, classify, Learn/Unlearn on
+//	     mistakes; each corrective update bumps the model revision)
+//	   → snapshot trigger (SnapshotEvery trained samples or
+//	     SnapshotInterval): candidate = Model.Snapshot()
+//	   → holdout validation (eval.Accuracy of candidate vs the serving
+//	     predictor on the held-out slice): a candidate trailing by more
+//	     than ValidationTolerance rolls back
+//	   → shadow deploy: a shadowMirror is published on the regModel and
+//	     the router mirrors a ShadowFraction sample of live predict
+//	     traffic — after the primary answer, never on its critical path —
+//	     through a dedicated candidate engine, recording agreement and
+//	     per-stage latency into graphhd_shadow_* metrics and the flight
+//	     recorder (the shadow engine is a real Engine, so its batches
+//	     appear in /debug/traces under "name#shadow")
+//	   → promote via Registry.Swap — the rolling walk, so in-flight
+//	     requests never observe a mid-request model change — or roll back
+//	     (agreement below ShadowMinAgreement), with the reason kept in
+//	     TrainerStatus and surfaced at GET /v1/models and
+//	     cmd/inspect -models.
+//
+// Single-writer discipline: only the trainer goroutine mutates the model.
+// Feed is called from request handlers and only touches the buffered
+// channel; status reads are atomics or mutex-guarded copies.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphhd/internal/core"
+	"graphhd/internal/eval"
+	"graphhd/internal/graph"
+)
+
+var (
+	// ErrNoTrainer means feedback was posted for a model with no online
+	// trainer attached; the HTTP front end maps it to 404.
+	ErrNoTrainer = errors.New("serve: model has no online trainer")
+	// ErrFeedbackBufferFull means the bounded feedback buffer is at
+	// capacity; the HTTP front end maps it to 429. Feedback is shed, the
+	// predict path is untouched.
+	ErrFeedbackBufferFull = errors.New("serve: feedback buffer full")
+	// ErrTrainerClosed means the trainer has been detached or its
+	// registry closed; mapped to 503.
+	ErrTrainerClosed = errors.New("serve: trainer closed")
+	// ErrTrainerExists means AttachTrainer was called for a model that
+	// already has one.
+	ErrTrainerExists = errors.New("serve: trainer already attached")
+	// ErrBadFeedbackLabel means a feedback label is outside [0,k);
+	// mapped to 400.
+	ErrBadFeedbackLabel = errors.New("serve: feedback label out of range")
+)
+
+// TrainerOptions configures an online trainer. The zero value of any
+// field selects its default.
+type TrainerOptions struct {
+	// BufferSize bounds the feedback channel between the HTTP handlers
+	// and the trainer goroutine; a full buffer sheds with
+	// ErrFeedbackBufferFull. Default 1024.
+	BufferSize int
+	// SnapshotEvery triggers candidate validation after this many trained
+	// (non-holdout) samples. Default 256.
+	SnapshotEvery int
+	// SnapshotInterval additionally triggers validation on a timer,
+	// catching trickle feedback that never reaches SnapshotEvery. Zero
+	// disables the timer.
+	SnapshotInterval time.Duration
+	// HoldoutEvery diverts every Nth feedback sample into the holdout
+	// ring instead of training on it, keeping validation data disjoint
+	// from training data. Default 8.
+	HoldoutEvery int
+	// HoldoutCap bounds the holdout ring; once full, new holdout samples
+	// overwrite the oldest. Default 256.
+	HoldoutCap int
+	// MinHoldout is the smallest holdout slice validation will run
+	// against; snapshot triggers before that are deferred. Default 16.
+	MinHoldout int
+	// ValidationTolerance is how far the candidate's holdout accuracy may
+	// trail the serving predictor's before the snapshot is rolled back.
+	// Default 0.02.
+	ValidationTolerance float64
+	// ShadowFraction is the fraction of live predict traffic mirrored to
+	// the candidate during the shadow phase, sampled per request after
+	// the primary answer. Default 0.1; values outside (0,1] clamp to 1.
+	ShadowFraction float64
+	// ShadowMinSamples is how many mirrored graphs the shadow phase
+	// tries to observe before deciding. Default 64.
+	ShadowMinSamples int
+	// ShadowWindow bounds the shadow phase; on timeout the decision is
+	// made with whatever mirrored (possibly zero, promoting on the
+	// holdout gate alone). Default 3s.
+	ShadowWindow time.Duration
+	// ShadowMinAgreement, when > 0, rolls the candidate back if its
+	// agreement rate with the primary over the mirrored sample falls
+	// below it (only once ShadowMinSamples were observed — a starved
+	// window never fails this gate). Zero disables the gate: shadow
+	// results stay observability-only.
+	ShadowMinAgreement float64
+}
+
+func (o TrainerOptions) withDefaults() TrainerOptions {
+	if o.BufferSize <= 0 {
+		o.BufferSize = 1024
+	}
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 256
+	}
+	if o.HoldoutEvery <= 0 {
+		o.HoldoutEvery = 8
+	}
+	if o.HoldoutCap <= 0 {
+		o.HoldoutCap = 256
+	}
+	if o.MinHoldout <= 0 {
+		o.MinHoldout = 16
+	}
+	if o.ValidationTolerance == 0 {
+		o.ValidationTolerance = 0.02
+	}
+	if o.ShadowFraction <= 0 || o.ShadowFraction > 1 {
+		if o.ShadowFraction != 0 {
+			o.ShadowFraction = 1
+		} else {
+			o.ShadowFraction = 0.1
+		}
+	}
+	if o.ShadowMinSamples <= 0 {
+		o.ShadowMinSamples = 64
+	}
+	if o.ShadowWindow <= 0 {
+		o.ShadowWindow = 3 * time.Second
+	}
+	return o
+}
+
+// feedbackSample is one labeled graph in the feedback buffer.
+type feedbackSample struct {
+	g     *graph.Graph
+	label int
+}
+
+// Trainer drains labeled feedback into a core.Model and rolls validated
+// snapshots out through the registry. Create one with
+// Registry.AttachTrainer; it is safe for concurrent use.
+type Trainer struct {
+	reg   *Registry
+	name  string
+	model *core.Model
+	opts  TrainerOptions
+
+	buf    chan feedbackSample
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	// Counters, all monotone: rendered as graphhd_feedback_* /
+	// graphhd_trainer_* / graphhd_shadow_* families.
+	ingested  atomic.Uint64 // samples accepted into the buffer
+	dropped   atomic.Uint64 // samples shed by the full buffer
+	trained   atomic.Uint64 // samples applied as perceptron updates
+	updates   atomic.Uint64 // corrective updates among them
+	snapshots atomic.Uint64 // candidate snapshots validated
+	promoted  atomic.Uint64 // candidates promoted via rolling swap
+	rolledX   atomic.Uint64 // candidates rolled back
+
+	shadowMirrored  atomic.Uint64 // graphs replayed through shadow engines
+	shadowAgreed    atomic.Uint64
+	shadowDisagreed atomic.Uint64
+	shadowDropped   atomic.Uint64 // mirror jobs shed by the full mirror queue
+	shadowLatency   histogram     // per-mirror-batch replay latency, seconds
+
+	holdoutLen atomic.Int64
+
+	// trainer-goroutine-owned state
+	holdout     []feedbackSample // ring of capacity HoldoutCap
+	holdoutNext int              // ring write cursor
+	seen        uint64           // total samples ingested (holdout cadence)
+	sinceSnap   int              // trained samples since the last snapshot
+
+	mu          sync.Mutex // guards the last-outcome fields below
+	lastOutcome string
+	lastWhen    time.Time
+	lastCand    float64
+	lastPrim    float64
+	lastAgree   float64
+	lastMirror  uint64
+}
+
+// AttachTrainer wires an online trainer to the named resident model. The
+// model argument is the trainable int32-accumulator form (e.g. loaded
+// from a GRAPHHD1 artifact) that candidate snapshots are taken from; its
+// class count must match the serving predictor's. The trainer starts its
+// goroutine immediately and stops when the model is evicted, the registry
+// closes, or Close is called.
+func (r *Registry) AttachTrainer(name string, model *core.Model, opts TrainerOptions) (*Trainer, error) {
+	if model == nil {
+		return nil, errors.New("serve: nil trainer model")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrRegistryClosed
+	}
+	m, ok := (*r.models.Load())[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrModelNotFound, name)
+	}
+	if m.trainer.Load() != nil {
+		return nil, fmt.Errorf("%w: %q", ErrTrainerExists, name)
+	}
+	if k := m.pred.Load().NumClasses(); model.NumClasses() != k {
+		return nil, fmt.Errorf("serve: trainer model has %d classes, serving model %q has %d",
+			model.NumClasses(), name, k)
+	}
+	tr := &Trainer{
+		reg:   r,
+		name:  name,
+		model: model,
+		opts:  opts.withDefaults(),
+		stop:  make(chan struct{}),
+	}
+	tr.buf = make(chan feedbackSample, tr.opts.BufferSize)
+	tr.holdout = make([]feedbackSample, 0, tr.opts.HoldoutCap)
+	tr.shadowLatency.init(powerBounds(16e-6, 16))
+	m.trainer.Store(tr)
+	tr.wg.Add(1)
+	go tr.run()
+	return tr, nil
+}
+
+// Trainer returns the online trainer attached to the named model, if any
+// ("" is not resolved; callers go through Router.trainer for that).
+func (r *Registry) Trainer(name string) (*Trainer, bool) {
+	m, ok := r.model(name)
+	if !ok {
+		return nil, false
+	}
+	tr := m.trainer.Load()
+	return tr, tr != nil
+}
+
+// NumClasses returns the label range the trainer accepts: [0, k).
+func (tr *Trainer) NumClasses() int { return tr.model.NumClasses() }
+
+// Model returns the trainable model feedback drains into.
+func (tr *Trainer) Model() *core.Model { return tr.model }
+
+// Options returns the trainer's resolved configuration — the options it
+// was attached with, defaults applied.
+func (tr *Trainer) Options() TrainerOptions { return tr.opts }
+
+// Feed offers one labeled graph to the feedback buffer. It never blocks:
+// a full buffer returns ErrFeedbackBufferFull (429), a closed trainer
+// ErrTrainerClosed (503), a label outside [0,k) ErrBadFeedbackLabel
+// (400). The graph must already be codec-validated; the trainer takes
+// ownership of it.
+func (tr *Trainer) Feed(g *graph.Graph, label int) error {
+	if label < 0 || label >= tr.model.NumClasses() {
+		return fmt.Errorf("%w: %d not in [0,%d)", ErrBadFeedbackLabel, label, tr.model.NumClasses())
+	}
+	if tr.closed.Load() {
+		return ErrTrainerClosed
+	}
+	select {
+	case tr.buf <- feedbackSample{g: g, label: label}:
+		tr.ingested.Add(1)
+		return nil
+	default:
+		tr.dropped.Add(1)
+		return fmt.Errorf("%w: %d samples pending", ErrFeedbackBufferFull, len(tr.buf))
+	}
+}
+
+// Close stops the trainer goroutine and detaches any active shadow
+// mirror. Buffered feedback not yet drained is discarded. Idempotent.
+func (tr *Trainer) Close() {
+	if tr.closed.Swap(true) {
+		return
+	}
+	close(tr.stop)
+	tr.wg.Wait()
+}
+
+// run is the trainer goroutine: drain feedback, divert holdout, apply
+// perceptron updates, and validate candidates on the snapshot triggers.
+func (tr *Trainer) run() {
+	defer tr.wg.Done()
+	var tick <-chan time.Time
+	if tr.opts.SnapshotInterval > 0 {
+		t := time.NewTicker(tr.opts.SnapshotInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-tr.stop:
+			return
+		case s := <-tr.buf:
+			tr.ingest(s)
+			if tr.sinceSnap >= tr.opts.SnapshotEvery {
+				tr.validateCandidate()
+			}
+		case <-tick:
+			if tr.sinceSnap > 0 {
+				tr.validateCandidate()
+			}
+		}
+	}
+}
+
+// ingest routes one sample: every HoldoutEvery-th into the holdout ring,
+// the rest through a perceptron update on the trainable model.
+func (tr *Trainer) ingest(s feedbackSample) {
+	tr.seen++
+	if tr.seen%uint64(tr.opts.HoldoutEvery) == 0 {
+		if len(tr.holdout) < cap(tr.holdout) {
+			tr.holdout = append(tr.holdout, s)
+		} else {
+			tr.holdout[tr.holdoutNext] = s
+			tr.holdoutNext = (tr.holdoutNext + 1) % cap(tr.holdout)
+		}
+		tr.holdoutLen.Store(int64(len(tr.holdout)))
+		return
+	}
+	updated, err := tr.model.OnlineUpdate(s.g, s.label)
+	if err != nil {
+		// Labels were validated in Feed; an error here means a
+		// graph/encoder mismatch. Count it as trained-and-dropped rather
+		// than crash the loop.
+		return
+	}
+	tr.trained.Add(1)
+	if updated {
+		tr.updates.Add(1)
+	}
+	tr.sinceSnap++
+}
+
+// validateCandidate runs the snapshot → holdout gate → shadow phase →
+// promote/rollback sequence. It blocks the trainer loop for at most the
+// holdout evaluation plus ShadowWindow; feedback keeps buffering
+// meanwhile (awaitShadow drains training samples while it waits).
+func (tr *Trainer) validateCandidate() {
+	tr.sinceSnap = 0
+	if len(tr.holdout) < tr.opts.MinHoldout {
+		tr.outcome(fmt.Sprintf("deferred: holdout %d of %d", len(tr.holdout), tr.opts.MinHoldout), 0, 0, 0, 0)
+		return
+	}
+	m, ok := tr.reg.model(tr.name)
+	if !ok {
+		return // evicted under us; Close follows
+	}
+	primary := m.pred.Load()
+	candidate := tr.model.Snapshot()
+	tr.snapshots.Add(1)
+
+	hg := make([]*graph.Graph, len(tr.holdout))
+	hy := make([]int, len(tr.holdout))
+	for i, s := range tr.holdout {
+		hg[i], hy[i] = s.g, s.label
+	}
+	candAcc := eval.Accuracy(candidate.PredictAll(hg), hy)
+	primAcc := eval.Accuracy(primary.PredictAll(hg), hy)
+
+	if candAcc+tr.opts.ValidationTolerance < primAcc {
+		tr.rolledX.Add(1)
+		tr.outcome(fmt.Sprintf("rolled back: holdout regression %.3f vs serving %.3f (tolerance %.3f)",
+			candAcc, primAcc, tr.opts.ValidationTolerance), candAcc, primAcc, 0, 0)
+		return
+	}
+
+	// Shadow phase: publish the mirror, let the router sample live
+	// traffic through the candidate engine, and gather agreement.
+	mirrored, agreed, disagreed := tr.shadowPhase(m, candidate)
+	agreement := 1.0
+	if n := agreed + disagreed; n > 0 {
+		agreement = float64(agreed) / float64(n)
+	}
+	if tr.opts.ShadowMinAgreement > 0 &&
+		mirrored >= uint64(tr.opts.ShadowMinSamples) &&
+		agreement < tr.opts.ShadowMinAgreement {
+		tr.rolledX.Add(1)
+		tr.outcome(fmt.Sprintf("rolled back: shadow agreement %.3f below %.3f over %d mirrored",
+			agreement, tr.opts.ShadowMinAgreement, mirrored), candAcc, primAcc, agreement, mirrored)
+		return
+	}
+
+	// Promote. The candidate passes through the registry's PrepareModel
+	// hook (so operator cascade config is re-applied, same as a file
+	// load) and rolls across the replicas — never mid-flight.
+	if prep := tr.reg.opts.PrepareModel; prep != nil {
+		if err := prep(tr.name, candidate); err != nil {
+			tr.rolledX.Add(1)
+			tr.outcome("rolled back: prepare hook: "+err.Error(), candAcc, primAcc, agreement, mirrored)
+			return
+		}
+	}
+	if err := tr.reg.Swap(tr.name, candidate); err != nil {
+		tr.rolledX.Add(1)
+		tr.outcome("rolled back: swap: "+err.Error(), candAcc, primAcc, agreement, mirrored)
+		return
+	}
+	tr.promoted.Add(1)
+	tr.outcome(fmt.Sprintf("promoted: holdout %.3f vs %.3f, shadow agreement %.3f over %d mirrored (revision %d)",
+		candAcc, primAcc, agreement, mirrored, candidate.Revision()), candAcc, primAcc, agreement, mirrored)
+}
+
+// shadowPhase publishes a mirror for candidate on m, waits for
+// ShadowMinSamples mirrored graphs (bounded by ShadowWindow), then tears
+// the mirror down and reports the window's counts.
+func (tr *Trainer) shadowPhase(m *regModel, candidate *core.Predictor) (mirrored, agreed, disagreed uint64) {
+	eo := tr.reg.opts.Engine
+	eo.ModelName = tr.name + "#shadow"
+	eo.Replica = 0
+	eo.Workers = 1
+	eng, err := NewEngine(candidate, eo)
+	if err != nil {
+		return 0, 0, 0
+	}
+	sh := newShadowMirror(tr, eng, tr.opts.ShadowFraction)
+	m.shadow.Store(sh)
+	defer func() {
+		m.shadow.Store(nil)
+		sh.close()
+		mirrored, agreed, disagreed = sh.window()
+	}()
+
+	deadline := time.NewTimer(tr.opts.ShadowWindow)
+	defer deadline.Stop()
+	poll := time.NewTicker(time.Millisecond)
+	defer poll.Stop()
+	for {
+		select {
+		case <-tr.stop:
+			return
+		case <-deadline.C:
+			return
+		case s := <-tr.buf:
+			// Keep draining feedback so the buffer doesn't shed while the
+			// window is open; the candidate is already frozen.
+			tr.ingest(s)
+		case <-poll.C:
+			if n, _, _ := sh.window(); n >= uint64(tr.opts.ShadowMinSamples) {
+				return
+			}
+		}
+	}
+}
+
+// outcome records the last validation verdict for status surfaces.
+func (tr *Trainer) outcome(s string, cand, prim, agree float64, mirrored uint64) {
+	tr.mu.Lock()
+	tr.lastOutcome = s
+	tr.lastWhen = time.Now()
+	tr.lastCand, tr.lastPrim = cand, prim
+	tr.lastAgree, tr.lastMirror = agree, mirrored
+	tr.mu.Unlock()
+}
+
+// TrainerStatus is one trainer's row in GET /v1/models — the online
+// learning loop's observable state, including the promote/rollback verdict
+// of the last validated snapshot.
+type TrainerStatus struct {
+	Model     string `json:"model"`
+	BufferLen int    `json:"buffer_len"`
+	BufferCap int    `json:"buffer_cap"`
+	Ingested  uint64 `json:"ingested"`
+	Dropped   uint64 `json:"dropped"`
+	Trained   uint64 `json:"trained"`
+	Updates   uint64 `json:"updates"` // corrective perceptron updates
+	Holdout   int    `json:"holdout"`
+	// Revision is the live trainable model's online-update count;
+	// ServingRevision is the revision stamped into the predictor
+	// currently serving. A gap means updates not yet promoted.
+	Revision        uint64 `json:"revision"`
+	ServingRevision uint64 `json:"serving_revision"`
+	Snapshots       uint64 `json:"snapshots"`
+	Promotions      uint64 `json:"promotions"`
+	Rollbacks       uint64 `json:"rollbacks"`
+	ShadowMirrored  uint64 `json:"shadow_mirrored"`
+	ShadowAgreed    uint64 `json:"shadow_agreed"`
+	ShadowDisagreed uint64 `json:"shadow_disagreed"`
+	ShadowDropped   uint64 `json:"shadow_dropped"`
+	ShadowActive    bool   `json:"shadow_active"`
+	// LastOutcome is the verdict of the most recent snapshot validation:
+	// "promoted: ..." or "rolled back: <reason>" or "deferred: ...".
+	LastOutcome         string    `json:"last_outcome,omitempty"`
+	LastOutcomeTime     time.Time `json:"last_outcome_time,omitempty"`
+	LastCandidateAcc    float64   `json:"last_candidate_acc,omitempty"`
+	LastServingAcc      float64   `json:"last_serving_acc,omitempty"`
+	LastShadowAgreement float64   `json:"last_shadow_agreement,omitempty"`
+	LastShadowMirrored  uint64    `json:"last_shadow_mirrored,omitempty"`
+}
+
+// Status snapshots the trainer's observable state.
+func (tr *Trainer) Status() TrainerStatus {
+	st := TrainerStatus{
+		Model:           tr.name,
+		BufferLen:       len(tr.buf),
+		BufferCap:       cap(tr.buf),
+		Ingested:        tr.ingested.Load(),
+		Dropped:         tr.dropped.Load(),
+		Trained:         tr.trained.Load(),
+		Updates:         tr.updates.Load(),
+		Holdout:         int(tr.holdoutLen.Load()),
+		Revision:        tr.model.Revision(),
+		Snapshots:       tr.snapshots.Load(),
+		Promotions:      tr.promoted.Load(),
+		Rollbacks:       tr.rolledX.Load(),
+		ShadowMirrored:  tr.shadowMirrored.Load(),
+		ShadowAgreed:    tr.shadowAgreed.Load(),
+		ShadowDisagreed: tr.shadowDisagreed.Load(),
+		ShadowDropped:   tr.shadowDropped.Load(),
+	}
+	if m, ok := tr.reg.model(tr.name); ok {
+		st.ServingRevision = m.pred.Load().Revision()
+		st.ShadowActive = m.shadow.Load() != nil
+	}
+	tr.mu.Lock()
+	st.LastOutcome = tr.lastOutcome
+	st.LastOutcomeTime = tr.lastWhen
+	st.LastCandidateAcc = tr.lastCand
+	st.LastServingAcc = tr.lastPrim
+	st.LastShadowAgreement = tr.lastAgree
+	st.LastShadowMirrored = tr.lastMirror
+	tr.mu.Unlock()
+	return st
+}
+
+// TrainerStatuses snapshots every attached trainer, sorted by model name.
+func (r *Registry) TrainerStatuses() []TrainerStatus {
+	var out []TrainerStatus
+	for _, m := range *r.models.Load() {
+		if tr := m.trainer.Load(); tr != nil {
+			out = append(out, tr.Status())
+		}
+	}
+	sortTrainerStatuses(out)
+	return out
+}
+
+func sortTrainerStatuses(s []TrainerStatus) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Model < s[j-1].Model; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// shadowJob is one mirrored unit of primary traffic: the graphs plus the
+// classes the primary answered, compared against the candidate's answers.
+type shadowJob struct {
+	graphs  []*graph.Graph
+	classes []int
+}
+
+// shadowMirror is the live sampling tap the router reads off the predict
+// path while a candidate is in its shadow phase. offer is designed to be
+// near-free for unsampled requests (one atomic load on the regModel, one
+// random draw) and non-blocking always: a full mirror queue drops the
+// job and counts it.
+type shadowMirror struct {
+	tr       *Trainer
+	eng      *Engine
+	fraction float64
+	jobs     chan shadowJob
+	done     chan struct{} // closed to stop the replay worker; jobs is
+	// never closed — the router may still be offering concurrently with
+	// teardown, and a send on a closed channel would panic. Late offers
+	// land in the buffer and are dropped with it.
+	wg sync.WaitGroup
+
+	// window counts, reset never (one mirror per shadow phase)
+	mirrored  atomic.Uint64
+	agreed    atomic.Uint64
+	disagreed atomic.Uint64
+}
+
+func newShadowMirror(tr *Trainer, eng *Engine, fraction float64) *shadowMirror {
+	sh := &shadowMirror{tr: tr, eng: eng, fraction: fraction,
+		jobs: make(chan shadowJob, 64), done: make(chan struct{})}
+	sh.wg.Add(1)
+	go sh.replay()
+	return sh
+}
+
+// offer samples one answered primary request into the mirror queue.
+// Called on the router's predict path after the primary response is
+// determined; it must never block or fail the caller.
+func (sh *shadowMirror) offer(graphs []*graph.Graph, classes []int) {
+	if sh.fraction < 1 && rand.Float64() >= sh.fraction {
+		return
+	}
+	job := shadowJob{
+		graphs:  append([]*graph.Graph(nil), graphs...),
+		classes: append([]int(nil), classes...),
+	}
+	select {
+	case sh.jobs <- job:
+	default:
+		sh.tr.shadowDropped.Add(uint64(len(graphs)))
+	}
+}
+
+// replay drives mirrored traffic through the candidate engine — the real
+// serving path, so stage clocks tick and the flight recorder keeps
+// records under the "#shadow" model name — and scores agreement against
+// the primary's answers.
+func (sh *shadowMirror) replay() {
+	defer sh.wg.Done()
+	ctx := context.Background()
+	for {
+		var job shadowJob
+		select {
+		case <-sh.done:
+			return
+		case job = <-sh.jobs:
+		}
+		out := make([]int, len(job.graphs))
+		start := time.Now()
+		err := sh.eng.PredictBatchInto(ctx, job.graphs, out)
+		sh.tr.shadowLatency.observe(time.Since(start).Seconds())
+		if err != nil {
+			sh.tr.shadowDropped.Add(uint64(len(job.graphs)))
+			continue
+		}
+		sh.mirrored.Add(uint64(len(job.graphs)))
+		sh.tr.shadowMirrored.Add(uint64(len(job.graphs)))
+		for i, c := range out {
+			if c == job.classes[i] {
+				sh.agreed.Add(1)
+				sh.tr.shadowAgreed.Add(1)
+			} else {
+				sh.disagreed.Add(1)
+				sh.tr.shadowDisagreed.Add(1)
+			}
+		}
+	}
+}
+
+// window reports this mirror's counts.
+func (sh *shadowMirror) window() (mirrored, agreed, disagreed uint64) {
+	return sh.mirrored.Load(), sh.agreed.Load(), sh.disagreed.Load()
+}
+
+// close stops the replay worker and shuts the candidate engine down. The
+// regModel's shadow pointer must already be cleared; offers racing with
+// teardown land in the abandoned buffer.
+func (sh *shadowMirror) close() {
+	close(sh.done)
+	sh.wg.Wait()
+	sh.eng.Close()
+}
